@@ -1,0 +1,166 @@
+// Shared setup for the experiment benches: trained subject networks (the
+// paper's MLP and ResNet-18), simple flag parsing, and result output.
+//
+// Default workload sizes are chosen so each bench finishes in about a minute
+// on one CPU core; every knob can be raised from the command line, e.g.
+//   ./fig4_resnet_sweep --width=1.0 --image-size=32 --samples-per-class=500
+// to run the full-scale configuration of the paper.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/cifar_like.h"
+#include "data/toy2d.h"
+#include "nn/builders.h"
+#include "train/trainer.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace bdlfi::bench {
+
+/// --key=value / --key value parser with typed getters.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        kv_.emplace_back(arg, argv[++i]);
+      } else {
+        kv_.emplace_back(arg, "1");
+      }
+    }
+  }
+
+  double get(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return std::atof(v.c_str());
+    }
+    return fallback;
+  }
+  std::int64_t get(const std::string& key, std::int64_t fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return std::atoll(v.c_str());
+    }
+    return fallback;
+  }
+  std::size_t get(const std::string& key, std::size_t fallback) const {
+    return static_cast<std::size_t>(
+        get(key, static_cast<std::int64_t>(fallback)));
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Writes the CSV next to the binary under bench_results/.
+inline void emit(const util::Table& table, const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/" + name + ".csv";
+  table.write_csv(path);
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("[csv written to %s]\n\n", path.c_str());
+}
+
+struct MlpSetup {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+  double test_accuracy = 0.0;
+};
+
+/// The paper's Fig.-1 subject: a small ReLU MLP trained on a 2-D two-moons
+/// problem (2-16-32-2, matching the 32-neuron layer the figure draws).
+inline MlpSetup make_trained_moons_mlp(const Flags& flags) {
+  util::Stopwatch timer;
+  util::Rng data_rng{flags.get("data-seed", std::int64_t{11})};
+  data::Dataset all = data::make_two_moons(
+      flags.get("moons", std::size_t{800}), 0.08, data_rng);
+  data::Split split = data::split_dataset(all, 0.75, data_rng);
+
+  util::Rng init{static_cast<std::uint64_t>(
+      flags.get("init-seed", std::int64_t{12}))};
+  MlpSetup setup{nn::make_mlp({2, 16, 32, 2}, init), std::move(split.train),
+                 std::move(split.test)};
+
+  train::TrainConfig config;
+  config.epochs = flags.get("epochs", std::size_t{40});
+  config.batch_size = 32;
+  config.lr = 0.05;
+  config.seed = 13;
+  config.target_accuracy = 0.99;
+  const auto result = train::fit(setup.net, setup.train, setup.test, config);
+  setup.test_accuracy = result.final_test_accuracy;
+  std::printf("[setup] MLP 2-16-32-2 trained on two-moons: test acc %.1f%% "
+              "(%.1fs)\n",
+              100.0 * setup.test_accuracy, timer.seconds());
+  return setup;
+}
+
+struct ResnetSetup {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset eval;  // injection evaluation batch
+  double test_accuracy = 0.0;
+  double width = 0.0;
+  std::int64_t image_size = 0;
+};
+
+/// The paper's second subject: ResNet-18 on a CIFAR-10-like 10-class image
+/// problem (procedural substitute; see DESIGN.md). Width/image size are
+/// scaled down by default so a single-core campaign stays in bench budget —
+/// topology (18 layers, 4 stages, residual skips) is the paper's.
+inline ResnetSetup make_trained_resnet(const Flags& flags) {
+  util::Stopwatch timer;
+  data::CifarLikeConfig data_config;
+  data_config.samples_per_class =
+      flags.get("samples-per-class", std::size_t{60});
+  data_config.image_size = flags.get("image-size", std::int64_t{16});
+  util::Rng data_rng{static_cast<std::uint64_t>(
+      flags.get("data-seed", std::int64_t{21}))};
+  data::Dataset all = data::make_cifar_like(data_config, data_rng);
+  data::Split split = data::split_dataset(all, 0.8, data_rng);
+
+  nn::ResNetConfig net_config;
+  net_config.width_multiplier = flags.get("width", 0.125);
+  net_config.num_classes = 10;
+  util::Rng init{static_cast<std::uint64_t>(
+      flags.get("init-seed", std::int64_t{22}))};
+  ResnetSetup setup{nn::make_resnet18(net_config, init), {}, {}};
+  setup.width = net_config.width_multiplier;
+  setup.image_size = data_config.image_size;
+
+  train::TrainConfig config;
+  config.epochs = flags.get("epochs", std::size_t{5});
+  config.batch_size = 32;
+  config.lr = 0.02;
+  config.seed = 23;
+  config.target_accuracy = 0.97;
+  const auto result = train::fit(setup.net, split.train, split.test, config);
+  setup.test_accuracy = result.final_test_accuracy;
+
+  const std::size_t eval_n =
+      std::min(flags.get("eval-batch", std::size_t{64}), split.test.size());
+  setup.eval = split.test.slice(0, eval_n);
+  setup.train = std::move(split.train);
+  std::printf("[setup] ResNet-18 (width %.3g, %lldx%lld) trained on "
+              "CifarLike: test acc %.1f%%, %lld params (%.1fs)\n",
+              setup.width, static_cast<long long>(setup.image_size),
+              static_cast<long long>(setup.image_size),
+              100.0 * setup.test_accuracy,
+              static_cast<long long>(setup.net.num_params()),
+              timer.seconds());
+  return setup;
+}
+
+}  // namespace bdlfi::bench

@@ -1,0 +1,87 @@
+// Reproduces Fig. 3 of the paper: ResNet-18 classification error when faults
+// are injected into one layer at a time (fixed flip probability).
+//
+// The paper's claim (§III, "Error propagation ... is not related to the depth
+// of the injection layer", contradicting Li et al. [1]): error shows no
+// monotone relationship with layer depth. We print the per-layer series and
+// the rank correlation between depth and error — expect it near zero.
+#include <cmath>
+
+#include "common.h"
+#include "inject/campaign.h"
+#include "util/ascii_plot.h"
+
+using namespace bdlfi;
+
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::ResnetSetup setup = bench::make_trained_resnet(flags);
+
+  mcmc::RunnerConfig runner;
+  runner.num_chains = flags.get("chains", std::size_t{2});
+  runner.mh.samples = flags.get("samples", std::size_t{15});
+  runner.mh.burn_in = flags.get("burn-in", std::size_t{5});
+  runner.mh.thin = flags.get("thin", std::size_t{5});
+  runner.seed = 51;
+  const double p = flags.get("p", 1e-3);
+  const double dose = flags.get("dose", 4.0);
+
+  // Mode B is the figure's protocol: a constant fault dose per injection
+  // (expected `dose` flipped bits) regardless of layer size — matching the
+  // per-layer single/multi-bit FI studies whose depth claim the paper tests.
+  // Mode A (raw fixed rate) is reported alongside: there, larger layers
+  // absorb proportionally more faults.
+  const auto fixed_dose = inject::run_layer_campaign(
+      setup.net, setup.eval.inputs, setup.eval.labels,
+      fault::AvfProfile::uniform(), p, runner, dose);
+  const auto fixed_rate = inject::run_layer_campaign(
+      setup.net, setup.eval.inputs, setup.eval.labels,
+      fault::AvfProfile::uniform(), p, runner);
+
+  util::Table table({"layer_idx", "name", "kind", "params",
+                     "err_fixed_dose_%", "q05", "q95", "err_fixed_rate_%"});
+  std::vector<double> depths, errors_dose, errors_rate;
+  for (std::size_t i = 0; i < fixed_dose.size(); ++i) {
+    const auto& pt = fixed_dose[i];
+    table.row()
+        .col(pt.layer_index)
+        .col(pt.layer_name)
+        .col(pt.layer_kind)
+        .col(static_cast<std::size_t>(pt.layer_params))
+        .col(pt.mean_error)
+        .col(pt.q05)
+        .col(pt.q95)
+        .col(fixed_rate[i].mean_error);
+    depths.push_back(static_cast<double>(pt.layer_index));
+    errors_dose.push_back(pt.mean_error);
+    errors_rate.push_back(fixed_rate[i].mean_error);
+  }
+  std::printf("=== Fig. 3: ResNet-18 error vs injected layer "
+              "(dose = %.3g flips/injection; rate mode p = %.2g) ===\n\n",
+              dose, p);
+  bench::emit(table, "fig3_resnet_layers");
+
+  util::Series series{"fixed dose (paper protocol)", {}, {}, '*'};
+  series.xs = depths;
+  series.ys = errors_dose;
+  util::PlotOptions opt;
+  opt.title = "Fig. 3 (reproduced): error vs injection layer depth";
+  opt.x_label = "layer index (depth)";
+  opt.y_label = "classification error (%)";
+  std::printf("%s\n", util::render_plot({series}, opt).c_str());
+
+  const double rho_dose = util::spearman_correlation(depths, errors_dose);
+  const double rho_rate = util::spearman_correlation(depths, errors_rate);
+  std::printf("Spearman rank corr(depth, error): fixed dose %+.3f, "
+              "fixed rate %+.3f\n", rho_dose, rho_rate);
+  std::printf("paper's claim: with a size-independent dose there is no direct "
+              "relationship between injection depth and output error "
+              "(|rho| << 1); the fixed-rate mode shows any residual trend is "
+              "a layer-size artifact, not depth.\n");
+  std::printf("[fig3 done in %.1fs]\n", total.seconds());
+  return 0;
+}

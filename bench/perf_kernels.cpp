@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the hot kernels underneath a BDLFI
+// campaign: GEMM, conv2d, fault-mask sampling (geometric skipping), mask
+// apply/revert, and a full corrupted-forward evaluation — the §I claim that
+// injection cost reduces to inference cost, with no ptrace-style overhead.
+#include <benchmark/benchmark.h>
+
+#include "bayes/fault_network.h"
+#include "data/toy2d.h"
+#include "nn/builders.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace bdlfi;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  util::Rng rng{1};
+  tensor::Tensor a = tensor::Tensor::randn(tensor::Shape{n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::randn(tensor::Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  util::Rng rng{2};
+  tensor::Tensor input =
+      tensor::Tensor::randn(tensor::Shape{4, channels, 16, 16}, rng);
+  tensor::Tensor weight =
+      tensor::Tensor::randn(tensor::Shape{channels, channels, 3, 3}, rng);
+  tensor::Conv2dSpec spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::conv2d_forward(input, weight, {}, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+// Shared fixture state for the campaign-level benchmarks.
+struct CampaignFixture {
+  CampaignFixture() : rng(3), data(data::make_two_moons(256, 0.08, rng)) {
+    util::Rng init{4};
+    net = std::make_unique<nn::Network>(nn::make_mlp({2, 16, 32, 2}, init));
+    bfn = std::make_unique<bayes::BayesianFaultNetwork>(
+        *net, bayes::TargetSpec::all_parameters(),
+        fault::AvfProfile::uniform(), data.inputs, data.labels);
+  }
+  util::Rng rng;
+  data::Dataset data;
+  std::unique_ptr<nn::Network> net;
+  std::unique_ptr<bayes::BayesianFaultNetwork> bfn;
+};
+
+CampaignFixture& fixture() {
+  static CampaignFixture f;
+  return f;
+}
+
+void BM_SampleMask(benchmark::State& state) {
+  auto& f = fixture();
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  util::Rng rng{5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.bfn->sample_prior_mask(p, rng));
+  }
+}
+// p = 1e-2 .. 1e-5: cost is O(#flips), not O(#bits).
+BENCHMARK(BM_SampleMask)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_MaskApplyRevert(benchmark::State& state) {
+  auto& f = fixture();
+  util::Rng rng{6};
+  const fault::FaultMask mask = f.bfn->sample_prior_mask(1e-3, rng);
+  for (auto _ : state) {
+    f.bfn->space().apply(mask);
+    f.bfn->space().apply(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(mask.num_flips()));
+}
+BENCHMARK(BM_MaskApplyRevert);
+
+void BM_EvaluateMask(benchmark::State& state) {
+  // One full injection: corrupt, batch forward over 256 inputs, revert.
+  auto& f = fixture();
+  util::Rng rng{7};
+  const fault::FaultMask mask = f.bfn->sample_prior_mask(1e-3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.bfn->evaluate_mask(mask));
+  }
+}
+BENCHMARK(BM_EvaluateMask);
+
+void BM_LogPrior(benchmark::State& state) {
+  auto& f = fixture();
+  util::Rng rng{8};
+  const fault::FaultMask mask = f.bfn->sample_prior_mask(1e-3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.bfn->log_prior(mask, 1e-3));
+  }
+}
+BENCHMARK(BM_LogPrior);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  (a) AVF profile — the paper sets "p based on AVF" without fixing a
+//      profile; we quantify how much the bit-position weighting matters
+//      (exponent bits dominate fp32 corruption impact).
+//  (b) MH proposal kernel mix — single-toggle vs block-resample vs
+//      independence vs the default mixture: acceptance rate and effective
+//      samples per second / per network evaluation.
+#include "common.h"
+#include "mcmc/runner.h"
+#include "util/stats.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
+  const double p = flags.get("p", 1e-3);
+
+  // --- (a) AVF profiles --------------------------------------------------------
+  std::printf("=== Ablation A: AVF profile at p = %.2g ===\n\n", p);
+  util::Table avf_table({"profile", "mean_error_%", "q95", "mean_flips",
+                         "expected_flips_per_word"});
+  const fault::AvfProfile profiles[] = {
+      fault::AvfProfile::uniform(),
+      fault::AvfProfile::exponent_weighted(4.0),
+      fault::AvfProfile::mantissa_only(),
+      fault::AvfProfile::sign_exponent_only(),
+  };
+  for (const auto& profile : profiles) {
+    bayes::BayesianFaultNetwork bfn(setup.net,
+                                    bayes::TargetSpec::all_parameters(),
+                                    profile, setup.test.inputs,
+                                    setup.test.labels);
+    mcmc::RunnerConfig runner;
+    runner.num_chains = 3;
+    runner.mh.samples = flags.get("samples", std::size_t{120});
+    runner.mh.burn_in = 40;
+    runner.seed = 91;
+    mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+      return std::make_unique<bayes::PriorTarget>(net, p);
+    };
+    const auto result = mcmc::run_chains(bfn, factory, p, runner);
+    avf_table.row()
+        .col(profile.name())
+        .col(result.mean_error)
+        .col(result.q95)
+        .col(result.mean_flips)
+        .col(profile.expected_flips_per_word(p));
+  }
+  bench::emit(avf_table, "tab_ablation_avf");
+  std::printf("mantissa-only flips are near-harmless; sign/exponent flips "
+              "carry almost all of the corruption impact.\n\n");
+
+  // --- (b) proposal kernels ----------------------------------------------------
+  std::printf("=== Ablation B: MH proposal kernel mix ===\n\n");
+  bayes::BayesianFaultNetwork bfn(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  struct KernelMix {
+    const char* name;
+    double w_single, w_block, w_indep;
+  };
+  const KernelMix mixes[] = {
+      {"single_toggle_only", 1.0, 0.0, 0.0},
+      {"block_resample_only", 0.0, 1.0, 0.0},
+      {"independence_only", 0.0, 0.0, 1.0},
+      {"default_mixture", 0.5, 0.3, 0.2},
+  };
+  util::Table kernel_table({"kernel_mix", "accept_rate", "ess", "rhat",
+                            "network_evals", "seconds", "ess_per_sec",
+                            "ess_per_eval"});
+  for (const auto& mix : mixes) {
+    mcmc::RunnerConfig runner;
+    runner.num_chains = 4;
+    runner.mh.samples = flags.get("samples", std::size_t{120});
+    runner.mh.burn_in = 40;
+    runner.mh.w_single_toggle = mix.w_single;
+    runner.mh.w_block_resample = mix.w_block;
+    runner.mh.w_independence = mix.w_indep;
+    runner.seed = 92;
+    mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+      return std::make_unique<bayes::PriorTarget>(net, p);
+    };
+    util::Stopwatch timer;
+    const auto result = mcmc::run_chains(bfn, factory, p, runner);
+    const double secs = timer.seconds();
+    double accept = 0.0;
+    for (const auto& chain : result.chains) accept += chain.acceptance_rate;
+    accept /= static_cast<double>(result.chains.size());
+    kernel_table.row()
+        .col(mix.name)
+        .col(accept)
+        .col(result.diagnostics.ess)
+        .col(result.diagnostics.rhat)
+        .col(result.total_network_evals)
+        .col(secs)
+        .col(result.diagnostics.ess / std::max(1e-9, secs))
+        .col(result.diagnostics.ess /
+             static_cast<double>(
+                 std::max<std::size_t>(1, result.total_network_evals)));
+  }
+  bench::emit(kernel_table, "tab_ablation_kernels");
+  std::printf("single-toggle moves mix slowly at small p (insertions are "
+              "rarely accepted); prior-cancelling block/independence moves "
+              "accept every proposal and dominate ESS per evaluation.\n");
+  std::printf("[tab_ablations done in %.1fs]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces the paper's §I claim 1: BDLFI can quantify the *completeness* of
+// an injection campaign via MCMC mixing — "further injections do not change
+// the measured hypothesis".
+//
+// We run the round-based completeness loop (R-hat + estimate-stability
+// criterion) and, for contrast, show how the traditional random-FI campaign's
+// only completeness signal (the shrinking confidence interval) evolves at the
+// same forward-pass budget. The table regenerated here is the convergence
+// trajectory: cumulative samples vs estimate vs R-hat vs ESS.
+#include "common.h"
+#include "inject/random_fi.h"
+#include "mcmc/runner.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
+  bayes::BayesianFaultNetwork bfn(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  const double p = flags.get("p", 1e-3);
+  mcmc::RunnerConfig runner;
+  runner.num_chains = flags.get("chains", std::size_t{4});
+  runner.mh.samples = flags.get("round-samples", std::size_t{60});
+  runner.mh.burn_in = 20;
+  runner.seed = 71;
+
+  mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  mcmc::CompletenessCriterion criterion;
+  criterion.rhat_threshold = flags.get("rhat", 1.05);
+  criterion.mean_rel_tol = flags.get("tol", 0.05);
+  criterion.max_rounds = flags.get("max-rounds", std::size_t{8});
+
+  const mcmc::CompletenessResult result =
+      mcmc::run_until_complete(bfn, factory, p, runner, criterion);
+
+  std::printf("=== Completeness via MCMC mixing (p = %.2g) ===\n\n", p);
+  util::Table table({"round", "cumulative_samples", "mean_error_%", "rhat",
+                     "ess"});
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& r = result.trajectory[i];
+    table.row()
+        .col(i + 1)
+        .col(r.cumulative_samples)
+        .col(r.mean_error)
+        .col(r.rhat)
+        .col(r.ess);
+  }
+  bench::emit(table, "tab_completeness_trajectory");
+  std::printf("campaign declared COMPLETE: %s after %zu rounds "
+              "(criterion: rhat <= %.3g and |Δmean|/mean <= %.3g)\n\n",
+              result.converged ? "yes" : "no", result.rounds,
+              criterion.rhat_threshold, criterion.mean_rel_tol);
+
+  // Contrast: random FI at the same network-eval budget only offers a CI.
+  const std::size_t budget = result.final_result.total_network_evals;
+  util::Table fi_table({"injections", "mean_error_%", "ci95_halfwidth"});
+  for (std::size_t n : {budget / 4, budget / 2, budget}) {
+    if (n == 0) continue;
+    inject::RandomFiConfig fi_config;
+    fi_config.injections = n;
+    fi_config.seed = 72;
+    const auto fi = inject::run_random_fi(bfn, p, fi_config);
+    fi_table.row().col(n).col(fi.mean_error).col(fi.ci95_halfwidth);
+  }
+  std::printf("random-FI baseline at the same forward-pass budget (%zu):\n",
+              budget);
+  bench::emit(fi_table, "tab_completeness_random_fi");
+  std::printf("random FI offers no mixing-style completeness signal — only "
+              "the CI width, with no statement about unexplored fault "
+              "locations (§I challenge 3).\n");
+  std::printf("[tab_completeness done in %.1fs]\n", total.seconds());
+  return 0;
+}

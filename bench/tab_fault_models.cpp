@@ -1,0 +1,60 @@
+// Fault-model ablation (the §II note that BDLFI "can also be extended to
+// other fault models"): compare the Bernoulli bit-flip model of the paper
+// against burst, stuck-at, random-word and zero-word models at comparable
+// corruption magnitudes, including the outcome taxonomy
+// (benign / SDC / detected-by-NaN).
+#include "common.h"
+#include "fault/models.h"
+#include "inject/random_fi.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
+  bayes::BayesianFaultNetwork bfn(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  const std::size_t injections = flags.get("injections", std::size_t{400});
+  const double p = flags.get("p", 1e-3);
+
+  std::vector<std::unique_ptr<fault::MaskSampler>> samplers;
+  samplers.push_back(
+      std::make_unique<fault::BernoulliSampler>(fault::AvfProfile::uniform(),
+                                                p));
+  samplers.push_back(std::make_unique<fault::BurstSampler>(p / 4.0, 4));
+  samplers.push_back(std::make_unique<fault::StuckAtSampler>(p, true));
+  samplers.push_back(std::make_unique<fault::StuckAtSampler>(p, false));
+  samplers.push_back(std::make_unique<fault::RandomWordSampler>(8.0 * p));
+  samplers.push_back(std::make_unique<fault::ZeroWordSampler>(8.0 * p));
+
+  std::printf("=== Fault-model comparison (MLP, %zu injections each) ===\n\n",
+              injections);
+  util::Table table({"model", "mean_error_%", "q95", "deviation_%", "sdc_%",
+                     "detected_%", "mean_flips"});
+  for (const auto& sampler : samplers) {
+    inject::RandomFiConfig config;
+    config.injections = injections;
+    config.seed = 101;
+    const auto result = inject::run_random_fi(bfn, *sampler, config);
+    table.row()
+        .col(sampler->name())
+        .col(result.mean_error)
+        .col(result.q95)
+        .col(result.mean_deviation)
+        .col(result.mean_sdc)
+        .col(result.mean_detected)
+        .col(result.mean_flips);
+  }
+  bench::emit(table, "tab_fault_models");
+  std::printf(
+      "notes: stuck-at-1 forces exponent bits high (loud, detectable NaN/Inf "
+      "outputs); stuck-at-0 and zero-word shrink magnitudes (quieter, mostly "
+      "SDC or benign); random-word sits between; bursts concentrate damage "
+      "in fewer words than i.i.d. flips of equal count.\n");
+  std::printf("[tab_fault_models done in %.1fs]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Algorithmic acceleration (§I advantage 2): importance-sampled FI vs plain
+// Monte Carlo in the rare-error regime. At small p almost every sampled mask
+// is benign; tilting the proposal raises the hit rate while exact per-bit
+// density ratios keep the estimate unbiased. The table reports, per budget,
+// the absolute estimation error against a large-budget reference, the hit
+// rate, and the weight ESS (the health diagnostic for the tilt).
+#include <algorithm>
+#include <cmath>
+
+#include "common.h"
+#include "inject/importance.h"
+#include "inject/random_fi.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
+  bayes::BayesianFaultNetwork bfn(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  const double p = flags.get("p", 3e-5);
+  const double beta = flags.get("beta", 5.0);
+
+  inject::RandomFiConfig ref_config;
+  ref_config.injections = flags.get("reference", std::size_t{8000});
+  ref_config.seed = 120;
+  const auto reference = inject::run_random_fi(bfn, p, ref_config);
+  std::printf("=== Importance-sampled FI at p = %.2g (reference %.4f%% from "
+              "%zu injections) ===\n\n",
+              p, reference.mean_error, reference.injections);
+
+  util::Table table({"estimator", "budget", "rel_err_vs_ref_%", "hit_rate",
+                     "weight_ess"});
+  const std::size_t seeds = flags.get("seeds", std::size_t{6});
+  for (std::size_t budget : {100UL, 300UL, 1000UL}) {
+    double mc_abs = 0.0, is_abs = 0.0, mc_hits = 0.0, is_hits = 0.0,
+           is_ess = 0.0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      inject::RandomFiConfig mc;
+      mc.injections = budget;
+      mc.seed = 1000 + s;
+      const auto mc_result = inject::run_random_fi(bfn, p, mc);
+      mc_abs += std::abs(mc_result.mean_error - reference.mean_error);
+      double hits = 0.0;
+      for (double e : mc_result.error_samples) {
+        if (e > bfn.golden_error()) hits += 1.0;
+      }
+      mc_hits += hits / static_cast<double>(budget);
+
+      inject::ImportanceFiConfig is;
+      is.beta = beta;
+      is.injections = budget;
+      is.seed = 2000 + s;
+      const auto is_result = inject::run_importance_fi(bfn, p, is);
+      is_abs += std::abs(is_result.mean_error - reference.mean_error);
+      is_hits += is_result.hit_rate;
+      is_ess += is_result.weight_ess;
+    }
+    const auto k = static_cast<double>(seeds);
+    table.row()
+        .col(std::string("plain_mc"))
+        .col(budget)
+        .col(100.0 * mc_abs / k / std::max(1e-9, reference.mean_error))
+        .col(mc_hits / k)
+        .col(static_cast<double>(budget));
+    table.row()
+        .col(std::string("importance(beta=" + util::format_double(beta) + ")"))
+        .col(budget)
+        .col(100.0 * is_abs / k / std::max(1e-9, reference.mean_error))
+        .col(is_hits / k)
+        .col(is_ess / k);
+  }
+  bench::emit(table, "tab_importance");
+  std::printf("the tilted estimator exercises error paths on a large "
+              "fraction of its forward passes; exact Bernoulli density "
+              "ratios keep it unbiased. Keep beta*p*bits O(1): weight ESS "
+              "collapse flags an over-aggressive tilt.\n");
+  std::printf("[tab_importance done in %.1fs]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Protection-mechanism comparison — the engineering payoff of the paper's
+// analysis (§III: "set a threshold on the regions ... that need more
+// protection"). One trained MLP, four deployments:
+//   1. unprotected float32,
+//   2. float32 + Ranger-style range guards (activation clamping),
+//   3. float32 with the top-20% most sensitive weights ECC-protected,
+//   4. int8 quantized weights.
+// Each measured under random weight faults at several rates, plus the
+// worst case: how many adversarial bit flips each deployment needs before
+// half of its predictions deviate (greedy critical-bit search).
+#include "bayes/critical.h"
+#include "bayes/sensitivity.h"
+#include "common.h"
+#include "inject/random_fi.h"
+#include "nn/range_guard.h"
+#include "quant/space.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  util::Stopwatch total;
+
+  bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
+  const std::size_t injections = flags.get("injections", std::size_t{400});
+
+  // --- the four deployments ---------------------------------------------------
+  bayes::BayesianFaultNetwork plain(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  nn::Network guarded_net =
+      nn::add_range_guards(setup.net, setup.train.inputs, 0.1);
+  bayes::BayesianFaultNetwork guarded(
+      guarded_net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+
+  bayes::BayesianFaultNetwork hardened(
+      setup.net, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), setup.test.inputs, setup.test.labels);
+  const auto sensitivity = bayes::compute_sensitivity(
+      setup.net, bayes::TargetSpec::all_parameters(), setup.test.inputs,
+      setup.test.labels, bayes::SensitivityScore::kWeightOnly);
+  hardened.mutable_space().protect_elements(sensitivity.top_fraction(0.2));
+
+  nn::Network qnet = quant::quantize_network(setup.net);
+  quant::QuantFaultNetwork quantized(qnet, setup.test.inputs,
+                                     setup.test.labels);
+
+  // --- random-fault table -------------------------------------------------------
+  util::Table table({"p", "unprotected_dev_%", "range_guard_dev_%",
+                     "ecc_top20_dev_%", "int8_dev_%"});
+  for (double p : {1e-3, 3e-3, 1e-2}) {
+    inject::RandomFiConfig fi;
+    fi.injections = injections;
+    fi.seed = 140;
+    const auto base = inject::run_random_fi(plain, p, fi);
+    const auto guard = inject::run_random_fi(guarded, p, fi);
+    const auto ecc = inject::run_random_fi(hardened, p, fi);
+    const auto quant_result =
+        quant::run_quant_random_fi(quantized, p, injections, 141);
+    table.row()
+        .col(p)
+        .col(base.mean_deviation)
+        .col(guard.mean_deviation)
+        .col(ecc.mean_deviation)
+        .col(quant_result.mean_deviation);
+  }
+  std::printf("=== Protection mechanisms under random weight faults "
+              "(deviation from golden, %%) ===\n\n");
+  bench::emit(table, "tab_protection_random");
+
+  // --- worst case: adversarial bits-to-break ------------------------------------
+  bayes::CriticalBitConfig crit;
+  crit.target_deviation = 50.0;
+  crit.candidates_per_round = flags.get("candidates", std::size_t{128});
+  crit.max_flips = 40;
+  crit.seed = 142;
+
+  util::Table worst({"deployment", "flips_to_50%_deviation",
+                     "achieved_dev_%", "network_evals"});
+  struct Subject {
+    const char* name;
+    bayes::BayesianFaultNetwork* net;
+  };
+  for (auto& [name, subject] :
+       {Subject{"unprotected", &plain}, Subject{"range_guard", &guarded},
+        Subject{"ecc_top20", &hardened}}) {
+    const auto result = bayes::find_critical_bits(*subject, crit);
+    worst.row()
+        .col(name)
+        .col(result.reached_target ? std::to_string(result.mask.num_flips())
+                                   : (">" + std::to_string(
+                                                result.mask.num_flips())))
+        .col(result.achieved_deviation)
+        .col(result.network_evals);
+  }
+  std::printf("=== Worst case: greedy adversarial bit search ===\n\n");
+  bench::emit(worst, "tab_protection_worstcase");
+  std::printf("range guards fence the activation pathways high-magnitude "
+              "weight corruption needs; ECC on the top-20%% sites removes "
+              "the adversary's best single targets; int8 removes the "
+              "high-magnitude mechanism entirely.\n");
+  std::printf("[tab_protection done in %.1fs]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// BDLFI on a differentiable program that is not an image classifier.
+//
+// §I of the paper: "BFI can be used to inject faults into programs other
+// than neural networks, with the only assumption being that of end-to-end
+// differentiability." This example builds a differentiable DSP program — a
+// trainable FIR filterbank (1-D convolutions), rectification, energy pooling
+// and a linear decision stage, i.e. a classic matched-filter detector — and
+// runs the identical BDLFI machinery over its coefficients:
+//
+//   waveform → FIR filterbank → |·| (rectifier) → mean energy → linear score
+//
+// The fault question is the DSP engineer's: which filter taps can a bit
+// upset corrupt before the detector misfires?
+//
+// Run: ./differentiable_program [p]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bayes/critical.h"
+#include "bayes/targets.h"
+#include "data/toy2d.h"
+#include "inject/campaign.h"
+#include "mcmc/runner.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "train/trainer.h"
+
+using namespace bdlfi;
+
+namespace {
+
+// The FIR detector as a Network: every stage is differentiable, so the
+// whole program trains end-to-end and BDLFI applies unmodified.
+nn::Network make_fir_detector(std::int64_t taps, std::int64_t filters,
+                              util::Rng& rng) {
+  nn::Network net;
+  // 1×taps kernels over [N,1,1,L]: a bank of FIR filters ("same" padding
+  // along the time axis only).
+  auto bank = std::make_unique<nn::Conv2d>(1, filters, /*kernel_h=*/1, taps,
+                                           /*stride=*/1, /*pad_h=*/0,
+                                           /*pad_w=*/taps / 2);
+  bank->init_he(rng);
+  net.add("firbank", std::move(bank));
+  net.add("rectify", std::make_unique<nn::ReLU>());
+  net.add("energy", std::make_unique<nn::GlobalAvgPool>());
+  auto decide = std::make_unique<nn::Dense>(filters, 3);
+  decide->init_he(rng);
+  net.add("decide", std::move(decide));
+  return net;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double p = argc > 1 ? std::atof(argv[1]) : 1e-3;
+
+  util::Rng data_rng{70};
+  data::Dataset all = data::make_waveforms(900, 64, 0.15, data_rng);
+  data::Split split = data::split_dataset(all, 0.8, data_rng);
+
+  util::Rng init{71};
+  nn::Network program = make_fir_detector(9, 12, init);
+  train::TrainConfig config;
+  config.epochs = 30;
+  config.batch_size = 32;
+  config.lr = 0.05;
+  config.seed = 72;
+  const auto trained =
+      train::fit(program, split.train, split.test, config);
+  std::printf("FIR waveform detector (differentiable DSP program): test "
+              "accuracy %.1f%% over sine/square/sawtooth\n\n",
+              100.0 * trained.final_test_accuracy);
+
+  // The identical BDLFI pipeline, no NN-specific assumptions used.
+  bayes::BayesianFaultNetwork bfn(
+      program, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), split.test.inputs, split.test.labels);
+  std::printf("fault space: %lld coefficient bits\n",
+              static_cast<long long>(bfn.space().total_bits()));
+
+  mcmc::RunnerConfig runner;
+  runner.num_chains = 4;
+  runner.mh.samples = 120;
+  runner.mh.burn_in = 40;
+  runner.mh.thin = 5;
+  runner.seed = 73;
+  mcmc::TargetFactory prior = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  const auto campaign = mcmc::run_chains(bfn, prior, p, runner);
+  std::printf("at p = %.0e: detector error %.2f%% (golden %.2f%%), "
+              "rhat %.3f\n",
+              p, campaign.mean_error, bfn.golden_error(),
+              campaign.diagnostics.rhat);
+
+  // Stage-level sensitivity: which program stage is fragile?
+  const auto stages = inject::run_layer_campaign(
+      program, split.test.inputs, split.test.labels,
+      fault::AvfProfile::uniform(), p, runner, /*expected_flips=*/4.0);
+  std::printf("\nper-stage error at a fixed 4-flip dose:\n");
+  for (const auto& stage : stages) {
+    std::printf("  %-8s (%5lld coeffs): %6.2f%%\n", stage.layer_name.c_str(),
+                static_cast<long long>(stage.layer_params),
+                stage.mean_error);
+  }
+
+  bayes::CriticalBitConfig crit;
+  crit.target_deviation = 50.0;
+  crit.seed = 74;
+  const auto worst = bayes::find_critical_bits(bfn, crit);
+  std::printf("\nadversarial worst case: %zu coefficient bit flip(s) "
+              "derail %.0f%% of detections\n",
+              worst.mask.num_flips(), worst.achieved_deviation);
+  std::printf("the only property BDLFI used is end-to-end "
+              "differentiability — the program never had to be a neural "
+              "network.\n");
+  return 0;
+}

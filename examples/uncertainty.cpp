@@ -1,0 +1,124 @@
+// Epistemic vs fault-induced uncertainty, over the input plane.
+//
+// The paper builds on Gal's Bayesian Deep Learning (its ref [2]), whose
+// practical workhorse is MC-Dropout: sampling dropout masks at inference time
+// measures how unsure the *model* is. BDLFI uses the same predictive
+// machinery to measure how unsure the *hardware* makes the model. This
+// example renders both uncertainty fields over a 2-D input grid and
+// quantifies their overlap: both concentrate along the decision boundary,
+// which is why the paper's boundary finding matters — faults amplify exactly
+// the predictions that were fragile to begin with.
+//
+// Run: ./uncertainty [p] [mc_passes]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bayes/fault_network.h"
+#include "data/toy2d.h"
+#include "nn/builders.h"
+#include "nn/dropout.h"
+#include "train/trainer.h"
+#include "util/ascii_plot.h"
+#include "util/stats.h"
+
+using namespace bdlfi;
+
+int main(int argc, char** argv) {
+  const double p = argc > 1 ? std::atof(argv[1]) : 1e-3;
+  const std::size_t passes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 80;
+
+  util::Rng data_rng{50};
+  data::Dataset all = data::make_two_moons(600, 0.1, data_rng);
+  data::Split split = data::split_dataset(all, 0.8, data_rng);
+  util::Rng init{51};
+  nn::Network net = nn::make_mlp_dropout({2, 24, 24, 2}, 0.25, init);
+  train::TrainConfig config;
+  config.epochs = 50;
+  config.lr = 0.05;
+  config.seed = 52;
+  const auto trained = train::fit(net, split.train, split.test, config);
+  std::printf("dropout MLP trained: test accuracy %.1f%%\n\n",
+              100.0 * trained.final_test_accuracy);
+
+  // Probe grid over the input plane.
+  const std::size_t nx = 56, ny = 20;
+  tensor::Tensor grid{tensor::Shape{static_cast<std::int64_t>(nx * ny), 2}};
+  std::int64_t cell = 0;
+  for (std::size_t r = 0; r < ny; ++r) {
+    const double y = 1.5 - 2.5 * static_cast<double>(r) / (ny - 1);
+    for (std::size_t c = 0; c < nx; ++c, ++cell) {
+      const double x = -1.5 + 4.0 * static_cast<double>(c) / (nx - 1);
+      grid[cell * 2 + 0] = static_cast<float>(x);
+      grid[cell * 2 + 1] = static_cast<float>(y);
+    }
+  }
+
+  // Epistemic field: MC-Dropout vote entropy per grid point.
+  nn::set_mc_dropout(net, true);
+  const auto epistemic = nn::mc_dropout_predict(net, grid, passes);
+  nn::set_mc_dropout(net, false);
+
+  // Fault field: deviation frequency per grid point under sampled masks.
+  // Labels for the BFN are the golden grid predictions (only deviation is
+  // used, so ground truth is irrelevant here).
+  const auto golden_grid = net.predict(grid);
+  bayes::BayesianFaultNetwork bfn(net, bayes::TargetSpec::all_parameters(),
+                                  fault::AvfProfile::uniform(), grid,
+                                  golden_grid);
+  std::vector<double> fault_field(nx * ny, 0.0);
+  util::Rng rng{53};
+  const std::size_t masks = 250;
+  for (std::size_t m = 0; m < masks; ++m) {
+    const fault::FaultMask mask = bfn.sample_prior_mask(p, rng);
+    const auto dev = bfn.deviation_under_mask(mask);
+    for (std::size_t i = 0; i < dev.size(); ++i) fault_field[i] += dev[i];
+  }
+  for (double& v : fault_field) v /= static_cast<double>(masks);
+
+  std::printf("%s\n",
+              util::render_heatmap(epistemic.vote_entropy, ny, nx, 0, 0,
+                                   "epistemic uncertainty (MC-dropout vote "
+                                   "entropy):")
+                  .c_str());
+  std::printf("%s\n",
+              util::render_heatmap(fault_field, ny, nx, 0, 0,
+                                   "fault-induced uncertainty "
+                                   "(P(prediction flips), p = " +
+                                       std::to_string(p) + "):")
+                  .c_str());
+
+  const double rho =
+      util::spearman_correlation(epistemic.vote_entropy, fault_field);
+
+  // Top-decile overlap: do the 10% most epistemically-uncertain cells
+  // coincide with the 10% most fault-vulnerable ones?
+  auto top_decile = [&](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+    order.resize(v.size() / 10);
+    std::sort(order.begin(), order.end());
+    return order;
+  };
+  const auto ta = top_decile(epistemic.vote_entropy);
+  const auto tb = top_decile(fault_field);
+  std::vector<std::size_t> common;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(common));
+  const double overlap =
+      static_cast<double>(common.size()) / static_cast<double>(ta.size());
+
+  std::printf("Spearman corr(epistemic, fault-induced) over the grid: "
+              "%+.3f\n",
+              rho);
+  std::printf("top-decile overlap: %.0f%% (random baseline: 10%%)\n",
+              100.0 * overlap);
+  std::printf("both uncertainty fields ridge along the decision boundary — "
+              "the paper's boundary effect restated in Gal's BDL "
+              "vocabulary.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "bayes/critical.h"
+
+#include <algorithm>
+
+#include "fault/bits.h"
+#include "util/check.h"
+
+namespace bdlfi::bayes {
+
+CriticalBitResult find_critical_bits(BayesianFaultNetwork& net,
+                                     const CriticalBitConfig& config) {
+  BDLFI_CHECK(config.candidates_per_round > 0 && config.max_flips > 0);
+  util::Rng rng{config.seed};
+  const std::int64_t total_bits = net.space().total_bits();
+
+  CriticalBitResult result;
+  auto current_outcome = net.evaluate_mask(result.mask);
+  ++result.network_evals;
+
+  while (result.mask.num_flips() < config.max_flips &&
+         current_outcome.deviation < config.target_deviation) {
+    // Sample a candidate pool (deduplicated against the current mask).
+    std::vector<std::int64_t> candidates;
+    candidates.reserve(config.candidates_per_round);
+    while (candidates.size() < config.candidates_per_round) {
+      const auto flat = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(total_bits)));
+      const int bit = static_cast<int>(flat % fault::kBitsPerWord);
+      if (config.high_impact_bits_only && fault::is_mantissa_bit(bit)) {
+        continue;
+      }
+      if (!net.mutable_space().is_protected(flat / fault::kBitsPerWord) &&
+          !result.mask.contains(flat)) {
+        candidates.push_back(flat);
+      }
+    }
+
+    // Evaluate each candidate added to the current mask; keep the best.
+    double best_deviation = current_outcome.deviation;
+    std::int64_t best_bit = -1;
+    for (std::int64_t flat : candidates) {
+      fault::FaultMask trial = result.mask;
+      trial.insert(flat);
+      const MaskOutcome outcome = net.evaluate_mask(trial);
+      ++result.network_evals;
+      if (outcome.deviation > best_deviation) {
+        best_deviation = outcome.deviation;
+        best_bit = flat;
+      }
+    }
+    if (best_bit < 0) {
+      // No candidate improved this round; greedy search has plateaued.
+      break;
+    }
+    result.mask.insert(best_bit);
+    current_outcome = net.evaluate_mask(result.mask);
+    ++result.network_evals;
+    result.deviation_trajectory.push_back(current_outcome.deviation);
+  }
+
+  result.achieved_deviation = current_outcome.deviation;
+  result.reached_target =
+      current_outcome.deviation >= config.target_deviation;
+  return result;
+}
+
+}  // namespace bdlfi::bayes

@@ -1,0 +1,48 @@
+// Worst-case fault search: how few bit flips break this network?
+//
+// The campaign machinery measures *average-case* resilience under random
+// faults; safety arguments also need the *worst case* — the minimal fault
+// pattern an adversary (or pathological strike) needs to flip predictions.
+// This greedy search ranks candidate bits by the deviation a single flip
+// causes and grows a mask until a target deviation is reached, optionally
+// refining each round on the already-corrupted network (greedy forward
+// selection). The tempered MCMC target (DeviationTemperedTarget) explores
+// the same landscape stochastically; this is its deterministic counterpart
+// for headline "bits-to-break" numbers (bench/tab_protection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/fault_network.h"
+
+namespace bdlfi::bayes {
+
+struct CriticalBitConfig {
+  /// Stop once the (greedy) mask deviates at least this % of predictions.
+  double target_deviation = 50.0;
+  /// Candidate bits evaluated per greedy round (sampled uniformly from the
+  /// space; exhaustive scans are infeasible for real networks).
+  std::size_t candidates_per_round = 256;
+  /// Hard cap on mask size.
+  std::size_t max_flips = 64;
+  std::uint64_t seed = 1;
+  /// Restrict candidates to sign+exponent bits (the high-impact subfield);
+  /// dramatically improves search efficiency on float weights.
+  bool high_impact_bits_only = true;
+};
+
+struct CriticalBitResult {
+  fault::FaultMask mask;           // the found fault pattern
+  double achieved_deviation = 0.0; // % under the final mask
+  std::vector<double> deviation_trajectory;  // after each accepted flip
+  std::size_t network_evals = 0;
+  bool reached_target = false;
+};
+
+/// Greedy forward selection of error-causing bits on `net` (restored to
+/// golden state on return).
+CriticalBitResult find_critical_bits(BayesianFaultNetwork& net,
+                                     const CriticalBitConfig& config);
+
+}  // namespace bdlfi::bayes

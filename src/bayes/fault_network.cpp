@@ -1,0 +1,100 @@
+#include "bayes/fault_network.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace bdlfi::bayes {
+
+BayesianFaultNetwork::BayesianFaultNetwork(
+    const nn::Network& golden, const TargetSpec& target, AvfProfile profile,
+    tensor::Tensor eval_inputs, std::vector<std::int64_t> eval_labels)
+    : net_(golden.clone()),
+      target_(target),
+      profile_(std::move(profile)),
+      eval_inputs_(std::move(eval_inputs)),
+      eval_labels_(std::move(eval_labels)) {
+  BDLFI_CHECK(!eval_labels_.empty());
+  BDLFI_CHECK(eval_inputs_.shape()[0] ==
+              static_cast<std::int64_t>(eval_labels_.size()));
+  space_ = std::make_unique<InjectionSpace>(net_, target_);
+  golden_preds_ = net_.predict(eval_inputs_);
+  std::size_t miss = 0;
+  for (std::size_t i = 0; i < eval_labels_.size(); ++i) {
+    if (golden_preds_[i] != eval_labels_[i]) ++miss;
+  }
+  golden_error_ = 100.0 * static_cast<double>(miss) /
+                  static_cast<double>(eval_labels_.size());
+}
+
+std::unique_ptr<BayesianFaultNetwork> BayesianFaultNetwork::replicate() const {
+  auto copy = std::make_unique<BayesianFaultNetwork>(net_, target_, profile_,
+                                                     eval_inputs_,
+                                                     eval_labels_);
+  // Hardening configuration carries over: replicas must inject into the same
+  // vulnerable subset as the original.
+  copy->space_->protect_elements(space_->protected_elements());
+  return copy;
+}
+
+MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
+  space_->apply(mask);
+  const tensor::Tensor logits = net_.forward(eval_inputs_);
+  space_->apply(mask);  // XOR is self-inverse: state restored exactly
+  const auto preds = tensor::argmax_rows(logits);
+
+  MaskOutcome outcome;
+  outcome.flipped_bits = mask.num_flips();
+  const std::int64_t classes = logits.shape()[1];
+  std::size_t miss = 0, dev = 0, detected = 0, sdc = 0;
+  for (std::size_t i = 0; i < eval_labels_.size(); ++i) {
+    bool finite = true;
+    const float* row = logits.data() + static_cast<std::int64_t>(i) * classes;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (!std::isfinite(row[c])) {
+        finite = false;
+        break;
+      }
+    }
+    const bool deviated = preds[i] != golden_preds_[i];
+    if (preds[i] != eval_labels_[i]) ++miss;
+    if (deviated) ++dev;
+    if (!finite) {
+      ++detected;
+    } else if (deviated) {
+      ++sdc;
+    }
+  }
+  const auto n = static_cast<double>(eval_labels_.size());
+  outcome.classification_error = 100.0 * static_cast<double>(miss) / n;
+  outcome.deviation = 100.0 * static_cast<double>(dev) / n;
+  outcome.detected = 100.0 * static_cast<double>(detected) / n;
+  outcome.sdc = 100.0 * static_cast<double>(sdc) / n;
+  return outcome;
+}
+
+std::vector<std::uint8_t> BayesianFaultNetwork::deviation_under_mask(
+    const FaultMask& mask) {
+  space_->apply(mask);
+  const auto preds = net_.predict(eval_inputs_);
+  space_->apply(mask);
+  std::vector<std::uint8_t> out(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    out[i] = preds[i] != golden_preds_[i] ? 1 : 0;
+  }
+  return out;
+}
+
+void BayesianFaultNetwork::transition(const FaultMask& from,
+                                      const FaultMask& to) {
+  const auto delta = FaultMask::symmetric_difference(from, to);
+  space_->apply_bits(delta);
+}
+
+std::vector<std::int64_t> BayesianFaultNetwork::predict_current(
+    const tensor::Tensor& inputs) {
+  return net_.predict(inputs);
+}
+
+}  // namespace bdlfi::bayes

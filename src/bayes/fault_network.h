@@ -1,0 +1,114 @@
+// BayesianFaultNetwork: the paper's core construct (Fig. 1-②).
+//
+// It couples (a) a deep copy of a trained "golden" network, (b) an
+// InjectionSpace enumerating the Bernoulli fault variables {b_i} attached to
+// the selected state bits, and (c) an evaluation set over which the effect of
+// a concrete fault pattern e = {b_i} is measured. The corrupted state is
+// W' = e ⊙ W (bitwise XOR); XOR's self-inverse property means a mask can be
+// applied, measured, and reverted in O(#flips) without copying weights.
+//
+// The network owned here is private to the instance, so independent MCMC
+// chains each hold their own BayesianFaultNetwork and run lock-free in
+// parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/space.h"
+#include "nn/network.h"
+
+namespace bdlfi::bayes {
+
+using fault::AvfProfile;
+using fault::FaultMask;
+using fault::InjectionSpace;
+using fault::TargetSpec;
+
+/// Outcome of evaluating one concrete fault pattern, including the classic
+/// fault-injection outcome taxonomy per evaluation sample:
+///   benign   — prediction unchanged from the golden run;
+///   SDC      — prediction silently changed (finite logits, wrong answer);
+///   detected — non-finite values (NaN/Inf) reached the output logits, i.e.
+///              the corruption is detectable by a cheap output check.
+struct MaskOutcome {
+  /// % of evaluation labels misclassified under the corrupted weights.
+  double classification_error = 0.0;
+  /// % of predictions that differ from the *golden* predictions (the silent
+  /// data corruption rate — insensitive to the model's baseline error).
+  double deviation = 0.0;
+  /// % of samples whose output logits contain NaN/Inf (detectable).
+  double detected = 0.0;
+  /// % of samples with a silently changed, finite-logit prediction.
+  double sdc = 0.0;
+  std::size_t flipped_bits = 0;
+};
+
+class BayesianFaultNetwork {
+ public:
+  /// Clones `golden`; the original is never mutated. `eval_inputs` is a
+  /// [N, ...] batch and `eval_labels` its ground truth.
+  BayesianFaultNetwork(const nn::Network& golden, const TargetSpec& target,
+                       AvfProfile profile, tensor::Tensor eval_inputs,
+                       std::vector<std::int64_t> eval_labels);
+
+  BayesianFaultNetwork(const BayesianFaultNetwork&) = delete;
+  BayesianFaultNetwork& operator=(const BayesianFaultNetwork&) = delete;
+  BayesianFaultNetwork(BayesianFaultNetwork&&) = delete;
+
+  /// Independent replica (own network copy, same golden weights/eval set).
+  std::unique_ptr<BayesianFaultNetwork> replicate() const;
+
+  const InjectionSpace& space() const { return *space_; }
+  /// Mutable access for campaign-level configuration (selective hardening via
+  /// InjectionSpace::protect_elements). Note: protections are per-instance
+  /// and copied by replicate().
+  InjectionSpace& mutable_space() { return *space_; }
+  const AvfProfile& profile() const { return profile_; }
+  std::size_t eval_size() const { return eval_labels_.size(); }
+
+  /// Golden (fault-free) classification error, %.
+  double golden_error() const { return golden_error_; }
+  const std::vector<std::int64_t>& golden_predictions() const {
+    return golden_preds_;
+  }
+
+  /// Applies `mask`, measures, reverts. The weights are bit-exact golden
+  /// before and after this call.
+  MaskOutcome evaluate_mask(const FaultMask& mask);
+
+  /// Per-sample indicator: prediction under `mask` differs from golden.
+  std::vector<std::uint8_t> deviation_under_mask(const FaultMask& mask);
+
+  /// Applies the XOR delta between the network's current mask state and a new
+  /// mask — the O(|Δ|) state transition used by MCMC kernels. The caller is
+  /// responsible for tracking which mask is currently applied.
+  void transition(const FaultMask& from, const FaultMask& to);
+
+  /// Predictions of the (currently corrupted or clean) network on an
+  /// arbitrary batch — used by the decision-boundary experiment, where one
+  /// sampled mask is evaluated over a whole grid of inputs.
+  std::vector<std::int64_t> predict_current(const tensor::Tensor& inputs);
+
+  /// Draws a mask from the Bernoulli prior at base rate p.
+  FaultMask sample_prior_mask(double p, util::Rng& rng) const {
+    return space_->sample_mask(profile_, p, rng);
+  }
+
+  double log_prior(const FaultMask& mask, double p) const {
+    return space_->log_prior(mask, profile_, p);
+  }
+
+ private:
+  nn::Network net_;
+  std::unique_ptr<InjectionSpace> space_;
+  TargetSpec target_;
+  AvfProfile profile_;
+  tensor::Tensor eval_inputs_;
+  std::vector<std::int64_t> eval_labels_;
+  std::vector<std::int64_t> golden_preds_;
+  double golden_error_ = 0.0;
+};
+
+}  // namespace bdlfi::bayes

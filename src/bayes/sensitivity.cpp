@@ -1,0 +1,65 @@
+#include "bayes/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "train/loss.h"
+#include "util/check.h"
+
+namespace bdlfi::bayes {
+
+std::vector<std::int64_t> SensitivityReport::top_fraction(
+    double fraction) const {
+  BDLFI_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const auto k = static_cast<std::size_t>(
+      fraction * static_cast<double>(ranking.size()));
+  return {ranking.begin(),
+          ranking.begin() + static_cast<std::ptrdiff_t>(
+                                std::max<std::size_t>(1, k))};
+}
+
+SensitivityReport compute_sensitivity(const nn::Network& golden,
+                                      const fault::TargetSpec& spec,
+                                      const tensor::Tensor& inputs,
+                                      std::span<const std::int64_t> labels,
+                                      SensitivityScore score) {
+  nn::Network net = golden.clone();
+  net.zero_grad();
+  const tensor::Tensor logits = net.forward(inputs, /*training=*/true);
+  const train::LossResult loss = train::cross_entropy(logits, labels);
+  net.backward(loss.grad_logits);
+
+  // Walk the parameters in InjectionSpace order (params() order filtered by
+  // the spec) so element_scores align with the space's flat element axis.
+  SensitivityReport report;
+  for (const auto& ref : net.params()) {
+    if (!spec.matches(ref.name, ref.role)) continue;
+    BDLFI_CHECK_MSG(ref.grad != nullptr, "parameter without gradient");
+    for (std::int64_t i = 0; i < ref.value->numel(); ++i) {
+      const double w = (*ref.value)[i];
+      const double g = (*ref.grad)[i];
+      double s = 0.0;
+      switch (score) {
+        case SensitivityScore::kGradTimesWeight: s = std::abs(g * w); break;
+        case SensitivityScore::kGradOnly: s = std::abs(g); break;
+        case SensitivityScore::kWeightOnly: s = std::abs(w); break;
+      }
+      report.element_scores.push_back(s);
+    }
+  }
+  BDLFI_CHECK_MSG(!report.element_scores.empty(),
+                  "spec selects no parameters");
+
+  report.ranking.resize(report.element_scores.size());
+  for (std::size_t i = 0; i < report.ranking.size(); ++i) {
+    report.ranking[i] = static_cast<std::int64_t>(i);
+  }
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return report.element_scores[static_cast<std::size_t>(a)] >
+                            report.element_scores[static_cast<std::size_t>(b)];
+                   });
+  return report;
+}
+
+}  // namespace bdlfi::bayes

@@ -1,0 +1,19 @@
+#include "bayes/targets.h"
+
+namespace bdlfi::bayes {
+
+std::optional<double> PriorTarget::analytic_toggle_delta(
+    const FaultMask& current, std::int64_t flat_bit) {
+  const double delta =
+      net_.space().log_prior_toggle_delta(flat_bit, net_.profile(), p_);
+  // Toggling *out* of the mask negates the insertion delta.
+  return current.contains(flat_bit) ? -delta : delta;
+}
+
+double DeviationTemperedTarget::log_density(const FaultMask& mask) {
+  const double prior = net_.log_prior(mask, p_);
+  const MaskOutcome outcome = net_.evaluate_mask(mask);
+  return prior + lambda_ * (outcome.deviation / 100.0);
+}
+
+}  // namespace bdlfi::bayes

@@ -1,0 +1,98 @@
+#include "data/cifar_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::data {
+
+namespace {
+
+struct ClassStyle {
+  float base_r, base_g, base_b;       // palette
+  double tex_freq, tex_angle;         // sinusoidal texture
+  int glyph;                          // 0 disk, 1 ring, 2 bar, 3 checker
+  double glyph_radius;
+};
+
+ClassStyle style_for(int c) {
+  // Hand-laid-out styles: adjacent class ids differ in more than one cue so
+  // no single pixel statistic separates them.
+  const double golden = 2.399963;  // golden angle, spreads orientations
+  ClassStyle s;
+  s.base_r = 0.25f + 0.07f * static_cast<float>((c * 3) % 10);
+  s.base_g = 0.25f + 0.07f * static_cast<float>((c * 7 + 2) % 10);
+  s.base_b = 0.25f + 0.07f * static_cast<float>((c * 5 + 5) % 10);
+  s.tex_freq = 0.25 + 0.09 * (c % 5);
+  s.tex_angle = golden * c;
+  s.glyph = c % 4;
+  s.glyph_radius = 5.0 + 1.2 * (c % 3);
+  return s;
+}
+
+}  // namespace
+
+Dataset make_cifar_like(const CifarLikeConfig& config, util::Rng& rng) {
+  BDLFI_CHECK(config.num_classes >= 2 && config.num_classes <= 10);
+  BDLFI_CHECK(config.samples_per_class >= 1);
+  const std::int64_t s = config.image_size;
+  const auto n = static_cast<std::int64_t>(config.samples_per_class) *
+                 config.num_classes;
+
+  Dataset ds;
+  ds.inputs = Tensor{Shape{n, 3, s, s}};
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  std::int64_t sample = 0;
+  for (int c = 0; c < config.num_classes; ++c) {
+    const ClassStyle style = style_for(c);
+    for (std::size_t k = 0; k < config.samples_per_class; ++k, ++sample) {
+      ds.labels[static_cast<std::size_t>(sample)] = c;
+      const double phase = rng.uniform(0.0, 2.0 * M_PI);
+      const double cx = s / 2.0 + rng.normal(0.0, config.jitter);
+      const double cy = s / 2.0 + rng.normal(0.0, config.jitter);
+      const double ca = std::cos(style.tex_angle);
+      const double sa = std::sin(style.tex_angle);
+      float* img = ds.inputs.data() + sample * 3 * s * s;
+      for (std::int64_t y = 0; y < s; ++y) {
+        for (std::int64_t x = 0; x < s; ++x) {
+          const double u = ca * x + sa * y;
+          const double tex =
+              0.5 + 0.35 * std::sin(style.tex_freq * u + phase);
+          // Glyph membership.
+          const double dx = x - cx, dy = y - cy;
+          const double r = std::sqrt(dx * dx + dy * dy);
+          double glyph = 0.0;
+          switch (style.glyph) {
+            case 0: glyph = r < style.glyph_radius ? 1.0 : 0.0; break;
+            case 1:
+              glyph = (r > style.glyph_radius * 0.6 &&
+                       r < style.glyph_radius * 1.2)
+                          ? 1.0 : 0.0;
+              break;
+            case 2: glyph = std::abs(dx) < 2.5 ? 1.0 : 0.0; break;
+            case 3:
+              glyph = ((static_cast<int>(x / 4) + static_cast<int>(y / 4)) %
+                       2) == 0
+                          ? 0.6 : 0.0;
+              break;
+            default: break;
+          }
+          const double lum = 0.55 * tex + 0.45 * glyph;
+          const std::int64_t idx = y * s + x;
+          auto noisy = [&](float base) {
+            const double v = base * lum + rng.normal(0.0, config.pixel_noise);
+            return static_cast<float>(std::clamp(v, 0.0, 1.0));
+          };
+          img[0 * s * s + idx] = noisy(style.base_r * 2.0f);
+          img[1 * s * s + idx] = noisy(style.base_g * 2.0f);
+          img[2 * s * s + idx] = noisy(style.base_b * 2.0f);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace bdlfi::data

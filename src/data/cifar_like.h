@@ -1,0 +1,35 @@
+// Procedural CIFAR-10 substitute.
+//
+// The paper trains ResNet-18 on CIFAR-10; no dataset files exist in this
+// offline environment, so we synthesize a 10-class 32×32×3 image distribution
+// with the properties the experiments rely on:
+//   * classes are separable but not trivially so (a trained ResNet reaches
+//     high accuracy, an untrained one is at chance),
+//   * class evidence is spatially distributed (textures + shapes + color),
+//     so convolutional features at every depth carry signal — required for
+//     the layer-sensitivity experiment (Fig. 3) to be meaningful,
+//   * per-sample nuisance variation (phase, position, noise) creates samples
+//     near the decision boundary — required for the boundary-effect claim.
+//
+// Each class c combines: a class-specific color palette, an oriented
+// sinusoidal texture (frequency/orientation keyed to c), and one of several
+// geometric glyphs (disk / ring / bar / checker) placed with jitter.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace bdlfi::data {
+
+struct CifarLikeConfig {
+  std::size_t samples_per_class = 200;
+  int num_classes = 10;       // 2..10
+  double pixel_noise = 0.08;  // Gaussian stddev added per channel
+  double jitter = 3.0;        // glyph center jitter (pixels)
+  std::int64_t image_size = 32;
+};
+
+/// Deterministic for a given (config, rng-state). Inputs [N, 3, S, S] in
+/// roughly [0, 1] before normalization; labels 0..num_classes-1, balanced.
+Dataset make_cifar_like(const CifarLikeConfig& config, util::Rng& rng);
+
+}  // namespace bdlfi::data

@@ -1,0 +1,146 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bdlfi::data {
+
+namespace {
+
+Shape batch_shape(const Shape& full, std::int64_t n) {
+  switch (full.rank()) {
+    case 2: return Shape{n, full[1]};
+    case 3: return Shape{n, full[1], full[2]};
+    case 4: return Shape{n, full[1], full[2], full[3]};
+    default:
+      BDLFI_CHECK_MSG(false, "unsupported dataset rank");
+      return Shape{};
+  }
+}
+
+}  // namespace
+
+Dataset Dataset::gather(const std::vector<std::size_t>& indices) const {
+  const std::int64_t row = sample_numel();
+  Dataset out;
+  out.inputs = Tensor{batch_shape(inputs.shape(),
+                                  static_cast<std::int64_t>(indices.size()))};
+  out.labels.reserve(indices.size());
+  float* dst = out.inputs.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src_idx = indices[i];
+    BDLFI_DCHECK(src_idx < size());
+    std::memcpy(dst + static_cast<std::int64_t>(i) * row,
+                inputs.data() + static_cast<std::int64_t>(src_idx) * row,
+                static_cast<std::size_t>(row) * sizeof(float));
+    out.labels.push_back(labels[src_idx]);
+  }
+  return out;
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  BDLFI_CHECK(begin <= end && end <= size());
+  std::vector<std::size_t> idx(end - begin);
+  std::iota(idx.begin(), idx.end(), begin);
+  return gather(idx);
+}
+
+void Dataset::check_valid(std::int64_t num_classes) const {
+  BDLFI_CHECK(static_cast<std::int64_t>(size()) ==
+              (inputs.shape().rank() > 0 ? inputs.shape()[0] : 0));
+  for (std::int64_t label : labels) {
+    BDLFI_CHECK_MSG(label >= 0 && label < num_classes,
+                    "label out of range");
+  }
+}
+
+Split split_dataset(const Dataset& all, double train_fraction,
+                    util::Rng& rng) {
+  BDLFI_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<std::size_t> order(all.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher–Yates with our deterministic RNG.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(all.size()));
+  std::vector<std::size_t> train_idx(order.begin(),
+                                     order.begin() +
+                                         static_cast<std::ptrdiff_t>(n_train));
+  std::vector<std::size_t> test_idx(
+      order.begin() + static_cast<std::ptrdiff_t>(n_train), order.end());
+  return {all.gather(train_idx), all.gather(test_idx)};
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::size_t batch_size,
+                             util::Rng& rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng),
+      order_(dataset.size()) {
+  BDLFI_CHECK(batch_size > 0);
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+void BatchIterator::start_epoch() {
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng_.below(i)]);
+  }
+  cursor_ = 0;
+}
+
+std::size_t BatchIterator::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool BatchIterator::next(Dataset& batch) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  std::vector<std::size_t> idx(order_.begin() +
+                                   static_cast<std::ptrdiff_t>(cursor_),
+                               order_.begin() +
+                                   static_cast<std::ptrdiff_t>(end));
+  batch = dataset_.gather(idx);
+  cursor_ = end;
+  return true;
+}
+
+std::pair<Tensor, Tensor> fit_normalizer(Dataset& dataset) {
+  const std::int64_t n = static_cast<std::int64_t>(dataset.size());
+  const std::int64_t d = dataset.sample_numel();
+  BDLFI_CHECK(n > 1);
+  Tensor mean{Shape{d}}, stddev{Shape{d}};
+  for (std::int64_t j = 0; j < d; ++j) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = dataset.inputs[i * d + j];
+      sum += v;
+      sq += v * v;
+    }
+    const double mu = sum / static_cast<double>(n);
+    const double var = std::max(1e-12, sq / static_cast<double>(n) - mu * mu);
+    mean[j] = static_cast<float>(mu);
+    stddev[j] = static_cast<float>(std::sqrt(var));
+  }
+  apply_normalizer(dataset, mean, stddev);
+  return {mean, stddev};
+}
+
+void apply_normalizer(Dataset& dataset, const Tensor& mean,
+                      const Tensor& stddev) {
+  const std::int64_t n = static_cast<std::int64_t>(dataset.size());
+  const std::int64_t d = dataset.sample_numel();
+  BDLFI_CHECK(mean.numel() == d && stddev.numel() == d);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = dataset.inputs.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      row[j] = (row[j] - mean[j]) / stddev[j];
+    }
+  }
+}
+
+}  // namespace bdlfi::data

@@ -1,0 +1,71 @@
+// In-memory labeled dataset and batching utilities.
+//
+// Samples live in one contiguous tensor whose first axis is the sample index
+// ([N, D] for vector data, [N, C, H, W] for images); labels are class ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace bdlfi::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Dataset {
+  Tensor inputs;                     // [N, ...]
+  std::vector<std::int64_t> labels;  // size N
+
+  std::size_t size() const { return labels.size(); }
+  std::int64_t sample_numel() const {
+    return size() == 0 ? 0 : inputs.numel() / static_cast<std::int64_t>(size());
+  }
+
+  /// Copies the rows at `indices` into a contiguous batch (same rank).
+  Dataset gather(const std::vector<std::size_t>& indices) const;
+
+  /// Contiguous range [begin, end) as a batch.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Validates invariants (matching sizes, labels within [0, num_classes)).
+  void check_valid(std::int64_t num_classes) const;
+};
+
+/// Deterministic (seeded) train/test split.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split split_dataset(const Dataset& all, double train_fraction, util::Rng& rng);
+
+/// Iterates a dataset in shuffled mini-batches; reshuffles every epoch.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::size_t batch_size,
+                util::Rng& rng);
+
+  /// Fills `batch` with the next mini-batch; returns false at epoch end
+  /// (call start_epoch() to begin the next one).
+  bool next(Dataset& batch);
+  void start_epoch();
+  std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  util::Rng& rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Normalizes inputs to zero mean / unit variance per feature, computed on
+/// this dataset (applied in place). Returns the (mean, stddev) tensors so the
+/// same transform can be applied to other splits.
+std::pair<Tensor, Tensor> fit_normalizer(Dataset& dataset);
+void apply_normalizer(Dataset& dataset, const Tensor& mean,
+                      const Tensor& stddev);
+
+}  // namespace bdlfi::data

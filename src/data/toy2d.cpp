@@ -1,0 +1,108 @@
+#include "data/toy2d.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::data {
+
+Dataset make_two_moons(std::size_t n, double noise, util::Rng& rng) {
+  BDLFI_CHECK(n >= 2);
+  Dataset ds;
+  ds.inputs = Tensor{Shape{static_cast<std::int64_t>(n), 2}};
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool upper = (i % 2 == 0);
+    const double t = rng.uniform(0.0, M_PI);
+    double x, y;
+    if (upper) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    x += rng.normal(0.0, noise);
+    y += rng.normal(0.0, noise);
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 0] = static_cast<float>(x);
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 1] = static_cast<float>(y);
+    ds.labels[i] = upper ? 0 : 1;
+  }
+  return ds;
+}
+
+Dataset make_rings(std::size_t n, double noise, util::Rng& rng) {
+  BDLFI_CHECK(n >= 2);
+  Dataset ds;
+  ds.inputs = Tensor{Shape{static_cast<std::int64_t>(n), 2}};
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool inner = (i % 2 == 0);
+    const double r = inner ? 0.4 : 1.0;
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const double x = r * std::cos(theta) + rng.normal(0.0, noise);
+    const double y = r * std::sin(theta) + rng.normal(0.0, noise);
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 0] = static_cast<float>(x);
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 1] = static_cast<float>(y);
+    ds.labels[i] = inner ? 0 : 1;
+  }
+  return ds;
+}
+
+Dataset make_blobs(std::size_t n, int k, double spread, double noise,
+                   util::Rng& rng) {
+  BDLFI_CHECK(n >= static_cast<std::size_t>(k) && k >= 2);
+  Dataset ds;
+  ds.inputs = Tensor{Shape{static_cast<std::int64_t>(n), 2}};
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % static_cast<std::size_t>(k));
+    const double angle = 2.0 * M_PI * c / k;
+    const double cx = spread * std::cos(angle);
+    const double cy = spread * std::sin(angle);
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 0] =
+        static_cast<float>(cx + rng.normal(0.0, noise));
+    ds.inputs[static_cast<std::int64_t>(i) * 2 + 1] =
+        static_cast<float>(cy + rng.normal(0.0, noise));
+    ds.labels[i] = c;
+  }
+  return ds;
+}
+
+Dataset make_waveforms(std::size_t n, std::int64_t length, double noise,
+                       util::Rng& rng) {
+  BDLFI_CHECK(n >= 3 && length >= 8);
+  Dataset ds;
+  ds.inputs = Tensor{Shape{static_cast<std::int64_t>(n), 1, 1, length}};
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    ds.labels[i] = cls;
+    // Frequency in cycles over the window; keep a couple of periods visible.
+    const double freq = rng.uniform(2.0, 5.0);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    const double amp = rng.uniform(0.7, 1.3);
+    float* wave = ds.inputs.data() + static_cast<std::int64_t>(i) * length;
+    for (std::int64_t t = 0; t < length; ++t) {
+      const double theta =
+          2.0 * M_PI * freq * static_cast<double>(t) /
+              static_cast<double>(length) +
+          phase;
+      double v = 0.0;
+      switch (cls) {
+        case 0: v = std::sin(theta); break;
+        case 1: v = std::sin(theta) >= 0.0 ? 1.0 : -1.0; break;  // square
+        case 2: {  // sawtooth in [-1, 1)
+          const double frac = theta / (2.0 * M_PI);
+          v = 2.0 * (frac - std::floor(frac)) - 1.0;
+          break;
+        }
+        default: break;
+      }
+      wave[t] = static_cast<float>(amp * v + rng.normal(0.0, noise));
+    }
+  }
+  return ds;
+}
+
+}  // namespace bdlfi::data

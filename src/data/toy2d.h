@@ -1,0 +1,33 @@
+// 2-D synthetic classification datasets for the MLP experiments.
+//
+// The paper's Fig. 1-③ draws a decision boundary and the log error
+// probability over a 2-D input plane; these generators provide input spaces
+// with non-trivial, curved boundaries where "points near the boundary" is a
+// meaningful, visualizable notion.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace bdlfi::data {
+
+/// Two interleaving half-moons (binary). `noise` is the Gaussian jitter
+/// stddev. Inputs are [N, 2] roughly within [-1.5, 2.5] × [-1, 1.5].
+Dataset make_two_moons(std::size_t n, double noise, util::Rng& rng);
+
+/// Concentric rings (binary): class 0 inside radius r0, class 1 an annulus.
+Dataset make_rings(std::size_t n, double noise, util::Rng& rng);
+
+/// `k` Gaussian blobs (k-way). Centers on a circle of radius `spread`.
+Dataset make_blobs(std::size_t n, int k, double spread, double noise,
+                   util::Rng& rng);
+
+/// Synthetic waveform classification (3 classes: sine / square / sawtooth,
+/// random frequency, phase and amplitude jitter, additive noise). Inputs are
+/// [N, 1, 1, length] so 1-D convolutions run through the 2-D conv stack —
+/// the subject for the "differentiable programs beyond neural networks"
+/// demonstration (a trainable FIR filterbank is a differentiable DSP
+/// program, not an image classifier).
+Dataset make_waveforms(std::size_t n, std::int64_t length, double noise,
+                       util::Rng& rng);
+
+}  // namespace bdlfi::data

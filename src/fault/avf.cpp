@@ -1,0 +1,58 @@
+#include "fault/avf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bdlfi::fault {
+
+AvfProfile AvfProfile::uniform() {
+  std::array<double, kBitsPerWord> w{};
+  w.fill(1.0);
+  return AvfProfile{"uniform", w};
+}
+
+AvfProfile AvfProfile::exponent_weighted(double factor) {
+  BDLFI_CHECK(factor > 0.0);
+  std::array<double, kBitsPerWord> w{};
+  for (int b = 0; b < kBitsPerWord; ++b) {
+    if (is_exponent_bit(b)) {
+      w[static_cast<std::size_t>(b)] = 1.0;
+    } else if (is_sign_bit(b)) {
+      w[static_cast<std::size_t>(b)] = 0.5 + 0.5 / factor;
+    } else {
+      w[static_cast<std::size_t>(b)] = 1.0 / factor;
+    }
+  }
+  return AvfProfile{"exponent_weighted", w};
+}
+
+AvfProfile AvfProfile::mantissa_only() {
+  std::array<double, kBitsPerWord> w{};
+  for (int b = 0; b < kBitsPerWord; ++b) {
+    w[static_cast<std::size_t>(b)] = is_mantissa_bit(b) ? 1.0 : 0.0;
+  }
+  return AvfProfile{"mantissa_only", w};
+}
+
+AvfProfile AvfProfile::sign_exponent_only() {
+  std::array<double, kBitsPerWord> w{};
+  for (int b = 0; b < kBitsPerWord; ++b) {
+    w[static_cast<std::size_t>(b)] =
+        (is_sign_bit(b) || is_exponent_bit(b)) ? 1.0 : 0.0;
+  }
+  return AvfProfile{"sign_exponent_only", w};
+}
+
+double AvfProfile::bit_prob(int bit, double p) const {
+  BDLFI_DCHECK(bit >= 0 && bit < kBitsPerWord);
+  return std::clamp(p * weights_[static_cast<std::size_t>(bit)], 0.0, 1.0);
+}
+
+double AvfProfile::expected_flips_per_word(double p) const {
+  double e = 0.0;
+  for (int b = 0; b < kBitsPerWord; ++b) e += bit_prob(b, p);
+  return e;
+}
+
+}  // namespace bdlfi::fault

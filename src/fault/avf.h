@@ -1,0 +1,47 @@
+// Architectural Vulnerability Factor profiles.
+//
+// The paper sets the per-bit Bernoulli probability "based on AVF". An
+// AvfProfile assigns each of the 32 bit positions a relative vulnerability
+// weight in [0, 1]; the effective flip probability of bit b at base rate p is
+// clamp(p * weight[b]). The default profile is uniform (weight 1 everywhere),
+// which is what the paper's sweeps vary; the other factories model memories
+// where some fields are protected (e.g. parity on exponents) or where only a
+// subfield is resident in vulnerable storage.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "fault/bits.h"
+
+namespace bdlfi::fault {
+
+class AvfProfile {
+ public:
+  /// All 32 bits equally vulnerable (the paper's model).
+  static AvfProfile uniform();
+  /// Exponent bits `factor`× more vulnerable than mantissa; sign in between.
+  static AvfProfile exponent_weighted(double factor = 4.0);
+  /// Only mantissa bits flip (exponent/sign protected, e.g. by ECC slice).
+  static AvfProfile mantissa_only();
+  /// Only sign + exponent flip (high-impact subset).
+  static AvfProfile sign_exponent_only();
+
+  /// Effective flip probability of bit `bit` at base rate `p` (clamped [0,1]).
+  double bit_prob(int bit, double p) const;
+  double weight(int bit) const { return weights_.at(static_cast<std::size_t>(bit)); }
+
+  /// Expected flipped bits per 32-bit word at base rate p.
+  double expected_flips_per_word(double p) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  AvfProfile(std::string name, std::array<double, kBitsPerWord> weights)
+      : name_(std::move(name)), weights_(weights) {}
+
+  std::string name_;
+  std::array<double, kBitsPerWord> weights_{};
+};
+
+}  // namespace bdlfi::fault

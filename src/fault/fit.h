@@ -1,0 +1,51 @@
+// Physical fault-rate units.
+//
+// Campaign sweeps are parameterized by a dimensionless per-bit flip
+// probability p; hardware reliability data comes as FIT rates (failures per
+// 10^9 device-hours, usually quoted per megabit of SRAM/DRAM). These helpers
+// convert between the two so campaign results can be stated against real
+// soft-error environments (e.g. "at sea level, 600 FIT/Mb, a 90-minute
+// mission exposes each bit to p ≈ 5e-11").
+#pragma once
+
+#include <cstdint>
+
+namespace bdlfi::fault {
+
+inline constexpr double kHoursPerFitInterval = 1e9;
+inline constexpr double kBitsPerMegabit = 1'048'576.0;
+
+/// Per-bit upset probability over an exposure window.
+/// fit_per_mb: upsets per 1e9 hours per megabit; exposure_hours: mission time.
+/// Valid for small rates (linearized Poisson); exact form available below.
+constexpr double fit_to_bit_probability(double fit_per_mb,
+                                        double exposure_hours) {
+  const double upsets_per_bit_hour =
+      fit_per_mb / kHoursPerFitInterval / kBitsPerMegabit;
+  return upsets_per_bit_hour * exposure_hours;
+}
+
+/// Inverse of fit_to_bit_probability.
+constexpr double bit_probability_to_fit(double p, double exposure_hours) {
+  return p / exposure_hours * kHoursPerFitInterval * kBitsPerMegabit;
+}
+
+/// Expected upsets across a whole model over the window.
+constexpr double expected_model_upsets(double fit_per_mb,
+                                       double exposure_hours,
+                                       std::int64_t model_bits) {
+  return fit_to_bit_probability(fit_per_mb, exposure_hours) *
+         static_cast<double>(model_bits);
+}
+
+/// Exposure (hours) after which the model accumulates on average one upset —
+/// a natural campaign operating point ("inject what one scrubbing interval
+/// accumulates").
+constexpr double hours_to_one_upset(double fit_per_mb,
+                                    std::int64_t model_bits) {
+  const double per_hour = fit_to_bit_probability(fit_per_mb, 1.0) *
+                          static_cast<double>(model_bits);
+  return per_hour > 0.0 ? 1.0 / per_hour : 0.0;
+}
+
+}  // namespace bdlfi::fault

@@ -1,0 +1,62 @@
+#include "fault/mask.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bdlfi::fault {
+
+FaultMask::FaultMask(std::vector<std::int64_t> flat_bits)
+    : bits_(std::move(flat_bits)) {
+  std::sort(bits_.begin(), bits_.end());
+  bits_.erase(std::unique(bits_.begin(), bits_.end()), bits_.end());
+}
+
+bool FaultMask::contains(std::int64_t flat_bit) const {
+  return std::binary_search(bits_.begin(), bits_.end(), flat_bit);
+}
+
+bool FaultMask::toggle(std::int64_t flat_bit) {
+  auto it = std::lower_bound(bits_.begin(), bits_.end(), flat_bit);
+  if (it != bits_.end() && *it == flat_bit) {
+    bits_.erase(it);
+    return false;
+  }
+  bits_.insert(it, flat_bit);
+  return true;
+}
+
+void FaultMask::insert(std::int64_t flat_bit) {
+  auto it = std::lower_bound(bits_.begin(), bits_.end(), flat_bit);
+  if (it == bits_.end() || *it != flat_bit) bits_.insert(it, flat_bit);
+}
+
+void FaultMask::erase(std::int64_t flat_bit) {
+  auto it = std::lower_bound(bits_.begin(), bits_.end(), flat_bit);
+  if (it != bits_.end() && *it == flat_bit) bits_.erase(it);
+}
+
+std::vector<std::int64_t> FaultMask::symmetric_difference(const FaultMask& a,
+                                                          const FaultMask& b) {
+  std::vector<std::int64_t> out;
+  std::set_symmetric_difference(a.bits_.begin(), a.bits_.end(),
+                                b.bits_.begin(), b.bits_.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+std::string FaultMask::to_string(std::size_t max_sites) const {
+  std::ostringstream out;
+  out << "FaultMask{" << bits_.size() << " flips";
+  const std::size_t n = std::min(max_sites, bits_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const FaultSite site = FaultSite::from_flat(bits_[i]);
+    out << (i == 0 ? ": " : ", ") << site.element << ':' << site.bit;
+  }
+  if (bits_.size() > n) out << ", ...";
+  out << '}';
+  return out.str();
+}
+
+}  // namespace bdlfi::fault

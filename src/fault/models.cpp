@@ -1,0 +1,93 @@
+#include "fault/models.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bdlfi::fault {
+
+FaultMask BurstSampler::sample(const InjectionSpace& space,
+                               util::Rng& rng) const {
+  BDLFI_CHECK(event_rate_ > 0.0 && event_rate_ < 1.0);
+  BDLFI_CHECK(burst_length_ >= 1);
+  std::vector<std::int64_t> flips;
+  const std::int64_t total_bits = space.total_bits();
+  // Events seed at rate event_rate over the flat bit axis; each burst covers
+  // the following burst_length bits (clipped at the space end). Bursts may
+  // overlap; overlapping coverage XORs back out, which is physically what two
+  // disturbances of the same cell do.
+  std::int64_t seed = static_cast<std::int64_t>(rng.geometric(event_rate_));
+  while (seed < total_bits) {
+    const std::int64_t end =
+        std::min(total_bits, seed + static_cast<std::int64_t>(burst_length_));
+    for (std::int64_t b = seed; b < end; ++b) flips.push_back(b);
+    seed += 1 + static_cast<std::int64_t>(rng.geometric(event_rate_));
+  }
+  // FaultMask's constructor dedups; XOR-semantics for double hits are handled
+  // by keeping one instance (flip twice = no flip → drop both). Implement the
+  // true XOR fold here.
+  std::sort(flips.begin(), flips.end());
+  std::vector<std::int64_t> folded;
+  for (std::size_t i = 0; i < flips.size();) {
+    std::size_t j = i;
+    while (j < flips.size() && flips[j] == flips[i]) ++j;
+    if ((j - i) % 2 == 1) folded.push_back(flips[i]);
+    i = j;
+  }
+  return FaultMask{std::move(folded)};
+}
+
+FaultMask StuckAtSampler::sample(const InjectionSpace& space,
+                                 util::Rng& rng) const {
+  BDLFI_CHECK(rate_ > 0.0 && rate_ < 1.0);
+  std::vector<std::int64_t> flips;
+  const std::int64_t total_bits = space.total_bits();
+  std::int64_t bit = static_cast<std::int64_t>(rng.geometric(rate_));
+  while (bit < total_bits) {
+    const FaultSite site = FaultSite::from_flat(bit);
+    const std::uint32_t word = float_to_bits(*space.element_ptr(site.element));
+    const bool currently_one = (word >> site.bit) & 1u;
+    // The cell is stuck; the observable fault is a flip only when the golden
+    // bit disagrees with the stuck level.
+    if (currently_one != stuck_to_one_) flips.push_back(bit);
+    bit += 1 + static_cast<std::int64_t>(rng.geometric(rate_));
+  }
+  return FaultMask{std::move(flips)};
+}
+
+FaultMask RandomWordSampler::sample(const InjectionSpace& space,
+                                    util::Rng& rng) const {
+  BDLFI_CHECK(word_rate_ > 0.0 && word_rate_ < 1.0);
+  std::vector<std::int64_t> flips;
+  const std::int64_t total_words = space.total_elements();
+  std::int64_t word_idx = static_cast<std::int64_t>(rng.geometric(word_rate_));
+  while (word_idx < total_words) {
+    const std::uint32_t golden = float_to_bits(*space.element_ptr(word_idx));
+    const auto random_bits = static_cast<std::uint32_t>(rng());
+    const std::uint32_t delta = golden ^ random_bits;
+    for (int b = 0; b < kBitsPerWord; ++b) {
+      if ((delta >> b) & 1u) flips.push_back(word_idx * kBitsPerWord + b);
+    }
+    word_idx += 1 + static_cast<std::int64_t>(rng.geometric(word_rate_));
+  }
+  return FaultMask{std::move(flips)};
+}
+
+FaultMask ZeroWordSampler::sample(const InjectionSpace& space,
+                                  util::Rng& rng) const {
+  BDLFI_CHECK(word_rate_ > 0.0 && word_rate_ < 1.0);
+  std::vector<std::int64_t> flips;
+  const std::int64_t total_words = space.total_elements();
+  std::int64_t word_idx = static_cast<std::int64_t>(rng.geometric(word_rate_));
+  while (word_idx < total_words) {
+    const std::uint32_t golden = float_to_bits(*space.element_ptr(word_idx));
+    // XOR delta from golden to 0x00000000 is the golden bits themselves.
+    for (int b = 0; b < kBitsPerWord; ++b) {
+      if ((golden >> b) & 1u) flips.push_back(word_idx * kBitsPerWord + b);
+    }
+    word_idx += 1 + static_cast<std::int64_t>(rng.geometric(word_rate_));
+  }
+  return FaultMask{std::move(flips)};
+}
+
+}  // namespace bdlfi::fault

@@ -1,0 +1,131 @@
+// Fault-model zoo beyond i.i.d. Bernoulli bit flips.
+//
+// §II of the paper: "BDLFI can also be extended to other fault models." Every
+// model here is expressed as a *mask sampler*: it draws a concrete fault
+// pattern as an XOR mask against the golden state, which keeps the central
+// apply/revert machinery (XOR self-inverse) and all campaign plumbing intact.
+// Models whose physical description is not a flip (stuck-at, word zeroing,
+// random word replacement) are converted to the XOR delta against the golden
+// bits at sampling time.
+//
+// The Bernoulli model retains its special role for MCMC (analytic prior);
+// the other models plug into the random-FI campaign path and into MCMC via
+// independence proposals.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fault/space.h"
+
+namespace bdlfi::fault {
+
+class MaskSampler {
+ public:
+  virtual ~MaskSampler() = default;
+  /// Draws one concrete fault pattern for the given space. The space's
+  /// tensors must currently hold the *golden* bits (needed by value-dependent
+  /// models such as stuck-at).
+  virtual FaultMask sample(const InjectionSpace& space,
+                           util::Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<MaskSampler> clone() const = 0;
+};
+
+/// The paper's model: independent Bernoulli(p·avf[b]) per bit.
+class BernoulliSampler : public MaskSampler {
+ public:
+  BernoulliSampler(AvfProfile profile, double p)
+      : profile_(std::move(profile)), p_(p) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override {
+    return space.sample_mask(profile_, p_, rng);
+  }
+  std::string name() const override { return "bernoulli"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<BernoulliSampler>(profile_, p_);
+  }
+  double p() const { return p_; }
+  const AvfProfile& profile() const { return profile_; }
+
+ private:
+  AvfProfile profile_;
+  double p_;
+};
+
+/// Burst faults: each event corrupts `burst_length` adjacent bits starting at
+/// a random site (multi-bit upsets from a single particle strike / DRAM row
+/// disturbance). Events arrive per-bit-rate p_event over the word axis.
+class BurstSampler : public MaskSampler {
+ public:
+  BurstSampler(double event_rate, int burst_length)
+      : event_rate_(event_rate), burst_length_(burst_length) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override { return "burst"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<BurstSampler>(event_rate_, burst_length_);
+  }
+
+ private:
+  double event_rate_;
+  int burst_length_;
+};
+
+/// Stuck-at faults: selected bits read as a constant 0 or 1 regardless of the
+/// stored value. Value-dependent: the XOR delta includes a bit only when the
+/// golden value disagrees with the stuck level.
+class StuckAtSampler : public MaskSampler {
+ public:
+  /// `rate` is the per-bit probability of being a stuck cell; `stuck_to_one`
+  /// selects stuck-at-1 (true) or stuck-at-0 (false).
+  StuckAtSampler(double rate, bool stuck_to_one)
+      : rate_(rate), stuck_to_one_(stuck_to_one) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override {
+    return stuck_to_one_ ? "stuck_at_1" : "stuck_at_0";
+  }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<StuckAtSampler>(rate_, stuck_to_one_);
+  }
+
+ private:
+  double rate_;
+  bool stuck_to_one_;
+};
+
+/// Whole-word corruption: each 32-bit word is independently hit with
+/// probability `word_rate`; a hit word is replaced by uniform random bits
+/// (bus/ECC-word granularity errors, TensorFI's "RandVal" mode).
+class RandomWordSampler : public MaskSampler {
+ public:
+  explicit RandomWordSampler(double word_rate) : word_rate_(word_rate) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override { return "random_word"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<RandomWordSampler>(word_rate_);
+  }
+
+ private:
+  double word_rate_;
+};
+
+/// Whole-word zeroing: hit words read as 0.0f (power-gated or cleared cells,
+/// TensorFI's "Zero" mode). Value-dependent like stuck-at.
+class ZeroWordSampler : public MaskSampler {
+ public:
+  explicit ZeroWordSampler(double word_rate) : word_rate_(word_rate) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override { return "zero_word"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<ZeroWordSampler>(word_rate_);
+  }
+
+ private:
+  double word_rate_;
+};
+
+}  // namespace bdlfi::fault

@@ -1,0 +1,169 @@
+#include "fault/space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bdlfi::fault {
+
+namespace {
+
+std::string layer_of(const std::string& param_name) {
+  const auto dot = param_name.find('.');
+  return dot == std::string::npos ? param_name : param_name.substr(0, dot);
+}
+
+}  // namespace
+
+bool TargetSpec::matches(const std::string& param_name,
+                         nn::ParamRole role) const {
+  if (!layer_names.empty()) {
+    const std::string layer = layer_of(param_name);
+    if (std::find(layer_names.begin(), layer_names.end(), layer) ==
+        layer_names.end()) {
+      return false;
+    }
+  }
+  const bool is_buffer = role == nn::ParamRole::kBnRunningMean ||
+                         role == nn::ParamRole::kBnRunningVar;
+  if (is_buffer) return include_buffers;
+  if (!roles.empty()) {
+    return std::find(roles.begin(), roles.end(), role) != roles.end();
+  }
+  return true;
+}
+
+InjectionSpace::InjectionSpace(nn::Network& net, const TargetSpec& spec) {
+  auto add_refs = [&](const std::vector<nn::ParamRef>& refs) {
+    for (const auto& r : refs) {
+      if (!spec.matches(r.name, r.role)) continue;
+      entries_.push_back({r.name, r.role, r.value, total_elements_});
+      total_elements_ += r.value->numel();
+    }
+  };
+  add_refs(net.params());
+  if (spec.include_buffers) add_refs(net.buffers());
+  BDLFI_CHECK_MSG(total_elements_ > 0,
+                  "TargetSpec selects no fault targets");
+}
+
+const InjectionSpace::Entry& InjectionSpace::entry_of(
+    std::int64_t element) const {
+  BDLFI_DCHECK(element >= 0 && element < total_elements_);
+  // Binary search over entry offsets: last entry with offset <= element.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), element,
+      [](std::int64_t e, const Entry& entry) { return e < entry.offset; });
+  BDLFI_DCHECK(it != entries_.begin());
+  return *(it - 1);
+}
+
+float* InjectionSpace::element_ptr(std::int64_t element) const {
+  const Entry& entry = entry_of(element);
+  return entry.value->data() + (element - entry.offset);
+}
+
+void InjectionSpace::apply(const FaultMask& mask) const {
+  apply_bits(mask.bits());
+}
+
+void InjectionSpace::apply_bits(
+    std::span<const std::int64_t> flat_bits) const {
+  for (std::int64_t flat : flat_bits) {
+    const FaultSite site = FaultSite::from_flat(flat);
+    float* p = element_ptr(site.element);
+    *p = flip_bit(*p, site.bit);
+  }
+}
+
+FaultMask InjectionSpace::sample_mask(const AvfProfile& profile, double p,
+                                      util::Rng& rng) const {
+  std::vector<std::int64_t> flips;
+  for (int bit = 0; bit < kBitsPerWord; ++bit) {
+    const double pb = profile.bit_prob(bit, p);
+    if (pb <= 0.0) continue;
+    // Geometric skipping across the element axis for this bit position.
+    std::int64_t element = static_cast<std::int64_t>(rng.geometric(pb));
+    while (element < total_elements_) {
+      if (!is_protected(element)) {
+        flips.push_back(element * kBitsPerWord + bit);
+      }
+      element += 1 + static_cast<std::int64_t>(rng.geometric(pb));
+    }
+  }
+  return FaultMask{std::move(flips)};
+}
+
+void InjectionSpace::protect_elements(std::vector<std::int64_t> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  for (std::int64_t e : elements) {
+    BDLFI_CHECK_MSG(e >= 0 && e < total_elements_,
+                    "protected element out of range");
+  }
+  protected_ = std::move(elements);
+}
+
+bool InjectionSpace::is_protected(std::int64_t element) const {
+  return std::binary_search(protected_.begin(), protected_.end(), element);
+}
+
+double InjectionSpace::log_prior(const FaultMask& mask,
+                                 const AvfProfile& profile, double p) const {
+  double lp = 0.0;
+  // Clean-bit constant: every unprotected bit of every element unflipped.
+  // (Protected bits never flip — probability-1 events contribute 0.)
+  const auto vulnerable =
+      static_cast<double>(total_elements_ -
+                          static_cast<std::int64_t>(protected_.size()));
+  for (int bit = 0; bit < kBitsPerWord; ++bit) {
+    const double pb = profile.bit_prob(bit, p);
+    if (pb >= 1.0) {
+      // All such bits MUST be flipped; the constant is handled per flip below.
+      continue;
+    }
+    lp += vulnerable * std::log1p(-pb);
+  }
+  for (std::int64_t flat : mask.bits()) {
+    lp += log_prior_toggle_delta(flat, profile, p);
+  }
+  // Consistency: masks using zero-probability bits have -inf prior; masks
+  // missing probability-one bits are not detected here (callers sampling from
+  // the prior never produce them).
+  return lp;
+}
+
+double InjectionSpace::log_prior_toggle_delta(std::int64_t flat_bit,
+                                              const AvfProfile& profile,
+                                              double p) const {
+  if (is_protected(flat_bit / kBitsPerWord)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const int bit = static_cast<int>(flat_bit % kBitsPerWord);
+  const double pb = profile.bit_prob(bit, p);
+  if (pb <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (pb >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::log(pb) - std::log1p(-pb);
+}
+
+std::size_t corrupt_tensor(tensor::Tensor& t, const AvfProfile& profile,
+                           double p, util::Rng& rng) {
+  std::size_t flips = 0;
+  const std::int64_t n = t.numel();
+  for (int bit = 0; bit < kBitsPerWord; ++bit) {
+    const double pb = profile.bit_prob(bit, p);
+    if (pb <= 0.0) continue;
+    std::int64_t element = static_cast<std::int64_t>(rng.geometric(pb));
+    while (element < n) {
+      t[element] = flip_bit(t[element], bit);
+      ++flips;
+      element += 1 + static_cast<std::int64_t>(rng.geometric(pb));
+    }
+  }
+  return flips;
+}
+
+}  // namespace bdlfi::fault

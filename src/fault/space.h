@@ -1,0 +1,113 @@
+// Injection spaces: the addressable set of fault targets of a network.
+//
+// A TargetSpec selects which state a campaign may corrupt (all parameters,
+// one layer, weights only, ...); the InjectionSpace built from it lays those
+// tensors out as one flat element axis so fault sites have stable integer
+// addresses — the "enormous space of fault locations" of §I made enumerable.
+//
+// Sampling a Bernoulli mask is O(expected #flips), not O(#bits): for each bit
+// position we geometric-skip across elements. At p = 1e-5 over a million
+// parameters that is ~320 draws instead of 32 million.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/avf.h"
+#include "fault/mask.h"
+#include "nn/network.h"
+
+namespace bdlfi::fault {
+
+struct TargetSpec {
+  /// Layer names to include (exact match on the prefix before the first '.');
+  /// empty means every layer.
+  std::vector<std::string> layer_names;
+  /// Roles to include; empty means every trainable role.
+  std::vector<nn::ParamRole> roles;
+  /// Also expose BN running statistics (non-trainable but memory-resident).
+  bool include_buffers = false;
+
+  static TargetSpec all_parameters() { return {}; }
+  static TargetSpec single_layer(std::string name) {
+    TargetSpec spec;
+    spec.layer_names.push_back(std::move(name));
+    return spec;
+  }
+  static TargetSpec weights_only() {
+    TargetSpec spec;
+    spec.roles = {nn::ParamRole::kWeight};
+    return spec;
+  }
+
+  bool matches(const std::string& param_name, nn::ParamRole role) const;
+};
+
+class InjectionSpace {
+ public:
+  struct Entry {
+    std::string name;
+    nn::ParamRole role;
+    tensor::Tensor* value;
+    std::int64_t offset;  // flat element index of this tensor's first element
+  };
+
+  /// Pointers into `net` are held; the network must outlive the space and not
+  /// be structurally modified.
+  InjectionSpace(nn::Network& net, const TargetSpec& spec = {});
+
+  std::int64_t total_elements() const { return total_elements_; }
+  std::int64_t total_bits() const { return total_elements_ * kBitsPerWord; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The tensor entry containing flat element `element`.
+  const Entry& entry_of(std::int64_t element) const;
+  float* element_ptr(std::int64_t element) const;
+
+  /// XORs every bit of the mask into the network state. Self-inverse:
+  /// applying the same mask twice restores the golden state exactly.
+  void apply(const FaultMask& mask) const;
+  /// XORs an explicit list of flat bit indices (an MCMC move delta).
+  void apply_bits(std::span<const std::int64_t> flat_bits) const;
+
+  /// Draws a mask with independent Bernoulli(profile.bit_prob(b, p)) flips.
+  FaultMask sample_mask(const AvfProfile& profile, double p,
+                        util::Rng& rng) const;
+
+  /// Log prior probability of a mask under the Bernoulli model (includes the
+  /// constant from all clean bits; -inf if the mask uses a zero-prob bit).
+  double log_prior(const FaultMask& mask, const AvfProfile& profile,
+                   double p) const;
+
+  /// Change in log prior from toggling one bit into the mask: log(p_b/(1-p_b)).
+  double log_prior_toggle_delta(std::int64_t flat_bit,
+                                const AvfProfile& profile, double p) const;
+
+  // --- Selective protection (hardening) --------------------------------------
+  // Marks elements as protected: hardened cells (ECC/duplication) that faults
+  // cannot touch. sample_mask never selects them; their bits have zero prior
+  // probability. Supports the §III application of the boundary analysis —
+  // "set a threshold on the regions ... that need more protection".
+
+  /// Replaces the protected set (flat element indices; deduped internally).
+  void protect_elements(std::vector<std::int64_t> elements);
+  bool is_protected(std::int64_t element) const;
+  std::size_t num_protected() const { return protected_.size(); }
+  const std::vector<std::int64_t>& protected_elements() const {
+    return protected_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::int64_t total_elements_ = 0;
+  std::vector<std::int64_t> protected_;  // sorted, unique
+};
+
+/// Corrupts an activation/input tensor in flight with Bernoulli bit flips —
+/// the paper's fault model applied to "inputs, intermediate activations and
+/// outputs". Returns the number of flipped bits.
+std::size_t corrupt_tensor(tensor::Tensor& t, const AvfProfile& profile,
+                           double p, util::Rng& rng);
+
+}  // namespace bdlfi::fault

@@ -1,0 +1,97 @@
+#include "inject/boundary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bdlfi::inject {
+
+namespace {
+
+tensor::Tensor make_grid_inputs(const GridSpec& grid) {
+  const auto n = static_cast<std::int64_t>(grid.nx * grid.ny);
+  tensor::Tensor inputs{tensor::Shape{n, 2}};
+  std::int64_t i = 0;
+  for (std::size_t row = 0; row < grid.ny; ++row) {
+    // Row 0 is the top of the rendered map (max y).
+    const double ty =
+        grid.ny == 1 ? 0.0
+                     : static_cast<double>(row) / static_cast<double>(grid.ny - 1);
+    const double y = grid.y_max - ty * (grid.y_max - grid.y_min);
+    for (std::size_t col = 0; col < grid.nx; ++col, ++i) {
+      const double tx =
+          grid.nx == 1
+              ? 0.0
+              : static_cast<double>(col) / static_cast<double>(grid.nx - 1);
+      const double x = grid.x_min + tx * (grid.x_max - grid.x_min);
+      inputs[i * 2 + 0] = static_cast<float>(x);
+      inputs[i * 2 + 1] = static_cast<float>(y);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+BoundaryMap compute_boundary_map(const bayes::BayesianFaultNetwork& golden_2d,
+                                 const BoundaryConfig& config) {
+  BDLFI_CHECK(config.masks > 0);
+  const tensor::Tensor grid_inputs = make_grid_inputs(config.grid);
+  const std::size_t cells = config.grid.nx * config.grid.ny;
+
+  std::size_t workers = config.workers;
+  if (workers == 0) workers = util::ThreadPool::global().size();
+  workers = std::min(workers, config.masks);
+
+  // Golden predictions over the grid (clean network).
+  auto probe = golden_2d.replicate();
+  const auto golden_preds = probe->predict_current(grid_inputs);
+  BDLFI_CHECK(golden_preds.size() == cells);
+
+  util::Rng seeder{config.seed};
+  std::vector<std::uint64_t> seeds(workers);
+  for (auto& s : seeds) s = seeder();
+
+  std::vector<std::vector<std::uint32_t>> counts(
+      workers, std::vector<std::uint32_t>(cells, 0));
+
+  util::parallel_for_chunked(
+      0, config.masks, workers,
+      [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+        auto replica = golden_2d.replicate();
+        util::Rng rng{seeds[worker]};
+        auto& local = counts[worker];
+        for (std::size_t m = lo; m < hi; ++m) {
+          const fault::FaultMask mask =
+              replica->sample_prior_mask(config.p, rng);
+          replica->space().apply(mask);
+          const auto preds = replica->predict_current(grid_inputs);
+          replica->space().apply(mask);  // revert
+          for (std::size_t i = 0; i < cells; ++i) {
+            if (preds[i] != golden_preds[i]) ++local[i];
+          }
+        }
+      });
+
+  BoundaryMap map;
+  map.grid = config.grid;
+  map.masks_used = config.masks;
+  map.deviation_probability.resize(cells);
+  map.log10_probability.resize(cells);
+  map.golden_prediction = golden_preds;
+  const double floor_prob = 1.0 / static_cast<double>(config.masks + 1);
+  for (std::size_t i = 0; i < cells; ++i) {
+    std::uint32_t total = 0;
+    for (std::size_t w = 0; w < workers; ++w) total += counts[w][i];
+    const double prob =
+        static_cast<double>(total) / static_cast<double>(config.masks);
+    map.deviation_probability[i] = prob;
+    map.log10_probability[i] = std::log10(std::max(prob, floor_prob));
+  }
+  return map;
+}
+
+}  // namespace bdlfi::inject

@@ -1,0 +1,48 @@
+// Decision-boundary error-probability maps (the paper's Fig. 1-③).
+//
+// For a 2-D classifier, estimates per grid cell the probability that memory
+// faults at rate p change the model's prediction at that point. The paper's
+// headline qualitative result — faults hurt most near the decision boundary —
+// falls out as high-probability ridges along the boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/fault_network.h"
+
+namespace bdlfi::inject {
+
+struct GridSpec {
+  double x_min = -2.0, x_max = 3.0;
+  double y_min = -1.5, y_max = 2.0;
+  std::size_t nx = 64, ny = 32;
+};
+
+struct BoundaryMap {
+  GridSpec grid;
+  /// Row-major [ny][nx]: P(prediction deviates from golden | faults at p).
+  std::vector<double> deviation_probability;
+  /// log10 of the same, floored at log10(1/(masks+1)) for plotting.
+  std::vector<double> log10_probability;
+  /// Golden prediction per cell (for drawing the boundary itself).
+  std::vector<std::int64_t> golden_prediction;
+  std::size_t masks_used = 0;
+};
+
+struct BoundaryConfig {
+  GridSpec grid;
+  double p = 1e-3;
+  /// Number of fault patterns marginalized per cell.
+  std::size_t masks = 200;
+  std::uint64_t seed = 1;
+  std::size_t workers = 0;  // 0 = hardware threads
+};
+
+/// `golden_2d` must take [N, 2] inputs. Faults target the network per the
+/// space `golden_2d` was constructed with; each sampled mask is evaluated on
+/// the full grid at once (one corrupted forward per mask, not per cell).
+BoundaryMap compute_boundary_map(const bayes::BayesianFaultNetwork& golden_2d,
+                                 const BoundaryConfig& config);
+
+}  // namespace bdlfi::inject

@@ -1,0 +1,75 @@
+// Campaign orchestration: the experiment-level API the benches and examples
+// drive. A campaign binds a trained golden network + evaluation set to a
+// fault model and produces the series the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bayes/fault_network.h"
+#include "mcmc/runner.h"
+
+namespace bdlfi::inject {
+
+using bayes::AvfProfile;
+using bayes::BayesianFaultNetwork;
+using bayes::TargetSpec;
+
+/// One point of a Fig. 2 / Fig. 4 style sweep.
+struct SweepPoint {
+  double p = 0.0;
+  double mean_error = 0.0;    // %
+  double stddev_error = 0.0;
+  double q05 = 0.0, q50 = 0.0, q95 = 0.0;
+  double mean_deviation = 0.0;
+  double mean_flips = 0.0;
+  double rhat = 0.0;
+  double ess = 0.0;
+  std::size_t samples = 0;
+  std::size_t network_evals = 0;
+};
+
+struct SweepResult {
+  double golden_error = 0.0;  // the figure's "Golden Run" reference line
+  std::vector<SweepPoint> points;
+};
+
+/// Log-spaced grid of `count` probabilities in [lo, hi].
+std::vector<double> log_space(double lo, double hi, std::size_t count);
+
+/// BDLFI sweep over flip probabilities using prior-target MCMC chains.
+SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
+                            const std::vector<double>& ps,
+                            const mcmc::RunnerConfig& runner);
+
+/// One entry of a Fig. 3 style layer-sensitivity campaign.
+struct LayerPoint {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  std::string layer_kind;
+  std::int64_t layer_params = 0;
+  double mean_error = 0.0;
+  double q05 = 0.0, q95 = 0.0;
+  double mean_deviation = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Injects faults into exactly one layer's parameters at a time and measures
+/// the output error — the paper's depth-vs-error experiment (Fig. 3).
+/// Layers with no parameters are skipped.
+///
+/// Two fault-dosage modes:
+///  * expected_flips <= 0 — fixed per-bit rate: every layer's bits flip at
+///    rate p, so large layers receive proportionally more faults (the raw
+///    memory-fault model of §II).
+///  * expected_flips > 0 — fixed dose: each layer's p is rescaled so the
+///    expected number of flipped bits per injection equals expected_flips
+///    regardless of layer size. expected_flips = 1 reproduces the
+///    single-bit-flip protocol of the traditional per-layer FI studies
+///    (Li et al. [1], TensorFI [4]) whose depth claim Fig. 3 challenges.
+std::vector<LayerPoint> run_layer_campaign(
+    const nn::Network& golden, const tensor::Tensor& eval_inputs,
+    const std::vector<std::int64_t>& eval_labels, const AvfProfile& profile,
+    double p, const mcmc::RunnerConfig& runner, double expected_flips = 0.0);
+
+}  // namespace bdlfi::inject

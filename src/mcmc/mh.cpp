@@ -1,0 +1,102 @@
+#include "mcmc/mh.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::mcmc {
+
+MhSampler::MhSampler(bayes::BayesianFaultNetwork& net,
+                     bayes::MaskTarget& target, double p,
+                     const MhConfig& config)
+    : net_(net),
+      target_(target),
+      p_(p),
+      config_(config),
+      block_(config.block_size) {
+  BDLFI_CHECK(p > 0.0 && p < 1.0);
+  BDLFI_CHECK(config.samples > 0 && config.thin > 0);
+}
+
+ProposalKernel& MhSampler::pick_kernel(util::Rng& rng) {
+  const double total = config_.w_single_toggle + config_.w_block_resample +
+                       config_.w_independence;
+  double u = rng.uniform() * total;
+  if ((u -= config_.w_single_toggle) < 0.0) return single_;
+  if ((u -= config_.w_block_resample) < 0.0) return block_;
+  return indep_;
+}
+
+bool MhSampler::step(FaultMask& current, double& current_logd,
+                     util::Rng& rng) {
+  ProposalKernel& kernel = pick_kernel(rng);
+  Proposal proposal = kernel.propose(current, net_, p_, rng);
+  ++proposed_;
+
+  // Fast path: a single-bit move with an analytic density delta needs no
+  // density evaluation at all.
+  double log_alpha;
+  double next_logd;
+  const auto delta_bits =
+      FaultMask::symmetric_difference(current, proposal.next);
+  if (delta_bits.empty()) {
+    ++accepted_;  // proposal == current: trivially accepted, nothing to do
+    return true;
+  }
+  std::optional<double> analytic;
+  if (delta_bits.size() == 1) {
+    analytic = target_.analytic_toggle_delta(current, delta_bits[0]);
+  }
+  if (analytic.has_value()) {
+    log_alpha = *analytic + proposal.log_q_ratio;
+    next_logd = current_logd + *analytic;
+  } else if (!target_.requires_network_eval()) {
+    next_logd = target_.log_density(proposal.next);
+    log_alpha = next_logd - current_logd + proposal.log_q_ratio;
+  } else {
+    next_logd = target_.log_density(proposal.next);
+    ++network_evals_;
+    log_alpha = next_logd - current_logd + proposal.log_q_ratio;
+  }
+
+  if (log_alpha >= 0.0 || std::log(rng.uniform() + 1e-300) < log_alpha) {
+    current = std::move(proposal.next);
+    current_logd = next_logd;
+    ++accepted_;
+    return true;
+  }
+  return false;
+}
+
+ChainResult MhSampler::run() {
+  util::Rng rng{config_.seed};
+  FaultMask current = net_.sample_prior_mask(p_, rng);
+  double current_logd = target_.log_density(current);
+  if (target_.requires_network_eval()) ++network_evals_;
+
+  ChainResult result;
+  result.error_samples.reserve(config_.samples);
+  result.deviation_samples.reserve(config_.samples);
+  result.flips_samples.reserve(config_.samples);
+
+  for (std::size_t i = 0; i < config_.burn_in; ++i) {
+    step(current, current_logd, rng);
+  }
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    for (std::size_t t = 0; t < config_.thin; ++t) {
+      step(current, current_logd, rng);
+    }
+    const bayes::MaskOutcome outcome = net_.evaluate_mask(current);
+    ++network_evals_;
+    result.error_samples.push_back(outcome.classification_error);
+    result.deviation_samples.push_back(outcome.deviation);
+    result.flips_samples.push_back(static_cast<double>(outcome.flipped_bits));
+  }
+  result.acceptance_rate =
+      proposed_ ? static_cast<double>(accepted_) / static_cast<double>(proposed_)
+                : 0.0;
+  result.network_evals = network_evals_;
+  return result;
+}
+
+}  // namespace bdlfi::mcmc

@@ -1,0 +1,62 @@
+// Metropolis–Hastings sampler over fault masks (one chain).
+//
+// The chain state is a FaultMask; retained samples record the classification
+// error / golden-deviation of the corrupted network under the current mask —
+// the statistic whose distribution the paper's Fig. 1-③ histogram shows and
+// whose mean the Fig. 2/4 sweeps plot.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bayes/targets.h"
+#include "mcmc/proposals.h"
+
+namespace bdlfi::mcmc {
+
+struct MhConfig {
+  std::size_t samples = 200;     // retained samples
+  std::size_t burn_in = 50;      // discarded leading steps
+  std::size_t thin = 1;          // steps between retained samples
+  /// Relative selection weights of the three kernels.
+  double w_single_toggle = 0.5;
+  double w_block_resample = 0.3;
+  double w_independence = 0.2;
+  std::size_t block_size = 8;
+  std::uint64_t seed = 1;
+};
+
+struct ChainResult {
+  std::vector<double> error_samples;      // classification error, %
+  std::vector<double> deviation_samples;  // deviation from golden, %
+  std::vector<double> flips_samples;      // #flipped bits per retained sample
+  double acceptance_rate = 0.0;
+  std::size_t network_evals = 0;  // forward passes spent
+};
+
+class MhSampler {
+ public:
+  /// `net` is mutated during sampling (masks applied/reverted) but is
+  /// restored to golden state when run() returns.
+  MhSampler(bayes::BayesianFaultNetwork& net, bayes::MaskTarget& target,
+            double p, const MhConfig& config);
+
+  ChainResult run();
+
+ private:
+  bool step(FaultMask& current, double& current_logd, util::Rng& rng);
+  ProposalKernel& pick_kernel(util::Rng& rng);
+
+  bayes::BayesianFaultNetwork& net_;
+  bayes::MaskTarget& target_;
+  double p_;
+  MhConfig config_;
+  SingleToggleKernel single_;
+  BlockResampleKernel block_;
+  IndependenceKernel indep_;
+  std::size_t accepted_ = 0;
+  std::size_t proposed_ = 0;
+  std::size_t network_evals_ = 0;
+};
+
+}  // namespace bdlfi::mcmc

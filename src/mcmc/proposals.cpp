@@ -1,0 +1,60 @@
+#include "mcmc/proposals.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::mcmc {
+
+Proposal SingleToggleKernel::propose(const FaultMask& current,
+                                     BayesianFaultNetwork& net, double /*p*/,
+                                     util::Rng& rng) {
+  const std::int64_t total_bits = net.space().total_bits();
+  const auto bit = static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(total_bits)));
+  Proposal proposal;
+  proposal.next = current;
+  proposal.next.toggle(bit);
+  proposal.log_q_ratio = 0.0;  // symmetric
+  return proposal;
+}
+
+Proposal BlockResampleKernel::propose(const FaultMask& current,
+                                      BayesianFaultNetwork& net, double p,
+                                      util::Rng& rng) {
+  const std::int64_t total_bits = net.space().total_bits();
+  Proposal proposal;
+  proposal.next = current;
+  double log_q_fwd = 0.0, log_q_rev = 0.0;
+  for (std::size_t i = 0; i < block_size_; ++i) {
+    const auto flat = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(total_bits)));
+    const int bit = static_cast<int>(flat % fault::kBitsPerWord);
+    const double pb = net.profile().bit_prob(bit, p);
+    const bool was_set = proposal.next.contains(flat);
+    const bool now_set = rng.bernoulli(pb);
+    if (now_set != was_set) proposal.next.toggle(flat);
+    // Bernoulli proposal densities for this coordinate (guard p∈{0,1}).
+    auto log_bern = [&](bool state) {
+      const double q = state ? pb : 1.0 - pb;
+      return q > 0.0 ? std::log(q) : -1e300;
+    };
+    log_q_fwd += log_bern(now_set);
+    log_q_rev += log_bern(was_set);
+  }
+  proposal.log_q_ratio = log_q_rev - log_q_fwd;
+  return proposal;
+}
+
+Proposal IndependenceKernel::propose(const FaultMask& current,
+                                     BayesianFaultNetwork& net, double p,
+                                     util::Rng& rng) {
+  Proposal proposal;
+  proposal.next = net.sample_prior_mask(p, rng);
+  // q(x) = prior(x): the correction is prior(cur) − prior(next).
+  proposal.log_q_ratio =
+      net.log_prior(current, p) - net.log_prior(proposal.next, p);
+  return proposal;
+}
+
+}  // namespace bdlfi::mcmc

@@ -1,0 +1,67 @@
+// Metropolis–Hastings proposal kernels over fault masks.
+//
+// Three kernels with complementary mixing behaviour:
+//  * SingleToggle — flip the membership of one uniformly chosen bit. Local,
+//    symmetric (zero Hastings correction), high acceptance at small p.
+//  * BlockResample — redraw the membership of k random bits from the prior.
+//    Its Hastings correction exactly cancels the prior ratio, so acceptance
+//    depends only on the likelihood term — for prior-only targets every move
+//    accepts, giving near-i.i.d. exploration of a k-bit neighbourhood.
+//  * Independence — redraw the whole mask from the prior; the global version
+//    of BlockResample. Mixes instantly under the prior, and under tempered
+//    targets acts as a restart proposal that escapes local modes.
+#pragma once
+
+#include <memory>
+
+#include "bayes/fault_network.h"
+#include "bayes/targets.h"
+
+namespace bdlfi::mcmc {
+
+using bayes::BayesianFaultNetwork;
+using fault::FaultMask;
+
+struct Proposal {
+  FaultMask next;
+  /// log q(current | next) − log q(next | current); added to the density
+  /// delta inside the acceptance test.
+  double log_q_ratio = 0.0;
+};
+
+class ProposalKernel {
+ public:
+  virtual ~ProposalKernel() = default;
+  virtual Proposal propose(const FaultMask& current,
+                           BayesianFaultNetwork& net, double p,
+                           util::Rng& rng) = 0;
+  virtual const char* name() const = 0;
+};
+
+class SingleToggleKernel : public ProposalKernel {
+ public:
+  Proposal propose(const FaultMask& current, BayesianFaultNetwork& net,
+                   double p, util::Rng& rng) override;
+  const char* name() const override { return "single_toggle"; }
+};
+
+class BlockResampleKernel : public ProposalKernel {
+ public:
+  explicit BlockResampleKernel(std::size_t block_size)
+      : block_size_(block_size) {}
+  Proposal propose(const FaultMask& current, BayesianFaultNetwork& net,
+                   double p, util::Rng& rng) override;
+  const char* name() const override { return "block_resample"; }
+
+ private:
+  std::size_t block_size_;
+};
+
+class IndependenceKernel : public ProposalKernel {
+ public:
+  Proposal propose(const FaultMask& current, BayesianFaultNetwork& net,
+                   double p, util::Rng& rng) override;
+  const char* name() const override { return "independence"; }
+};
+
+}  // namespace bdlfi::mcmc

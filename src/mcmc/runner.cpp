@@ -1,0 +1,142 @@
+#include "mcmc/runner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bdlfi::mcmc {
+
+namespace {
+
+std::uint64_t chain_seed(std::uint64_t base, std::uint64_t round,
+                         std::uint64_t chain) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (round * 8191 + chain + 1));
+  return util::splitmix64(s);
+}
+
+CampaignResult pool_chains(std::vector<ChainResult> chains) {
+  CampaignResult result;
+  util::SampleSet errors;
+  util::RunningStats dev, flips;
+  std::vector<std::vector<double>> error_streams;
+  for (auto& c : chains) {
+    for (double e : c.error_samples) errors.add(e);
+    for (double d : c.deviation_samples) dev.add(d);
+    for (double f : c.flips_samples) flips.add(f);
+    result.total_network_evals += c.network_evals;
+    error_streams.push_back(c.error_samples);
+  }
+  result.total_samples = errors.count();
+  if (errors.count() > 0) {
+    result.mean_error = errors.mean();
+    result.stddev_error = errors.stddev();
+    result.q05 = errors.quantile(0.05);
+    result.q50 = errors.quantile(0.50);
+    result.q95 = errors.quantile(0.95);
+  }
+  result.mean_deviation = dev.mean();
+  result.mean_flips = flips.mean();
+
+  if (error_streams.size() >= 2 && error_streams[0].size() >= 2) {
+    result.diagnostics.rhat = util::gelman_rubin(error_streams);
+  } else {
+    result.diagnostics.rhat = 1.0;
+  }
+  double ess = 0.0, geweke = 0.0;
+  for (const auto& stream : error_streams) {
+    ess += util::effective_sample_size(stream);
+    geweke = std::max(geweke, std::abs(util::geweke_z(stream)));
+  }
+  result.diagnostics.ess = ess;
+  result.diagnostics.geweke_max = geweke;
+  result.chains = std::move(chains);
+  return result;
+}
+
+std::vector<ChainResult> run_round(const bayes::BayesianFaultNetwork& golden,
+                                   const TargetFactory& make_target, double p,
+                                   const RunnerConfig& config,
+                                   std::uint64_t round) {
+  BDLFI_CHECK(config.num_chains >= 1);
+  std::vector<ChainResult> chains(config.num_chains);
+  util::parallel_for(0, config.num_chains, [&](std::size_t c) {
+    auto replica = golden.replicate();
+    auto target = make_target(*replica);
+    if (config.use_gibbs) {
+      GibbsConfig gc = config.gibbs;
+      gc.seed = chain_seed(config.seed, round, c);
+      GibbsSampler sampler(*replica, *target, p, gc);
+      chains[c] = sampler.run();
+    } else {
+      MhConfig mc = config.mh;
+      mc.seed = chain_seed(config.seed, round, c);
+      MhSampler sampler(*replica, *target, p, mc);
+      chains[c] = sampler.run();
+    }
+  });
+  return chains;
+}
+
+}  // namespace
+
+CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
+                          const TargetFactory& make_target, double p,
+                          const RunnerConfig& config) {
+  return pool_chains(run_round(golden, make_target, p, config, 0));
+}
+
+CompletenessResult run_until_complete(
+    const bayes::BayesianFaultNetwork& golden,
+    const TargetFactory& make_target, double p, const RunnerConfig& config,
+    const CompletenessCriterion& criterion) {
+  CompletenessResult result;
+  // Cumulative per-chain sample streams; each round appends an independent
+  // continuation (fresh seed), so the streams remain valid draws from the
+  // same target and the pooled diagnostics sharpen monotonically.
+  std::vector<ChainResult> cumulative(config.num_chains);
+
+  double prev_mean = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t round = 0; round < criterion.max_rounds; ++round) {
+    auto fresh = run_round(golden, make_target, p, config, round);
+    for (std::size_t c = 0; c < config.num_chains; ++c) {
+      auto& dst = cumulative[c];
+      const auto& src = fresh[c];
+      dst.error_samples.insert(dst.error_samples.end(),
+                               src.error_samples.begin(),
+                               src.error_samples.end());
+      dst.deviation_samples.insert(dst.deviation_samples.end(),
+                                   src.deviation_samples.begin(),
+                                   src.deviation_samples.end());
+      dst.flips_samples.insert(dst.flips_samples.end(),
+                               src.flips_samples.begin(),
+                               src.flips_samples.end());
+      dst.network_evals += src.network_evals;
+      dst.acceptance_rate = src.acceptance_rate;  // latest round's rate
+    }
+    CampaignResult pooled = pool_chains(cumulative);
+    result.rounds = round + 1;
+    result.trajectory.push_back({pooled.total_samples, pooled.mean_error,
+                                 pooled.diagnostics.rhat,
+                                 pooled.diagnostics.ess});
+
+    const bool mixed = pooled.diagnostics.rhat <= criterion.rhat_threshold;
+    bool stable = false;
+    if (!std::isnan(prev_mean)) {
+      const double scale = std::max(1.0, std::abs(pooled.mean_error));
+      stable = std::abs(pooled.mean_error - prev_mean) / scale <=
+               criterion.mean_rel_tol;
+    }
+    prev_mean = pooled.mean_error;
+    result.final_result = std::move(pooled);
+    if (mixed && stable) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bdlfi::mcmc

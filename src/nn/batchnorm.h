@@ -1,0 +1,44 @@
+// Batch normalization over the channel axis of NCHW tensors.
+//
+// Training mode normalizes with batch statistics and maintains running
+// moments; eval mode (the mode all fault-injection forward passes use)
+// normalizes with the frozen running moments, making the layer a per-channel
+// affine map — exactly the behaviour of a deployed ResNet whose BN has been
+// folded at inference time.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace bdlfi::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  std::string kind() const override { return "bn"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<ParamRef>& out) override;
+  void zero_grad() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::int64_t channels() const { return channels_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor running_mean_, running_var_;
+  // Backward caches (training mode only).
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [C]
+};
+
+}  // namespace bdlfi::nn

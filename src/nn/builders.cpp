@@ -1,0 +1,128 @@
+#include "nn/builders.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dropout.h"
+#include "nn/layers.h"
+#include "nn/resblock.h"
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+Network make_mlp(const std::vector<std::int64_t>& sizes, util::Rng& rng) {
+  BDLFI_CHECK_MSG(sizes.size() >= 2, "MLP needs at least input and output");
+  Network net;
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    auto dense = std::make_unique<Dense>(sizes[i], sizes[i + 1]);
+    dense->init_he(rng);
+    net.add("fc" + std::to_string(i + 1), std::move(dense));
+    if (i + 2 < sizes.size()) {
+      net.add("relu" + std::to_string(i + 1), std::make_unique<ReLU>());
+    }
+  }
+  return net;
+}
+
+Network make_mlp_dropout(const std::vector<std::int64_t>& sizes,
+                         double dropout_rate, util::Rng& rng) {
+  BDLFI_CHECK_MSG(sizes.size() >= 2, "MLP needs at least input and output");
+  Network net;
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    auto dense = std::make_unique<Dense>(sizes[i], sizes[i + 1]);
+    dense->init_he(rng);
+    net.add("fc" + std::to_string(i + 1), std::move(dense));
+    if (i + 2 < sizes.size()) {
+      net.add("relu" + std::to_string(i + 1), std::make_unique<ReLU>());
+      net.add("drop" + std::to_string(i + 1),
+              std::make_unique<Dropout>(dropout_rate, rng()));
+    }
+  }
+  return net;
+}
+
+namespace {
+std::int64_t scaled(std::int64_t base, double mult) {
+  return std::max<std::int64_t>(
+      4, static_cast<std::int64_t>(std::lround(base * mult)));
+}
+}  // namespace
+
+Network make_resnet18(const ResNetConfig& config, util::Rng& rng) {
+  BDLFI_CHECK(config.num_classes > 0 && config.in_channels > 0);
+  const std::int64_t w1 = scaled(64, config.width_multiplier);
+  const std::int64_t w2 = scaled(128, config.width_multiplier);
+  const std::int64_t w3 = scaled(256, config.width_multiplier);
+  const std::int64_t w4 = scaled(512, config.width_multiplier);
+
+  Network net;
+  auto stem = std::make_unique<Conv2d>(config.in_channels, w1, 3, 1);
+  stem->init_he(rng);
+  net.add("stem_conv", std::move(stem));
+  net.add("stem_bn", std::make_unique<BatchNorm2d>(w1));
+  net.add("stem_relu", std::make_unique<ReLU>());
+
+  struct StageSpec {
+    std::int64_t channels;
+    std::int64_t stride;
+  };
+  const StageSpec stages[] = {{w1, 1}, {w2, 2}, {w3, 2}, {w4, 2}};
+  std::int64_t in_ch = w1;
+  int block_id = 0;
+  for (const auto& stage : stages) {
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (b == 0) ? stage.stride : 1;
+      auto block = std::make_unique<BasicBlock>(in_ch, stage.channels, stride);
+      block->init_he(rng);
+      net.add("block" + std::to_string(block_id++), std::move(block));
+      in_ch = stage.channels;
+    }
+  }
+  net.add("avgpool", std::make_unique<GlobalAvgPool>());
+  auto head = std::make_unique<Dense>(in_ch, config.num_classes);
+  head->init_he(rng);
+  net.add("fc", std::move(head));
+  return net;
+}
+
+Network make_vgg11(const VggConfig& config, util::Rng& rng) {
+  BDLFI_CHECK(config.num_classes > 0 && config.in_channels > 0);
+  BDLFI_CHECK_MSG(config.image_size % 32 == 0,
+                  "VGG-11 pools 5x; image size must be divisible by 32");
+  // Configuration A: 'M' marks a 2x2 max pool.
+  struct Step {
+    std::int64_t channels;  // 0 = pool
+  };
+  const Step plan[] = {{64}, {0}, {128}, {0}, {256}, {256}, {0},
+                       {512}, {512}, {0}, {512}, {512}, {0}};
+  Network net;
+  std::int64_t in_ch = config.in_channels;
+  int conv_id = 0, pool_id = 0;
+  for (const Step& step : plan) {
+    if (step.channels == 0) {
+      net.add("pool" + std::to_string(pool_id++),
+              std::make_unique<MaxPool2d>(2));
+      continue;
+    }
+    const std::int64_t out_ch = scaled(step.channels,
+                                       config.width_multiplier);
+    auto conv = std::make_unique<Conv2d>(in_ch, out_ch, 3, 1);
+    conv->init_he(rng);
+    const std::string id = std::to_string(conv_id++);
+    net.add("conv" + id, std::move(conv));
+    net.add("bn" + id, std::make_unique<BatchNorm2d>(out_ch));
+    net.add("relu" + id, std::make_unique<ReLU>());
+    in_ch = out_ch;
+  }
+  net.add("flatten", std::make_unique<Flatten>());
+  const std::int64_t spatial = config.image_size / 32;  // after 5 pools
+  auto head = std::make_unique<Dense>(in_ch * spatial * spatial,
+                                      config.num_classes);
+  head->init_he(rng);
+  net.add("fc", std::move(head));
+  return net;
+}
+
+}  // namespace bdlfi::nn

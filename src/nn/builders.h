@@ -1,0 +1,49 @@
+// Network factories for the paper's two subject models:
+//   * the multi-layer perceptron of Fig. 1, and
+//   * ResNet-18 (CIFAR-style stem), Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace bdlfi::nn {
+
+/// Fully connected ReLU classifier. `sizes` = {in, hidden..., out}; produces
+/// Dense/ReLU pairs ending in a Dense producing logits (softmax is applied by
+/// the loss / the injector's error statistic, as in the paper's Fig. 1).
+Network make_mlp(const std::vector<std::int64_t>& sizes, util::Rng& rng);
+
+/// MLP with a Dropout layer after every hidden ReLU — the Gal-style
+/// approximate-BDL variant used by the MC-Dropout uncertainty comparison.
+Network make_mlp_dropout(const std::vector<std::int64_t>& sizes,
+                         double dropout_rate, util::Rng& rng);
+
+struct ResNetConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t in_channels = 3;
+  /// Channel width multiplier; 1.0 reproduces the canonical ResNet-18 widths
+  /// {64,128,256,512}. Benches default to a smaller value so a full MCMC
+  /// campaign runs on CPU in minutes (documented in DESIGN.md).
+  double width_multiplier = 1.0;
+};
+
+/// ResNet-18: 3×3 stem conv + BN + ReLU, four stages of two BasicBlocks
+/// (strides 1,2,2,2), global average pooling, final dense classifier.
+Network make_resnet18(const ResNetConfig& config, util::Rng& rng);
+
+struct VggConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;  // needed to size the classifier head
+  double width_multiplier = 1.0;
+};
+
+/// VGG-11 (configuration A, BN variant, CIFAR-style head): five conv stages
+/// {64, 128, 256×2, 512×2, 512×2} separated by 2×2 max pools, then a single
+/// dense classifier. A second, plain-convolutional subject network for
+/// cross-architecture fault studies.
+Network make_vgg11(const VggConfig& config, util::Rng& rng);
+
+}  // namespace bdlfi::nn

@@ -1,0 +1,22 @@
+// Binary checkpointing of network parameters (and BN running stats).
+//
+// Format: magic "BDLFIckp" | u32 version | u64 #entries | entries, each
+//   u32 name_len | name bytes | u32 rank | i64 dims[rank] | f32 data[numel].
+// Running BN statistics are saved as pseudo-parameters suffixed
+// ".running_mean"/".running_var" so an eval-mode network restores exactly.
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace bdlfi::nn {
+
+/// Writes all parameters; returns false (and logs) on I/O error.
+bool save_checkpoint(Network& net, const std::string& path);
+
+/// Restores into an already-constructed network of identical topology.
+/// Returns false on missing file, magic/shape mismatch, or truncation.
+bool load_checkpoint(Network& net, const std::string& path);
+
+}  // namespace bdlfi::nn

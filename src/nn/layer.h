@@ -1,0 +1,92 @@
+// Layer abstraction.
+//
+// A Layer owns its parameters and the forward-pass caches needed for its
+// backward pass. Two properties matter for fault injection:
+//
+//  1. *Stable parameter enumeration.* `collect_params` reports every
+//     parameter tensor with a hierarchical name and a role, in an order that
+//     is identical across clones and process runs. Fault sites are addressed
+//     as (param index, element, bit) against this enumeration.
+//  2. *Cloneability.* MCMC chains run on independent deep copies of the
+//     network so corrupted forward passes never touch the golden weights and
+//     chains can execute in parallel without locks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace bdlfi::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// What a parameter tensor is, within its layer. Fault campaigns filter on
+/// this (e.g. "weights only", as in the paper's memory-fault model).
+enum class ParamRole {
+  kWeight,
+  kBias,
+  kBnGamma,
+  kBnBeta,
+  // Non-trainable buffers (BN running statistics). Reported by
+  // collect_buffers, not collect_params; still resident in accelerator
+  // memory, hence valid fault targets.
+  kBnRunningMean,
+  kBnRunningVar,
+};
+
+const char* param_role_name(ParamRole role);
+
+/// A live, mutable reference to one parameter tensor of a network, plus its
+/// gradient accumulator. Invalidated by destroying/cloning the network.
+struct ParamRef {
+  std::string name;    // hierarchical, e.g. "block2.conv1.weight"
+  ParamRole role;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable kind tag ("dense", "conv", "bn", "relu", ...), used to label the
+  /// per-layer sensitivity results of Fig 3.
+  virtual std::string kind() const = 0;
+
+  /// Runs the layer, caching whatever backward() needs when `training`.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Consumes d(loss)/d(output), accumulates parameter gradients, returns
+  /// d(loss)/d(input). Only valid after a training-mode forward.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Appends this layer's parameters with names prefixed by `prefix`.
+  virtual void collect_params(const std::string& prefix,
+                              std::vector<ParamRef>& out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  /// Appends non-trainable state tensors (BN running stats) with
+  /// grad == nullptr. Used by checkpointing and (optionally) fault targeting.
+  virtual void collect_buffers(const std::string& prefix,
+                               std::vector<ParamRef>& out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  /// Zeroes all gradient accumulators.
+  virtual void zero_grad() {}
+
+  /// Deep copy (parameters and configuration; caches need not be preserved).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Number of trainable scalars (0 for stateless layers).
+  std::int64_t num_params();
+};
+
+}  // namespace bdlfi::nn

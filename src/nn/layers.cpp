@@ -1,0 +1,160 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+const char* param_role_name(ParamRole role) {
+  switch (role) {
+    case ParamRole::kWeight: return "weight";
+    case ParamRole::kBias: return "bias";
+    case ParamRole::kBnGamma: return "gamma";
+    case ParamRole::kBnBeta: return "beta";
+    case ParamRole::kBnRunningMean: return "running_mean";
+    case ParamRole::kBnRunningVar: return "running_var";
+  }
+  return "?";
+}
+
+std::int64_t Layer::num_params() {
+  std::vector<ParamRef> refs;
+  collect_params("", refs);
+  std::int64_t n = 0;
+  for (const auto& r : refs) n += r.value->numel();
+  return n;
+}
+
+// --- Dense -------------------------------------------------------------------
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_(Shape{out_features, in_features}),
+      bias_(bias ? Tensor{Shape{out_features}} : Tensor{}),
+      grad_weight_(Shape{out_features, in_features}),
+      grad_bias_(bias ? Tensor{Shape{out_features}} : Tensor{}) {
+  BDLFI_CHECK(in_features > 0 && out_features > 0);
+}
+
+void Dense::init_he(util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+  weight_ = Tensor::randn(weight_.shape(), rng, 0.0f, stddev);
+  if (has_bias_) bias_.fill(0.0f);
+}
+
+Tensor Dense::forward(const Tensor& x, bool training) {
+  BDLFI_CHECK(x.shape().rank() == 2 && x.shape()[1] == in_);
+  if (training) cached_input_ = x;
+  const std::int64_t n = x.shape()[0];
+  Tensor y{Shape{n, out_}};
+  // y = x [n,in] * W^T [in,out]
+  tensor::gemm(false, true, n, out_, in_, 1.0f, x.data(), in_, weight_.data(),
+               in_, 0.0f, y.data(), out_);
+  if (has_bias_) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      float* row = y.data() + r * out_;
+      for (std::int64_t c = 0; c < out_; ++c) row[c] += bias_[c];
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  BDLFI_CHECK_MSG(!cached_input_.empty(),
+                  "Dense::backward without training forward");
+  const std::int64_t n = cached_input_.shape()[0];
+  BDLFI_CHECK(grad_output.shape() == Shape({n, out_}));
+  // dW += dY^T [out,n] * X [n,in]
+  tensor::gemm(true, false, out_, in_, n, 1.0f, grad_output.data(), out_,
+               cached_input_.data(), in_, 1.0f, grad_weight_.data(), in_);
+  if (has_bias_) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      const float* row = grad_output.data() + r * out_;
+      for (std::int64_t c = 0; c < out_; ++c) grad_bias_[c] += row[c];
+    }
+  }
+  // dX = dY [n,out] * W [out,in]
+  Tensor grad_in{Shape{n, in_}};
+  tensor::gemm(false, false, n, in_, out_, 1.0f, grad_output.data(), out_,
+               weight_.data(), in_, 0.0f, grad_in.data(), in_);
+  return grad_in;
+}
+
+void Dense::collect_params(const std::string& prefix,
+                           std::vector<ParamRef>& out) {
+  out.push_back({prefix + "weight", ParamRole::kWeight, &weight_,
+                 &grad_weight_});
+  if (has_bias_) {
+    out.push_back({prefix + "bias", ParamRole::kBias, &bias_, &grad_bias_});
+  }
+}
+
+void Dense::zero_grad() {
+  grad_weight_.fill(0.0f);
+  if (has_bias_) grad_bias_.fill(0.0f);
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(in_, out_, has_bias_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+// --- ReLU --------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  if (training) cached_pre_ = x;
+  Tensor y = x;
+  tensor::relu_inplace(y);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  BDLFI_CHECK_MSG(!cached_pre_.empty(),
+                  "ReLU::backward without training forward");
+  Tensor g = grad_output;
+  tensor::relu_backward_inplace(g, cached_pre_);
+  return g;
+}
+
+// --- Flatten -----------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x, bool training) {
+  BDLFI_CHECK(x.shape().rank() >= 2);
+  if (training) cached_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+// --- MaxPool2d ---------------------------------------------------------------
+
+Tensor MaxPool2d::forward(const Tensor& x, bool training) {
+  if (training) cached_shape_ = x.shape();
+  return tensor::maxpool2d_forward(x, kernel_, argmax_);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  return tensor::maxpool2d_backward(grad_output, cached_shape_, argmax_);
+}
+
+// --- GlobalAvgPool -----------------------------------------------------------
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
+  if (training) cached_shape_ = x.shape();
+  return tensor::global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  return tensor::global_avgpool_backward(grad_output, cached_shape_);
+}
+
+}  // namespace bdlfi::nn

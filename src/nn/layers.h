@@ -1,0 +1,98 @@
+// Stateless and dense layers: Dense (fully connected), ReLU, Flatten,
+// MaxPool2d, GlobalAvgPool. Conv2d and BatchNorm2d live in their own files.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace bdlfi::nn {
+
+/// Fully connected layer: y = x W^T + b, weight stored [out, in] so each
+/// output neuron's fan-in is one contiguous row (the Fig-1 "W" of the paper).
+class Dense : public Layer {
+ public:
+  Dense(std::int64_t in_features, std::int64_t out_features, bool bias = true);
+
+  std::string kind() const override { return "dense"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void zero_grad() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  /// He-normal initialization (appropriate for the ReLU nets in the paper).
+  void init_he(util::Rng& rng);
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_, out_;
+  bool has_bias_;
+  Tensor weight_, bias_;
+  Tensor grad_weight_, grad_bias_;
+  Tensor cached_input_;
+};
+
+/// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  std::string kind() const override { return "relu"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  Tensor cached_pre_;
+};
+
+/// [N, C, H, W] → [N, C*H*W].
+class Flatten : public Layer {
+ public:
+  std::string kind() const override { return "flatten"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
+
+ private:
+  Shape cached_shape_;
+};
+
+/// k×k max pooling with stride k.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
+  std::string kind() const override { return "maxpool"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(kernel_);
+  }
+
+ private:
+  std::int64_t kernel_;
+  Shape cached_shape_;
+  std::vector<std::int64_t> argmax_;
+};
+
+/// [N, C, H, W] → [N, C] spatial mean (ResNet head).
+class GlobalAvgPool : public Layer {
+ public:
+  std::string kind() const override { return "avgpool"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace bdlfi::nn

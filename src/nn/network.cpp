@@ -1,0 +1,111 @@
+#include "nn/network.h"
+
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+void Network::add(std::string name, std::unique_ptr<Layer> layer) {
+  BDLFI_CHECK(layer != nullptr);
+  for (const auto& e : layers_) {
+    BDLFI_CHECK_MSG(e.name != name, "duplicate layer name");
+  }
+  layers_.push_back({std::move(name), std::move(layer)});
+}
+
+Tensor Network::forward(const Tensor& x, bool training,
+                        const ActivationHook& hook) {
+  BDLFI_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  Tensor act = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    act = layers_[i].entry->forward(act, training);
+    if (hook) hook(i, act);
+  }
+  return act;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  Tensor grad = grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i].entry->backward(grad);
+  }
+  return grad;
+}
+
+void Network::zero_grad() {
+  for (auto& e : layers_) e.entry->zero_grad();
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> refs;
+  for (auto& e : layers_) {
+    e.entry->collect_params(e.name + ".", refs);
+  }
+  return refs;
+}
+
+std::vector<ParamRef> Network::buffers() {
+  std::vector<ParamRef> refs;
+  for (auto& e : layers_) {
+    e.entry->collect_buffers(e.name + ".", refs);
+  }
+  return refs;
+}
+
+std::vector<ParamRef> Network::state() {
+  std::vector<ParamRef> refs = params();
+  auto bufs = buffers();
+  refs.insert(refs.end(), bufs.begin(), bufs.end());
+  return refs;
+}
+
+std::int64_t Network::num_params() {
+  std::int64_t n = 0;
+  for (const auto& r : params()) n += r.value->numel();
+  return n;
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& e : layers_) {
+    copy.layers_.push_back({e.name, e.entry->clone()});
+  }
+  return copy;
+}
+
+std::vector<std::int64_t> Network::predict(const Tensor& x,
+                                           const ActivationHook& hook) {
+  Tensor logits = forward(x, /*training=*/false, hook);
+  return tensor::argmax_rows(logits);
+}
+
+double Network::accuracy(const Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const ActivationHook& hook) {
+  const auto preds = predict(x, hook);
+  BDLFI_CHECK(preds.size() == labels.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(preds.size());
+}
+
+std::string Network::summary() {
+  std::ostringstream out;
+  std::int64_t total = 0;
+  for (auto& e : layers_) {
+    const std::int64_t n = e.entry->num_params();
+    total += n;
+    out << "  " << e.name << " (" << e.entry->kind() << "): " << n
+        << " params\n";
+  }
+  out << "  total: " << total << " params\n";
+  return out.str();
+}
+
+}  // namespace bdlfi::nn

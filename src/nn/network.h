@@ -1,0 +1,85 @@
+// Network: an ordered container of layers with end-to-end forward/backward,
+// stable parameter enumeration, deep cloning, and per-layer activation hooks
+// used by the fault injector to corrupt intermediate activations in flight.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace bdlfi::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Appends a layer with an explicit name (names must be unique; they anchor
+  /// fault-site addressing and checkpoint matching).
+  void add(std::string name, std::unique_ptr<Layer> layer);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i).entry; }
+  const std::string& layer_name(std::size_t i) const {
+    return layers_.at(i).name;
+  }
+  std::string layer_kind(std::size_t i) const {
+    return layers_.at(i).entry->kind();
+  }
+
+  /// Called after layer `i` produces its output; may mutate the activation.
+  /// This is how BDLFI injects activation/memory faults mid-network without
+  /// any ptrace-style system support (§I of the paper).
+  using ActivationHook =
+      std::function<void(std::size_t layer_index, Tensor& activation)>;
+
+  /// Forward pass. `training` enables backward caches and batch-stat BN.
+  Tensor forward(const Tensor& x, bool training = false,
+                 const ActivationHook& hook = nullptr);
+
+  /// Backward from d(loss)/d(logits); returns d(loss)/d(input).
+  Tensor backward(const Tensor& grad_logits);
+
+  void zero_grad();
+
+  /// Stable, order-deterministic parameter enumeration. Pointers are valid
+  /// until the network is modified or destroyed.
+  std::vector<ParamRef> params();
+
+  /// Non-trainable buffers (BN running stats), same ordering guarantees.
+  std::vector<ParamRef> buffers();
+
+  /// params() followed by buffers() — the full persistent state.
+  std::vector<ParamRef> state();
+
+  std::int64_t num_params();
+
+  /// Deep copy of topology + parameters (not caches).
+  Network clone() const;
+
+  /// Class predictions (argmax of logits) for a batch.
+  std::vector<std::int64_t> predict(const Tensor& x,
+                                    const ActivationHook& hook = nullptr);
+
+  /// Fraction of rows of `x` whose argmax equals `labels`.
+  double accuracy(const Tensor& x, const std::vector<std::int64_t>& labels,
+                  const ActivationHook& hook = nullptr);
+
+  /// One-line-per-layer summary (name, kind, #params).
+  std::string summary();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Layer> entry;
+  };
+  std::vector<Entry> layers_;
+};
+
+}  // namespace bdlfi::nn

@@ -1,0 +1,99 @@
+#include "nn/range_guard.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+RangeGuard::RangeGuard(double margin) : margin_(margin) {
+  BDLFI_CHECK(margin >= 0.0);
+  lo_ = std::numeric_limits<float>::infinity();
+  hi_ = -std::numeric_limits<float>::infinity();
+}
+
+Tensor RangeGuard::forward(const Tensor& x, bool /*training*/) {
+  if (calibrating_) {
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const float v = x[i];
+      if (std::isfinite(v)) {
+        lo_ = std::min(lo_, v);
+        hi_ = std::max(hi_, v);
+      }
+    }
+    calibrated_ = lo_ <= hi_;
+    return x;
+  }
+  if (!calibrated_) return x;  // never calibrated: transparent
+
+  const float span = hi_ - lo_;
+  const auto widen = static_cast<float>(margin_) * (span > 0.0f ? span : 1.0f);
+  const float lo = lo_ - widen;
+  const float hi = hi_ + widen;
+  const float mid = 0.5f * (lo + hi);
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y[i];
+    if (std::isnan(v)) {
+      y[i] = mid;
+      ++corrections_;
+    } else if (v < lo) {
+      y[i] = lo;
+      ++corrections_;
+    } else if (v > hi) {
+      y[i] = hi;
+      ++corrections_;
+    }
+  }
+  return y;
+}
+
+std::unique_ptr<Layer> RangeGuard::clone() const {
+  auto copy = std::make_unique<RangeGuard>(margin_);
+  copy->calibrating_ = calibrating_;
+  copy->calibrated_ = calibrated_;
+  copy->lo_ = lo_;
+  copy->hi_ = hi_;
+  return copy;
+}
+
+Network add_range_guards(const Network& net, const Tensor& calibration_inputs,
+                         double margin) {
+  Network guarded;
+  {
+    Network scratch = net.clone();
+    for (std::size_t i = 0; i < scratch.num_layers(); ++i) {
+      guarded.add(scratch.layer_name(i), scratch.layer(i).clone());
+      guarded.add(scratch.layer_name(i) + "_guard",
+                  std::make_unique<RangeGuard>(margin));
+    }
+  }
+  // Calibration pass: guards record, everything else runs eval-mode.
+  for (std::size_t i = 0; i < guarded.num_layers(); ++i) {
+    if (auto* guard = dynamic_cast<RangeGuard*>(&guarded.layer(i))) {
+      guard->set_calibrating(true);
+    }
+  }
+  (void)guarded.forward(calibration_inputs, /*training=*/false);
+  for (std::size_t i = 0; i < guarded.num_layers(); ++i) {
+    if (auto* guard = dynamic_cast<RangeGuard*>(&guarded.layer(i))) {
+      guard->set_calibrating(false);
+      BDLFI_CHECK_MSG(guard->is_calibrated(),
+                      "calibration pass left a guard uncalibrated");
+    }
+  }
+  return guarded;
+}
+
+std::size_t total_guard_corrections(Network& net) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* guard = dynamic_cast<RangeGuard*>(&net.layer(i))) {
+      total += guard->corrections();
+    }
+  }
+  return total;
+}
+
+}  // namespace bdlfi::nn

@@ -1,0 +1,59 @@
+// Range guards: activation-clamping fault detectors/correctors.
+//
+// A deployed fault-tolerance mechanism (Ranger, and the "reliability
+// features" §III of the paper calls for): during fault-free calibration each
+// guard records the min/max its input ever takes; at inference it clamps
+// values outside the (slightly widened) range and squashes NaN to the range
+// midpoint. Transient faults that blow an activation out to huge magnitudes
+// are thereby contained before they can propagate to the output — at zero
+// cost to fault-free accuracy, since in-range values pass through untouched.
+//
+// Usage: build the network with guards (or wrap one via add_range_guards),
+// run calibrate-mode forwards on clean data, then freeze.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/network.h"
+
+namespace bdlfi::nn {
+
+class RangeGuard : public Layer {
+ public:
+  /// margin: fractional widening of the calibrated range (0.1 = ±10%).
+  explicit RangeGuard(double margin = 0.1);
+
+  std::string kind() const override { return "guard"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  /// Straight-through gradient (clamping is inactive on clean training data).
+  Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  std::unique_ptr<Layer> clone() const override;
+
+  /// While calibrating, forward() records min/max and never clamps.
+  void set_calibrating(bool on) { calibrating_ = on; }
+  bool calibrating() const { return calibrating_; }
+  bool is_calibrated() const { return calibrated_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  /// Number of values clamped/squashed since construction (telemetry — the
+  /// detector signal a deployed system would act on).
+  std::size_t corrections() const { return corrections_; }
+
+ private:
+  double margin_;
+  bool calibrating_ = false;
+  bool calibrated_ = false;
+  float lo_ = 0.0f, hi_ = 0.0f;
+  std::size_t corrections_ = 0;
+};
+
+/// Builds a guarded twin of `net`: a RangeGuard is inserted after every
+/// layer, calibrated by running the provided clean inputs through it.
+/// Guard names are "<layer>_guard". Returns the hardened network (inference
+/// use; training through it is supported but guards stay frozen).
+Network add_range_guards(const Network& net, const Tensor& calibration_inputs,
+                         double margin = 0.1);
+
+/// Sum of corrections() over all guards — total detector firings.
+std::size_t total_guard_corrections(Network& net);
+
+}  // namespace bdlfi::nn

@@ -1,0 +1,37 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::quant {
+
+QuantParams calibrate_symmetric(std::span<const float> values) {
+  BDLFI_CHECK_MSG(!values.empty(), "calibrating empty buffer");
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(v));
+  QuantParams params;
+  // All-zero tensors quantize with any positive scale; 1.0 keeps math finite.
+  params.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  return params;
+}
+
+std::vector<std::int8_t> quantize_buffer(std::span<const float> values,
+                                         const QuantParams& params) {
+  std::vector<std::int8_t> codes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    codes[i] = quantize_value(values[i], params);
+  }
+  return codes;
+}
+
+void dequantize_buffer(std::span<const std::int8_t> codes,
+                       const QuantParams& params, std::span<float> out) {
+  BDLFI_CHECK(codes.size() == out.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = dequantize_value(codes[i], params);
+  }
+}
+
+}  // namespace bdlfi::quant

@@ -1,0 +1,55 @@
+// Post-training affine quantization to int8.
+//
+// The paper targets "embedded accelerator platforms" (§I); deployed DNNs on
+// such platforms usually hold weights as int8, and the fault surface is the
+// 8-bit word — no exponent field, so a flipped bit moves a weight by at most
+// 2^7 quantization steps instead of 2^96 in magnitude. The quant library lets
+// BDLFI campaigns quantify exactly how much resilience that representation
+// buys (bench/tab_quantized).
+//
+// Scheme: per-tensor symmetric affine, q = clamp(round(x / scale), -127, 127)
+// with zero_point fixed at 0 (symmetric keeps the XOR-mask fault semantics
+// simple and matches common accelerator weight formats).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bdlfi::quant {
+
+struct QuantParams {
+  float scale = 1.0f;  // dequantized = scale * q
+
+  friend bool operator==(const QuantParams&, const QuantParams&) = default;
+};
+
+/// Chooses the symmetric scale covering max |x| of the data (127 steps).
+QuantParams calibrate_symmetric(std::span<const float> values);
+
+inline std::int8_t quantize_value(float x, const QuantParams& params) {
+  const float q = x / params.scale;
+  const float rounded = q >= 0.0f ? q + 0.5f : q - 0.5f;
+  const auto clamped =
+      rounded > 127.0f ? 127.0f : (rounded < -127.0f ? -127.0f : rounded);
+  return static_cast<std::int8_t>(clamped);
+}
+
+inline float dequantize_value(std::int8_t q, const QuantParams& params) {
+  return params.scale * static_cast<float>(q);
+}
+
+/// Quantizes a whole buffer; returns the int8 codes.
+std::vector<std::int8_t> quantize_buffer(std::span<const float> values,
+                                         const QuantParams& params);
+
+/// Dequantizes into `out` (must be the same length).
+void dequantize_buffer(std::span<const std::int8_t> codes,
+                       const QuantParams& params, std::span<float> out);
+
+/// Max absolute round-trip error of symmetric quantization = scale / 2.
+inline float max_roundtrip_error(const QuantParams& params) {
+  return params.scale * 0.5f;
+}
+
+}  // namespace bdlfi::quant

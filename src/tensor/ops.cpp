@@ -1,0 +1,402 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace bdlfi::tensor {
+
+namespace {
+
+// Accessors folding the transpose flag into the index math.
+inline float elem(const float* p, std::int64_t ld, bool trans, std::int64_t r,
+                  std::int64_t c) {
+  return trans ? p[c * ld + r] : p[r * ld + c];
+}
+
+// Serial inner GEMM over a row range [r0, r1) of C.
+void gemm_rows(bool trans_a, bool trans_b, std::int64_t r0, std::int64_t r1,
+               std::int64_t n, std::int64_t k, float alpha, const float* a,
+               std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+               float* c, std::int64_t ldc) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i = r0; i < r1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  // ikj ordering with k-blocking: the B row (or column gather) stays hot and
+  // the innermost loop is a contiguous saxpy over C.
+  for (std::int64_t kb = 0; kb < k; kb += kBlock) {
+    const std::int64_t ke = std::min(k, kb + kBlock);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t kk = kb; kk < ke; ++kk) {
+        const float aik = alpha * elem(a, lda, trans_a, i, kk);
+        if (aik == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = b + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += aik * b[j * ldb + kk];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  BDLFI_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  const std::int64_t flops = m * n * k;
+  if (flops < (1 << 18) || m < 4) {
+    gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+              ldc);
+    return;
+  }
+  util::parallel_for_chunked(
+      0, static_cast<std::size_t>(m), util::ThreadPool::global().size(),
+      [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+        gemm_rows(trans_a, trans_b, static_cast<std::int64_t>(lo),
+                  static_cast<std::int64_t>(hi), n, k, alpha, a, lda, b, ldb,
+                  beta, c, ldc);
+      });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  BDLFI_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  BDLFI_CHECK_MSG(b.shape()[0] == k, "matmul inner dimensions differ");
+  const std::int64_t n = b.shape()[1];
+  Tensor c{Shape{m, n}};
+  gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+       n);
+  return c;
+}
+
+void add_inplace(Tensor& out, const Tensor& x) {
+  BDLFI_CHECK(out.shape() == x.shape());
+  float* o = out.data();
+  const float* p = x.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] += p[i];
+}
+
+void axpy_inplace(Tensor& out, float alpha, const Tensor& x) {
+  BDLFI_CHECK(out.shape() == x.shape());
+  float* o = out.data();
+  const float* p = x.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] += alpha * p[i];
+}
+
+void relu_inplace(Tensor& x) {
+  float* p = x.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) p[i] = std::max(0.0f, p[i]);
+}
+
+void relu_backward_inplace(Tensor& grad, const Tensor& pre_activation) {
+  BDLFI_CHECK(grad.shape() == pre_activation.shape());
+  float* g = grad.data();
+  const float* z = pre_activation.data();
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    if (z[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  BDLFI_CHECK(logits.shape().rank() == 2);
+  const std::int64_t rows = logits.shape()[0], cols = logits.shape()[1];
+  Tensor out{logits.shape()};
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+    // Fault-corrupted rows can contain +inf or be all-NaN; map them to the
+    // limiting distributions instead of poisoning downstream statistics.
+    if (!std::isfinite(mx)) {
+      if (mx == std::numeric_limits<float>::infinity()) {
+        // Mass splits evenly over the +inf entries.
+        std::int64_t ties = 0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          if (in[c] == mx) ++ties;
+        }
+        for (std::int64_t c = 0; c < cols; ++c) {
+          o[c] = in[c] == mx ? 1.0f / static_cast<float>(ties) : 0.0f;
+        }
+        continue;
+      }
+      // All-NaN (or all -inf) row: uniform.
+      const float u = 1.0f / static_cast<float>(cols);
+      for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
+      continue;
+    }
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(in[c] - mx);
+      o[c] = std::isfinite(e) ? e : 0.0f;
+      sum += o[c];
+    }
+    if (sum <= 0.0f || !std::isfinite(sum)) {
+      const float u = 1.0f / static_cast<float>(cols);
+      for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
+    } else {
+      for (std::int64_t c = 0; c < cols; ++c) o[c] /= sum;
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  BDLFI_CHECK(logits.shape().rank() == 2);
+  const std::int64_t rows = logits.shape()[0], cols = logits.shape()[1];
+  Tensor out{logits.shape()};
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) sum += std::exp(in[c] - mx);
+    const float lse = mx + std::log(sum);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] = in[c] - lse;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& m) {
+  BDLFI_CHECK(m.shape().rank() == 2);
+  const std::int64_t rows = m.shape()[0], cols = m.shape()[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      // NaN-insensitive: comparisons with NaN are false, so a NaN never
+      // displaces the incumbent — faulty logits still yield a deterministic
+      // (if arbitrary) class, mirroring what argmax on real hardware returns.
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+void im2col(const float* input, std::int64_t channels, std::int64_t h,
+            std::int64_t w, const Conv2dSpec& spec, float* cols) {
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t cols_w = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+        float* dst = cols + row * cols_w;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * spec.stride - spec.pad_h + kh;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src_row = input + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * spec.stride - spec.pad_w + kw;
+            dst[oy * ow + ox] =
+                (ix >= 0 && ix < w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::int64_t channels, std::int64_t h,
+            std::int64_t w, const Conv2dSpec& spec, float* input_grad) {
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t cols_w = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+        const float* src = cols + row * cols_w;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * spec.stride - spec.pad_h + kh;
+          if (iy < 0 || iy >= h) continue;
+          float* dst_row = input_grad + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * spec.stride - spec.pad_w + kw;
+            if (ix >= 0 && ix < w) dst_row[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  BDLFI_CHECK(input.shape().rank() == 4 && weight.shape().rank() == 4);
+  const std::int64_t n = input.shape()[0], c = input.shape()[1],
+                     h = input.shape()[2], w = input.shape()[3];
+  const std::int64_t o = weight.shape()[0];
+  BDLFI_CHECK_MSG(weight.shape()[1] == c, "conv2d channel mismatch");
+  BDLFI_CHECK(weight.shape()[2] == spec.kernel_h &&
+              weight.shape()[3] == spec.kernel_w);
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  Tensor output{Shape{n, o, oh, ow}};
+
+  util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t s) {
+    std::vector<float> cols(static_cast<std::size_t>(patch * oh * ow));
+    const float* in = input.data() + static_cast<std::int64_t>(s) * c * h * w;
+    im2col(in, c, h, w, spec, cols.data());
+    float* out =
+        output.data() + static_cast<std::int64_t>(s) * o * oh * ow;
+    // [O, patch] x [patch, OH*OW] -> [O, OH*OW]
+    gemm(false, false, o, oh * ow, patch, 1.0f, weight.data(), patch,
+         cols.data(), oh * ow, 0.0f, out, oh * ow);
+    if (!bias.empty()) {
+      for (std::int64_t oc = 0; oc < o; ++oc) {
+        const float b = bias[oc];
+        float* plane = out + oc * oh * ow;
+        for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+      }
+    }
+  });
+  return output;
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, const Conv2dSpec& spec,
+                     Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias) {
+  const std::int64_t n = input.shape()[0], c = input.shape()[1],
+                     h = input.shape()[2], w = input.shape()[3];
+  const std::int64_t o = weight.shape()[0];
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+
+  grad_input = Tensor{input.shape()};
+  grad_weight = Tensor{weight.shape()};
+  grad_bias = Tensor{Shape{o}};
+
+  // Serial over batch: grad_weight accumulation would race otherwise, and the
+  // inner GEMMs already parallelize.
+  std::vector<float> cols(static_cast<std::size_t>(patch * oh * ow));
+  std::vector<float> dcols(static_cast<std::size_t>(patch * oh * ow));
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* in = input.data() + s * c * h * w;
+    const float* dout = grad_output.data() + s * o * oh * ow;
+    im2col(in, c, h, w, spec, cols.data());
+    // dW += dOut [O, OH*OW] x cols^T [OH*OW, patch]
+    gemm(false, true, o, patch, oh * ow, 1.0f, dout, oh * ow, cols.data(),
+         oh * ow, 1.0f, grad_weight.data(), patch);
+    // dCols = W^T [patch, O] x dOut [O, OH*OW]
+    gemm(true, false, patch, oh * ow, o, 1.0f, weight.data(), patch, dout,
+         oh * ow, 0.0f, dcols.data(), oh * ow);
+    col2im(dcols.data(), c, h, w, spec, grad_input.data() + s * c * h * w);
+    for (std::int64_t oc = 0; oc < o; ++oc) {
+      const float* plane = dout + oc * oh * ow;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
+      grad_bias[oc] += acc;
+    }
+  }
+}
+
+Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
+                         std::vector<std::int64_t>& argmax) {
+  BDLFI_CHECK(input.shape().rank() == 4);
+  const std::int64_t n = input.shape()[0], c = input.shape()[1],
+                     h = input.shape()[2], w = input.shape()[3];
+  BDLFI_CHECK_MSG(h % kernel == 0 && w % kernel == 0,
+                  "maxpool2d requires divisible spatial dims");
+  const std::int64_t oh = h / kernel, ow = w / kernel;
+  Tensor out{Shape{n, c, oh, ow}};
+  argmax.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oi = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (s * c + ch) * h * w;
+      const std::int64_t plane_off = (s * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = plane_off + (oy * kernel) * w + ox * kernel;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = oy * kernel + ky;
+              const std::int64_t ix = ox * kernel + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax[static_cast<std::size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax) {
+  Tensor grad_in{input_shape};
+  BDLFI_CHECK(argmax.size() ==
+              static_cast<std::size_t>(grad_output.numel()));
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[argmax[static_cast<std::size_t>(i)]] += grad_output[i];
+  }
+  return grad_in;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  BDLFI_CHECK(input.shape().rank() == 4);
+  const std::int64_t n = input.shape()[0], c = input.shape()[1],
+                     h = input.shape()[2], w = input.shape()[3];
+  Tensor out{Shape{n, c}};
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (s * c + ch) * h * w;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < h * w; ++i) acc += plane[i];
+      out.at(s, ch) = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_output,
+                               const Shape& input_shape) {
+  BDLFI_CHECK(grad_output.shape().rank() == 2 && input_shape.rank() == 4);
+  const std::int64_t n = input_shape[0], c = input_shape[1],
+                     h = input_shape[2], w = input_shape[3];
+  Tensor grad_in{input_shape};
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.at(s, ch) * inv;
+      float* plane = grad_in.data() + (s * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) plane[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace bdlfi::tensor

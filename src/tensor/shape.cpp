@@ -1,0 +1,43 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace bdlfi::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  BDLFI_CHECK_MSG(dims.size() <= kMaxRank, "shape rank exceeds kMaxRank");
+  for (std::int64_t d : dims) {
+    BDLFI_CHECK_MSG(d >= 0, "negative dimension");
+    dims_[static_cast<std::size_t>(rank_++)] = d;
+  }
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<std::size_t>(i)];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[static_cast<std::size_t>(i)] !=
+        other.dims_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) out << ", ";
+    out << dims_[static_cast<std::size_t>(i)];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace bdlfi::tensor

@@ -1,0 +1,41 @@
+// Tensor shapes. Rank ≤ 4 covers everything BDLFI needs (NCHW activations,
+// OIHW conv kernels, [out,in] dense weights, vectors); a small inline array
+// keeps Shape trivially copyable and cheap to pass by value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/check.h"
+
+namespace bdlfi::tensor {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  int rank() const { return rank_; }
+  std::int64_t operator[](int i) const {
+    BDLFI_DCHECK(i >= 0 && i < rank_);
+    return dims_[static_cast<std::size_t>(i)];
+  }
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]" rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace bdlfi::tensor

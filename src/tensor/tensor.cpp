@@ -1,0 +1,97 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bdlfi::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data)) {
+  BDLFI_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                  "data size does not match shape");
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t{shape};
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t{shape};
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t{shape};
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(Shape shape) {
+  Tensor t{shape};
+  for (std::size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(i);
+  }
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  BDLFI_CHECK_MSG(new_shape.numel() == numel(), "reshape changes numel");
+  Tensor t = *this;
+  t.shape_ = new_shape;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  BDLFI_DCHECK(static_cast<int>(idx.size()) == shape_.rank());
+  std::int64_t off = 0;
+  int d = 0;
+  for (std::int64_t i : idx) {
+    BDLFI_DCHECK(i >= 0 && i < shape_[d]);
+    off = off * shape_[d] + i;
+    ++d;
+  }
+  return off;
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  BDLFI_CHECK(a.shape() == b.shape());
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.to_string() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) out << ", ";
+    out << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << '}';
+  return out.str();
+}
+
+}  // namespace bdlfi::tensor

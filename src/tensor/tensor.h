@@ -1,0 +1,92 @@
+// Dense fp32 tensor with value semantics.
+//
+// All NN parameters, activations and fault masks operate on contiguous
+// float32 buffers — matching the paper's fault model, which flips bits of the
+// 32-bit IEEE-754 encodings. Copies are deep (a corrupted copy of the golden
+// weights must never alias the original); moves are O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace bdlfi::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor{shape}; }
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo, float hi);
+  /// Row-major iota, handy in tests.
+  static Tensor arange(Shape shape);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float operator[](std::int64_t i) const {
+    BDLFI_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float& operator[](std::int64_t i) {
+    BDLFI_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Multi-index accessors (rank-checked in debug builds).
+  float at(std::int64_t i0) const { return (*this)[offset({i0})]; }
+  float at(std::int64_t i0, std::int64_t i1) const {
+    return (*this)[offset({i0, i1})];
+  }
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+           std::int64_t i3) const {
+    return (*this)[offset({i0, i1, i2, i3})];
+  }
+  float& at(std::int64_t i0) { return (*this)[offset({i0})]; }
+  float& at(std::int64_t i0, std::int64_t i1) {
+    return (*this)[offset({i0, i1})];
+  }
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+            std::int64_t i3) {
+    return (*this)[offset({i0, i1, i2, i3})];
+  }
+
+  /// Returns a same-data tensor with a different shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  /// Scales every element in place.
+  void scale(float factor);
+
+  /// Row-major linear offset of a full multi-index.
+  std::int64_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  /// Max |a-b| over elements; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  std::string to_string(std::int64_t max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace bdlfi::tensor

@@ -1,0 +1,38 @@
+#include "train/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace bdlfi::train {
+
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const std::int64_t> labels) {
+  BDLFI_CHECK(logits.shape().rank() == 2);
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  BDLFI_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+
+  // loss = -mean_i log_softmax(logits_i)[label_i]
+  // grad  = (softmax - onehot) / n
+  Tensor log_probs = tensor::log_softmax_rows(logits);
+  LossResult result;
+  result.grad_logits = Tensor{logits.shape()};
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    BDLFI_DCHECK(y >= 0 && y < c);
+    const float* lp = log_probs.data() + i * c;
+    float* g = result.grad_logits.data() + i * c;
+    loss -= lp[y];
+    for (std::int64_t j = 0; j < c; ++j) {
+      g[j] = std::exp(lp[j]) * inv_n;
+    }
+    g[y] -= inv_n;
+  }
+  result.loss = loss / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace bdlfi::train

@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss on logits, fused with its gradient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace bdlfi::train {
+
+using tensor::Tensor;
+
+struct LossResult {
+  double loss = 0.0;            // mean over the batch
+  Tensor grad_logits;           // d(mean loss)/d(logits), same shape as logits
+};
+
+/// logits: [N, C]; labels: N class ids in [0, C).
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const std::int64_t> labels);
+
+}  // namespace bdlfi::train

@@ -1,0 +1,94 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::train {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const auto& p : params) velocity_.emplace_back(p.value->shape());
+  }
+  BDLFI_CHECK_MSG(velocity_.size() == params.size(),
+                  "optimizer state / param list mismatch");
+  const auto lr = static_cast<float>(lr_);
+  const auto mom = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    BDLFI_CHECK(p.grad != nullptr);
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* v = velocity_[i].data();
+    for (std::int64_t j = 0; j < p.value->numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = mom * v[j] + grad;
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const auto& p : params) {
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+    }
+  }
+  BDLFI_CHECK_MSG(m_.size() == params.size(),
+                  "optimizer state / param list mismatch");
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    BDLFI_CHECK(p.grad != nullptr);
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::int64_t j = 0; j < p.value->numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      w[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+double CosineLr::lr_at(std::int64_t step, std::int64_t total_steps,
+                       double base_lr) const {
+  if (total_steps <= 1) return base_lr;
+  const double t = static_cast<double>(step) /
+                   static_cast<double>(total_steps - 1);
+  const double cos_factor = 0.5 * (1.0 + std::cos(M_PI * std::min(1.0, t)));
+  return base_lr * (floor_fraction_ + (1.0 - floor_fraction_) * cos_factor);
+}
+
+double StepLr::lr_at(std::int64_t step, std::int64_t /*total_steps*/,
+                     double base_lr) const {
+  const auto drops = every_ > 0 ? step / every_ : 0;
+  return base_lr * std::pow(factor_, static_cast<double>(drops));
+}
+
+}  // namespace bdlfi::train

@@ -1,0 +1,93 @@
+// First-order optimizers over a network's ParamRef list.
+//
+// Optimizer state (momentum / Adam moments) is keyed by position in the
+// parameter list, which Network::params() guarantees to be stable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace bdlfi::train {
+
+using nn::ParamRef;
+using tensor::Tensor;
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the gradients currently accumulated in `params`.
+  virtual void step(const std::vector<ParamRef>& params) = 0;
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum and optional decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0);
+  void step(const std::vector<ParamRef>& params) override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void step(const std::vector<ParamRef>& params) override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Learning-rate schedules (multiplicative on the optimizer's base LR).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double lr_at(std::int64_t step, std::int64_t total_steps,
+                       double base_lr) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  double lr_at(std::int64_t, std::int64_t, double base_lr) const override {
+    return base_lr;
+  }
+};
+
+/// Cosine decay from base_lr to base_lr * floor_fraction.
+class CosineLr : public LrSchedule {
+ public:
+  explicit CosineLr(double floor_fraction = 0.01)
+      : floor_fraction_(floor_fraction) {}
+  double lr_at(std::int64_t step, std::int64_t total_steps,
+               double base_lr) const override;
+
+ private:
+  double floor_fraction_;
+};
+
+/// Step decay: multiply by `factor` every `every` steps.
+class StepLr : public LrSchedule {
+ public:
+  StepLr(std::int64_t every, double factor) : every_(every), factor_(factor) {}
+  double lr_at(std::int64_t step, std::int64_t total_steps,
+               double base_lr) const override;
+
+ private:
+  std::int64_t every_;
+  double factor_;
+};
+
+}  // namespace bdlfi::train

@@ -1,0 +1,105 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "train/loss.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace bdlfi::train {
+
+double evaluate_accuracy(nn::Network& net, const data::Dataset& dataset,
+                         std::size_t batch_size) {
+  if (dataset.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, dataset.size());
+    data::Dataset batch = dataset.slice(begin, end);
+    const auto preds = net.predict(batch.inputs);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.size());
+}
+
+TrainResult fit(nn::Network& net, const data::Dataset& train,
+                const data::Dataset& test, const TrainConfig& config) {
+  BDLFI_CHECK(train.size() > 0);
+  util::Rng rng{config.seed};
+
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(config.lr, 0.9, 0.999, 1e-8,
+                                 config.weight_decay);
+  } else {
+    opt = std::make_unique<Sgd>(config.lr, config.momentum,
+                                config.weight_decay);
+  }
+  std::unique_ptr<LrSchedule> schedule;
+  if (config.cosine_schedule) {
+    schedule = std::make_unique<CosineLr>();
+  } else {
+    schedule = std::make_unique<ConstantLr>();
+  }
+
+  data::BatchIterator batches(train, config.batch_size, rng);
+  const auto steps_per_epoch =
+      static_cast<std::int64_t>(batches.batches_per_epoch());
+  const auto total_steps =
+      steps_per_epoch * static_cast<std::int64_t>(config.epochs);
+
+  auto params = net.params();
+  TrainResult result;
+  std::int64_t step = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.start_epoch();
+    double loss_sum = 0.0;
+    std::size_t loss_batches = 0;
+    std::size_t hits = 0, seen = 0;
+    data::Dataset batch;
+    while (batches.next(batch)) {
+      opt->set_lr(schedule->lr_at(step, total_steps, config.lr));
+      net.zero_grad();
+      Tensor logits = net.forward(batch.inputs, /*training=*/true);
+      LossResult loss = cross_entropy(
+          logits, std::span<const std::int64_t>(batch.labels));
+      net.backward(loss.grad_logits);
+      opt->step(params);
+
+      loss_sum += loss.loss;
+      ++loss_batches;
+      const auto preds = tensor::argmax_rows(logits);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == batch.labels[i]) ++hits;
+      }
+      seen += preds.size();
+      ++step;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_batches ? loss_sum / static_cast<double>(loss_batches) : 0.0;
+    stats.train_accuracy =
+        seen ? static_cast<double>(hits) / static_cast<double>(seen) : 0.0;
+    stats.test_accuracy = evaluate_accuracy(net, test);
+    stats.lr = opt->lr();
+    result.history.push_back(stats);
+    if (config.verbose) {
+      BDLFI_LOG_INFO(
+          "epoch %zu: loss=%.4f train_acc=%.3f test_acc=%.3f lr=%.5f", epoch,
+          stats.train_loss, stats.train_accuracy, stats.test_accuracy,
+          stats.lr);
+    }
+    if (config.target_accuracy > 0.0 &&
+        stats.test_accuracy >= config.target_accuracy) {
+      break;
+    }
+  }
+  result.final_test_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().test_accuracy;
+  return result;
+}
+
+}  // namespace bdlfi::train

@@ -1,0 +1,50 @@
+// Mini-batch trainer producing the paper's "golden run": a trained network
+// whose weights the fault injector subsequently corrupts.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "train/optimizer.h"
+
+namespace bdlfi::train {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  double lr = 1e-2;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  bool use_adam = false;
+  bool cosine_schedule = true;
+  /// Stop early once test accuracy reaches this (0 disables).
+  double target_accuracy = 0.0;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double lr = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_test_accuracy = 0.0;
+};
+
+/// Trains `net` in place on `train`, evaluating on `test` each epoch.
+TrainResult fit(nn::Network& net, const data::Dataset& train,
+                const data::Dataset& test, const TrainConfig& config);
+
+/// Convenience: accuracy of `net` on a dataset, evaluated in mini-batches so
+/// large datasets do not blow up activation memory.
+double evaluate_accuracy(nn::Network& net, const data::Dataset& dataset,
+                         std::size_t batch_size = 256);
+
+}  // namespace bdlfi::train

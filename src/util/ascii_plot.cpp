@@ -1,0 +1,120 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bdlfi::util {
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series) {
+    BDLFI_CHECK(s.xs.size() == s.ys.size());
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = transform(s.xs[i], options.log_x);
+      const double y = transform(s.ys[i], options.log_y);
+      xmin = std::min(xmin, x); xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y); ymax = std::max(ymax, y);
+    }
+  }
+  if (!(xmin < xmax)) { xmin -= 0.5; xmax += 0.5; }
+  if (!(ymin < ymax)) { ymin -= 0.5; ymax += 0.5; }
+
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = transform(s.xs[i], options.log_x);
+      const double y = transform(s.ys[i], options.log_y);
+      auto cx = static_cast<std::size_t>(
+          std::round((x - xmin) / (xmax - xmin) * static_cast<double>(w - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::round((y - ymin) / (ymax - ymin) * static_cast<double>(h - 1)));
+      canvas[h - 1 - cy][cx] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < h; ++r) {
+    // Left axis annotation on first, middle and last rows.
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      const double frac = static_cast<double>(h - 1 - r) /
+                          static_cast<double>(h - 1);
+      double v = ymin + frac * (ymax - ymin);
+      if (options.log_y) v = std::pow(10.0, v);
+      std::snprintf(buf, sizeof buf, "%10.3g |", v);
+    } else {
+      std::snprintf(buf, sizeof buf, "%10s |", "");
+    }
+    out << buf << canvas[r] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(w, '-') << '\n';
+  {
+    double xl = xmin, xr = xmax;
+    if (options.log_x) { xl = std::pow(10.0, xl); xr = std::pow(10.0, xr); }
+    std::snprintf(buf, sizeof buf, "%12.3g", xl);
+    out << buf << std::string(w > 24 ? w - 24 : 1, ' ');
+    std::snprintf(buf, sizeof buf, "%12.3g", xr);
+    out << buf << '\n';
+  }
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << "   x: " << options.x_label << (options.log_x ? " (log)" : "")
+        << "   y: " << options.y_label << (options.log_y ? " (log)" : "")
+        << '\n';
+  }
+  for (const auto& s : series) {
+    out << "   '" << s.glyph << "' = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+std::string render_heatmap(const std::vector<double>& grid, std::size_t rows,
+                           std::size_t cols, double lo, double hi,
+                           const std::string& title) {
+  BDLFI_CHECK(grid.size() == rows * cols);
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr std::size_t ramp_n = sizeof(ramp) - 2;  // last index
+  if (lo == hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (double v : grid) { lo = std::min(lo, v); hi = std::max(hi, v); }
+    if (!(lo < hi)) { lo -= 0.5; hi += 0.5; }
+  }
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double t = (grid[r * cols + c] - lo) / (hi - lo);
+      t = std::clamp(t, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          std::round(t * static_cast<double>(ramp_n)));
+      out << ramp[idx];
+    }
+    out << '\n';
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "scale: ' '=%.3g ... '@'=%.3g\n", lo, hi);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace bdlfi::util

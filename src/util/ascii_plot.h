@@ -1,0 +1,39 @@
+// Terminal-resolution plots for bench output: the paper's figures are line
+// charts (error vs flip probability, error vs layer) and one 2-D heat map
+// (decision boundary). These renderers let a bench show the *shape* of each
+// reproduced figure directly in its stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bdlfi::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 72;
+  std::size_t height = 20;
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Scatter/line chart of one or more series on a shared grid.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+/// Heat map of a row-major grid (rows × cols) using a density glyph ramp.
+/// `lo`/`hi` clamp the color scale; pass lo==hi to auto-scale.
+std::string render_heatmap(const std::vector<double>& grid, std::size_t rows,
+                           std::size_t cols, double lo = 0.0, double hi = 0.0,
+                           const std::string& title = "");
+
+}  // namespace bdlfi::util

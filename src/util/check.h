@@ -1,0 +1,35 @@
+// Contract-check macros (Core Guidelines I.6/I.8 style: expects/ensures).
+//
+// BDLFI_CHECK is always on (campaign correctness beats the tiny branch cost);
+// BDLFI_DCHECK compiles out in NDEBUG builds and is meant for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bdlfi::util {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace bdlfi::util
+
+#define BDLFI_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) ::bdlfi::util::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BDLFI_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) ::bdlfi::util::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define BDLFI_DCHECK(cond) ((void)0)
+#else
+#define BDLFI_DCHECK(cond) BDLFI_CHECK(cond)
+#endif

@@ -1,0 +1,56 @@
+// Tabular result output: aligned text tables for the terminal and CSV files
+// for downstream plotting. Every bench emits both so the paper's series are
+// both human-readable and machine-consumable.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bdlfi::util {
+
+/// Column-typed table that can render as aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.6g, keeps strings as-is.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& col(const std::string& s);
+    RowBuilder& col(double v);
+    RowBuilder& col(std::size_t v);
+    RowBuilder& col(int v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder{*this}; }
+
+  /// Aligned, boxed text rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// %.6g formatting used consistently in tables.
+std::string format_double(double v);
+
+}  // namespace bdlfi::util

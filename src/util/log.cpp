@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace bdlfi::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mu;  // keep multi-threaded lines unscrambled
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[%s %lld.%03lld] ", level_name(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace bdlfi::util

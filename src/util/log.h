@@ -1,0 +1,29 @@
+// Minimal leveled logger. Campaign code logs milestones at Info; hot loops
+// never log. A global level gate keeps benches quiet by default.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bdlfi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level actually emitted (default Info).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style log to stderr with level prefix and wall-clock timestamp.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace bdlfi::util
+
+#define BDLFI_LOG_DEBUG(...) \
+  ::bdlfi::util::log(::bdlfi::util::LogLevel::kDebug, __VA_ARGS__)
+#define BDLFI_LOG_INFO(...) \
+  ::bdlfi::util::log(::bdlfi::util::LogLevel::kInfo, __VA_ARGS__)
+#define BDLFI_LOG_WARN(...) \
+  ::bdlfi::util::log(::bdlfi::util::LogLevel::kWarn, __VA_ARGS__)
+#define BDLFI_LOG_ERROR(...) \
+  ::bdlfi::util::log(::bdlfi::util::LogLevel::kError, __VA_ARGS__)

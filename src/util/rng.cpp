@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::util {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  BDLFI_DCHECK(n > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  BDLFI_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  // Inverse-CDF: floor(log(U) / log(1-p)).
+  double u = 1.0 - uniform();  // in (0,1]
+  double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g < 0.0) g = 0.0;
+  // Saturate rather than overflow for absurdly small p.
+  if (g > 9.0e18) return static_cast<std::uint64_t>(9.0e18);
+  return static_cast<std::uint64_t>(g);
+}
+
+}  // namespace bdlfi::util

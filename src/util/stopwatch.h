@@ -1,0 +1,22 @@
+// Monotonic wall-clock stopwatch for campaign/bench timing.
+#pragma once
+
+#include <chrono>
+
+namespace bdlfi::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bdlfi::util

@@ -1,0 +1,68 @@
+// Fixed-size thread pool with a blocking `parallel_for`.
+//
+// BDLFI runs many independent forward passes (MCMC chains, grid cells of the
+// decision-boundary map, injections of a baseline campaign); a simple static
+// range partitioner is the right tool — work items are uniform and coarse.
+// Reproducibility note: callers that need determinism must derive one RNG
+// stream per *index range* (not per thread); `parallel_for_chunked` exposes
+// the chunk id for exactly that purpose.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bdlfi::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool; blocks until done.
+/// Falls back to the calling thread for tiny ranges.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+/// Runs fn(chunk_id, chunk_begin, chunk_end) over a static partition of
+/// [begin, end) into `num_chunks` contiguous ranges. chunk_id is stable across
+/// runs and thread counts, so per-chunk RNG streams give deterministic output.
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          std::size_t num_chunks,
+                          const std::function<void(std::size_t, std::size_t,
+                                                   std::size_t)>& fn,
+                          ThreadPool* pool = nullptr);
+
+}  // namespace bdlfi::util

@@ -1,0 +1,193 @@
+// BayesianFaultNetwork: golden-state immutability, mask evaluation semantics,
+// targets' density algebra.
+#include "bayes/fault_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/targets.h"
+#include "data/toy2d.h"
+#include "nn/builders.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace bdlfi::bayes {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// A small trained MLP shared by the suite (training once keeps tests fast).
+class BayesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng{1};
+    data_ = new data::Dataset(data::make_two_moons(400, 0.08, rng));
+    util::Rng init{2};
+    net_ = new nn::Network(nn::make_mlp({2, 16, 2}, init));
+    train::TrainConfig config;
+    config.epochs = 30;
+    config.lr = 0.05;
+    config.seed = 3;
+    train::fit(*net_, *data_, *data_, config);
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    delete data_;
+    net_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static BayesianFaultNetwork make_bfn(
+      TargetSpec spec = TargetSpec::all_parameters()) {
+    return BayesianFaultNetwork(*net_, spec, fault::AvfProfile::uniform(),
+                                data_->inputs, data_->labels);
+  }
+
+  static nn::Network* net_;
+  static data::Dataset* data_;
+};
+
+nn::Network* BayesTest::net_ = nullptr;
+data::Dataset* BayesTest::data_ = nullptr;
+
+TEST_F(BayesTest, GoldenErrorIsLowAfterTraining) {
+  auto bfn = make_bfn();
+  EXPECT_LT(bfn.golden_error(), 10.0);
+  EXPECT_EQ(bfn.golden_predictions().size(), data_->size());
+}
+
+TEST_F(BayesTest, EmptyMaskIsExactlyGolden) {
+  auto bfn = make_bfn();
+  const MaskOutcome outcome = bfn.evaluate_mask(FaultMask{});
+  EXPECT_DOUBLE_EQ(outcome.classification_error, bfn.golden_error());
+  EXPECT_DOUBLE_EQ(outcome.deviation, 0.0);
+  EXPECT_EQ(outcome.flipped_bits, 0u);
+}
+
+TEST_F(BayesTest, EvaluateMaskRestoresWeightsExactly) {
+  auto bfn = make_bfn();
+  util::Rng rng{4};
+  const FaultMask mask = bfn.sample_prior_mask(0.01, rng);
+  const MaskOutcome first = bfn.evaluate_mask(mask);
+  // Re-evaluating the same mask must give the identical outcome — i.e. the
+  // weights were restored bit-exactly in between.
+  const MaskOutcome second = bfn.evaluate_mask(mask);
+  EXPECT_DOUBLE_EQ(first.classification_error, second.classification_error);
+  EXPECT_DOUBLE_EQ(first.deviation, second.deviation);
+  // And an empty mask still reproduces the golden error.
+  EXPECT_DOUBLE_EQ(bfn.evaluate_mask(FaultMask{}).classification_error,
+                   bfn.golden_error());
+}
+
+TEST_F(BayesTest, GoldenNetworkIsNeverMutated) {
+  Tensor probe = data_->inputs;
+  const auto before = net_->predict(probe);
+  auto bfn = make_bfn();
+  util::Rng rng{5};
+  for (int i = 0; i < 5; ++i) {
+    bfn.evaluate_mask(bfn.sample_prior_mask(0.05, rng));
+  }
+  EXPECT_EQ(net_->predict(probe), before);
+}
+
+TEST_F(BayesTest, HighPCausesLargeError) {
+  auto bfn = make_bfn();
+  util::Rng rng{6};
+  double total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    total += bfn.evaluate_mask(bfn.sample_prior_mask(0.05, rng))
+                 .classification_error;
+  }
+  // At p=0.05 virtually every weight is corrupted; error far above golden.
+  EXPECT_GT(total / 10.0, bfn.golden_error() + 10.0);
+}
+
+TEST_F(BayesTest, DeviationIndicatorsMatchOutcome) {
+  auto bfn = make_bfn();
+  util::Rng rng{7};
+  const FaultMask mask = bfn.sample_prior_mask(0.02, rng);
+  const auto indicators = bfn.deviation_under_mask(mask);
+  const MaskOutcome outcome = bfn.evaluate_mask(mask);
+  double frac = 0.0;
+  for (auto v : indicators) frac += v;
+  frac = 100.0 * frac / static_cast<double>(indicators.size());
+  EXPECT_NEAR(frac, outcome.deviation, 1e-9);
+}
+
+TEST_F(BayesTest, ReplicateIsIndependentAndEquivalent) {
+  auto bfn = make_bfn();
+  auto replica = bfn.replicate();
+  EXPECT_DOUBLE_EQ(replica->golden_error(), bfn.golden_error());
+  util::Rng rng{8};
+  const FaultMask mask = bfn.sample_prior_mask(0.01, rng);
+  EXPECT_DOUBLE_EQ(replica->evaluate_mask(mask).classification_error,
+                   bfn.evaluate_mask(mask).classification_error);
+}
+
+TEST_F(BayesTest, TransitionMatchesDirectApply) {
+  auto bfn = make_bfn();
+  util::Rng rng{9};
+  const FaultMask a = bfn.sample_prior_mask(0.01, rng);
+  const FaultMask b = bfn.sample_prior_mask(0.01, rng);
+  // Route 1: direct evaluation of b.
+  const double direct = bfn.evaluate_mask(b).classification_error;
+  // Route 2: walk a → b via transition deltas.
+  bfn.space().apply(a);
+  bfn.transition(a, b);
+  auto replica_preds = bfn.predict_current(data_->inputs);
+  bfn.space().apply(b);  // revert to golden
+  std::size_t miss = 0;
+  for (std::size_t i = 0; i < data_->labels.size(); ++i) {
+    if (replica_preds[i] != data_->labels[i]) ++miss;
+  }
+  const double walked =
+      100.0 * static_cast<double>(miss) / static_cast<double>(data_->size());
+  EXPECT_DOUBLE_EQ(direct, walked);
+}
+
+TEST_F(BayesTest, PriorTargetMatchesSpaceLogPrior) {
+  auto bfn = make_bfn();
+  PriorTarget target(bfn, 1e-3);
+  util::Rng rng{10};
+  const FaultMask mask = bfn.sample_prior_mask(1e-3, rng);
+  EXPECT_DOUBLE_EQ(target.log_density(mask), bfn.log_prior(mask, 1e-3));
+}
+
+TEST_F(BayesTest, PriorTargetToggleDeltaConsistent) {
+  auto bfn = make_bfn();
+  PriorTarget target(bfn, 1e-3);
+  FaultMask mask({100});
+  const auto delta_in = target.analytic_toggle_delta(mask, 200);
+  ASSERT_TRUE(delta_in.has_value());
+  FaultMask toggled = mask;
+  toggled.toggle(200);
+  EXPECT_NEAR(*delta_in,
+              target.log_density(toggled) - target.log_density(mask), 1e-9);
+  // Toggling an existing bit out has the opposite sign.
+  const auto delta_out = target.analytic_toggle_delta(mask, 100);
+  ASSERT_TRUE(delta_out.has_value());
+  EXPECT_NEAR(*delta_out, -*delta_in, 1e-9);
+}
+
+TEST_F(BayesTest, DeviationTemperedTargetTiltsTowardErrors) {
+  auto bfn = make_bfn();
+  DeviationTemperedTarget target(bfn, 1e-3, /*lambda=*/50.0);
+  // An empty mask has zero deviation; a catastrophic mask (sign bit of many
+  // weights) deviates a lot. With large lambda the tempered density can rank
+  // a deviating mask above what the bare prior would.
+  const FaultMask empty;
+  util::Rng rng{11};
+  const FaultMask big = bfn.sample_prior_mask(0.02, rng);
+  const double d_empty = target.log_density(empty);
+  const double d_big = target.log_density(big);
+  const double prior_gap = bfn.log_prior(empty, 1e-3) - bfn.log_prior(big, 1e-3);
+  const double tempered_gap = d_empty - d_big;
+  // The likelihood term can only shrink the gap (big deviates more).
+  EXPECT_LT(tempered_gap, prior_gap + 1e-9);
+  EXPECT_TRUE(target.requires_network_eval());
+}
+
+}  // namespace
+}  // namespace bdlfi::bayes

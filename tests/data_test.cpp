@@ -1,0 +1,202 @@
+// Datasets: generators' label/shape invariants, splits, batching, normalizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/cifar_like.h"
+#include "data/dataset.h"
+#include "data/toy2d.h"
+
+namespace bdlfi::data {
+namespace {
+
+TEST(TwoMoons, ShapeAndBalancedLabels) {
+  util::Rng rng{1};
+  Dataset ds = make_two_moons(400, 0.05, rng);
+  EXPECT_EQ(ds.size(), 400u);
+  EXPECT_EQ(ds.inputs.shape(), Shape({400, 2}));
+  const auto ones = std::count(ds.labels.begin(), ds.labels.end(), 1);
+  EXPECT_EQ(ones, 200);
+  ds.check_valid(2);
+}
+
+TEST(TwoMoons, ClassesSpatiallySeparatedOnAverage) {
+  util::Rng rng{2};
+  Dataset ds = make_two_moons(2000, 0.02, rng);
+  double y0 = 0.0, y1 = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    (ds.labels[i] == 0 ? y0 : y1) += ds.inputs[static_cast<std::int64_t>(i) * 2 + 1];
+  }
+  // Upper moon (label 0) has higher mean y than lower moon.
+  EXPECT_GT(y0 / 1000.0, y1 / 1000.0);
+}
+
+TEST(Rings, RadiiSeparate) {
+  util::Rng rng{3};
+  Dataset ds = make_rings(1000, 0.03, rng);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const float x = ds.inputs[static_cast<std::int64_t>(i) * 2];
+    const float y = ds.inputs[static_cast<std::int64_t>(i) * 2 + 1];
+    const double r = std::sqrt(static_cast<double>(x) * x + static_cast<double>(y) * y);
+    if (ds.labels[i] == 0) {
+      EXPECT_LT(r, 0.7);
+    } else {
+      EXPECT_GT(r, 0.7);
+    }
+  }
+}
+
+TEST(Blobs, KClassesAllPresent) {
+  util::Rng rng{4};
+  Dataset ds = make_blobs(90, 5, 3.0, 0.2, rng);
+  std::set<std::int64_t> classes(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(classes.size(), 5u);
+  ds.check_valid(5);
+}
+
+TEST(CifarLike, ShapeRangeAndBalance) {
+  util::Rng rng{5};
+  CifarLikeConfig config;
+  config.samples_per_class = 20;
+  Dataset ds = make_cifar_like(config, rng);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.inputs.shape(), Shape({200, 3, 32, 32}));
+  for (std::int64_t i = 0; i < ds.inputs.numel(); ++i) {
+    EXPECT_GE(ds.inputs[i], 0.0f);
+    EXPECT_LE(ds.inputs[i], 1.0f);
+  }
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_EQ(std::count(ds.labels.begin(), ds.labels.end(), c), 20);
+  }
+}
+
+TEST(CifarLike, ClassMeansDiffer) {
+  // The classes must be statistically distinguishable for training to work:
+  // per-class mean images should differ pairwise by a margin.
+  util::Rng rng{6};
+  CifarLikeConfig config;
+  config.samples_per_class = 10;
+  config.num_classes = 4;
+  Dataset ds = make_cifar_like(config, rng);
+  const std::int64_t d = ds.sample_numel();
+  std::vector<std::vector<double>> means(4, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<int> counts(4, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto c = static_cast<std::size_t>(ds.labels[i]);
+    ++counts[c];
+    for (std::int64_t j = 0; j < d; ++j) {
+      means[c][static_cast<std::size_t>(j)] +=
+          ds.inputs[static_cast<std::int64_t>(i) * d + j];
+    }
+  }
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double diff = means[a][static_cast<std::size_t>(j)] / counts[a] -
+                            means[b][static_cast<std::size_t>(j)] / counts[b];
+        dist += diff * diff;
+      }
+      EXPECT_GT(std::sqrt(dist), 1.0) << "classes " << a << "," << b;
+    }
+  }
+}
+
+TEST(Dataset, GatherCopiesRows) {
+  util::Rng rng{7};
+  Dataset ds = make_blobs(10, 2, 3.0, 0.1, rng);
+  Dataset picked = ds.gather({3, 7});
+  EXPECT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked.labels[0], ds.labels[3]);
+  EXPECT_EQ(picked.inputs[0], ds.inputs[3 * 2]);
+  EXPECT_EQ(picked.inputs[1], ds.inputs[3 * 2 + 1]);
+}
+
+TEST(Dataset, SliceRange) {
+  util::Rng rng{8};
+  Dataset ds = make_blobs(10, 2, 3.0, 0.1, rng);
+  Dataset s = ds.slice(2, 5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.labels[0], ds.labels[2]);
+}
+
+TEST(Split, PartitionsWithoutOverlapOrLoss) {
+  util::Rng rng{9};
+  Dataset ds = make_blobs(100, 2, 3.0, 0.1, rng);
+  // Tag each sample uniquely through its first coordinate.
+  for (std::size_t i = 0; i < 100; ++i) {
+    ds.inputs[static_cast<std::int64_t>(i) * 2] = static_cast<float>(i);
+  }
+  Split split = split_dataset(ds, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 70u);
+  EXPECT_EQ(split.test.size(), 30u);
+  std::set<float> seen;
+  for (std::size_t i = 0; i < 70; ++i) {
+    seen.insert(split.train.inputs[static_cast<std::int64_t>(i) * 2]);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    seen.insert(split.test.inputs[static_cast<std::int64_t>(i) * 2]);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(BatchIterator, CoversEpochExactly) {
+  util::Rng rng{10};
+  Dataset ds = make_blobs(25, 2, 3.0, 0.1, rng);
+  util::Rng brng{11};
+  BatchIterator it(ds, 8, brng);
+  EXPECT_EQ(it.batches_per_epoch(), 4u);
+  Dataset batch;
+  std::size_t total = 0, batches = 0;
+  while (it.next(batch)) {
+    total += batch.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 25u);
+  EXPECT_EQ(batches, 4u);
+  // Next epoch restarts after start_epoch().
+  EXPECT_FALSE(it.next(batch));
+  it.start_epoch();
+  EXPECT_TRUE(it.next(batch));
+}
+
+TEST(Normalizer, ZeroMeanUnitVariance) {
+  util::Rng rng{12};
+  Dataset ds = make_blobs(500, 3, 5.0, 1.0, rng);
+  fit_normalizer(ds);
+  const std::int64_t d = ds.sample_numel();
+  for (std::int64_t j = 0; j < d; ++j) {
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const double v = ds.inputs[static_cast<std::int64_t>(i) * d + j];
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / static_cast<double>(ds.size());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / static_cast<double>(ds.size()) - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(Normalizer, SameTransformAppliesToOtherSplit) {
+  util::Rng rng{13};
+  Dataset train = make_blobs(200, 2, 5.0, 1.0, rng);
+  Dataset test = make_blobs(50, 2, 5.0, 1.0, rng);
+  const auto [mean, stddev] = fit_normalizer(train);
+  const float before = test.inputs[0];
+  apply_normalizer(test, mean, stddev);
+  EXPECT_NE(test.inputs[0], before);
+  EXPECT_NEAR(test.inputs[0], (before - mean[0]) / stddev[0], 1e-6f);
+}
+
+TEST(Dataset, CheckValidCatchesBadLabel) {
+  Dataset ds;
+  ds.inputs = Tensor{Shape{1, 2}};
+  ds.labels = {5};
+  EXPECT_DEATH(ds.check_valid(3), "label");
+}
+
+}  // namespace
+}  // namespace bdlfi::data

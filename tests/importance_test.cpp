@@ -1,0 +1,153 @@
+// Importance-sampled FI: unbiasedness against plain Monte Carlo, variance
+// reduction in the rare-error regime, weight-ESS diagnostics.
+#include "inject/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/toy2d.h"
+#include "inject/random_fi.h"
+#include "nn/builders.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace bdlfi::inject {
+namespace {
+
+class ImportanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng{1};
+    data_ = new data::Dataset(data::make_two_moons(250, 0.08, rng));
+    util::Rng init{2};
+    net_ = new nn::Network(nn::make_mlp({2, 16, 2}, init));
+    train::TrainConfig config;
+    config.epochs = 30;
+    config.lr = 0.05;
+    config.seed = 3;
+    train::fit(*net_, *data_, *data_, config);
+    bfn_ = new bayes::BayesianFaultNetwork(
+        *net_, bayes::TargetSpec::all_parameters(),
+        fault::AvfProfile::uniform(), data_->inputs, data_->labels);
+  }
+  static void TearDownTestSuite() {
+    delete bfn_;
+    delete net_;
+    delete data_;
+  }
+  static nn::Network* net_;
+  static data::Dataset* data_;
+  static bayes::BayesianFaultNetwork* bfn_;
+};
+
+nn::Network* ImportanceTest::net_ = nullptr;
+data::Dataset* ImportanceTest::data_ = nullptr;
+bayes::BayesianFaultNetwork* ImportanceTest::bfn_ = nullptr;
+
+TEST_F(ImportanceTest, BetaOneReducesToPlainMonteCarlo) {
+  // With beta = 1 all weights are equal, so the IS estimate is the sample
+  // mean and the weight ESS equals the sample count.
+  ImportanceFiConfig config;
+  config.beta = 1.0;
+  config.injections = 200;
+  config.seed = 4;
+  const auto result = run_importance_fi(*bfn_, 1e-3, config);
+  EXPECT_NEAR(result.weight_ess, 200.0, 1e-6);
+}
+
+TEST_F(ImportanceTest, AgreesWithPlainMcUnderMildTilt) {
+  // IS is built for the rare-error regime; a *mild* tilt (expected flips
+  // under q still O(1)) must agree with plain MC. Aggressive tilts at
+  // moderate p degenerate the weights — covered by WeightEssWarns below.
+  const double p = 1e-4;
+  ImportanceFiConfig is_config;
+  is_config.beta = 3.0;
+  is_config.injections = 2000;
+  is_config.seed = 5;
+  const auto is_result = run_importance_fi(*bfn_, p, is_config);
+  EXPECT_GT(is_result.weight_ess, 50.0);  // tilt is healthy
+
+  RandomFiConfig mc_config;
+  mc_config.injections = 4000;
+  mc_config.seed = 6;
+  const auto mc_result = run_random_fi(*bfn_, p, mc_config);
+
+  EXPECT_NEAR(is_result.mean_error, mc_result.mean_error,
+              3.0 * mc_result.ci95_halfwidth + 2.0);
+}
+
+TEST_F(ImportanceTest, HitRateBoostedByTilt) {
+  const double p = 1e-5;  // rare-error regime
+  ImportanceFiConfig plain;
+  plain.beta = 1.0;
+  plain.injections = 300;
+  plain.seed = 7;
+  ImportanceFiConfig tilted = plain;
+  tilted.beta = 100.0;
+  const auto base = run_importance_fi(*bfn_, p, plain);
+  const auto boosted = run_importance_fi(*bfn_, p, tilted);
+  EXPECT_GT(boosted.hit_rate, base.hit_rate + 0.05);
+}
+
+TEST_F(ImportanceTest, RareErrorEstimateCloserToReference) {
+  // At p = 3e-5 plain MC with a small budget usually sees only a handful of
+  // non-benign masks; the tilted estimator should land closer to a
+  // large-budget reference on average. Compare absolute errors across seeds.
+  const double p = 3e-5;
+  RandomFiConfig ref_config;
+  ref_config.injections = 6000;
+  ref_config.seed = 8;
+  const double reference = run_random_fi(*bfn_, p, ref_config).mean_error;
+
+  double is_abs = 0.0, mc_abs = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    ImportanceFiConfig is_config;
+    is_config.beta = 30.0;
+    is_config.injections = 200;
+    is_config.seed = 100 + seed;
+    is_abs += std::abs(run_importance_fi(*bfn_, p, is_config).mean_error -
+                       reference);
+    RandomFiConfig mc_config;
+    mc_config.injections = 200;
+    mc_config.seed = 200 + seed;
+    mc_abs +=
+        std::abs(run_random_fi(*bfn_, p, mc_config).mean_error - reference);
+  }
+  EXPECT_LE(is_abs, mc_abs + 0.5);
+}
+
+TEST_F(ImportanceTest, WeightEssWarnsOnAggressiveTilt) {
+  const double p = 1e-5;
+  ImportanceFiConfig mild;
+  mild.beta = 5.0;
+  mild.injections = 400;
+  mild.seed = 9;
+  ImportanceFiConfig extreme = mild;
+  extreme.beta = 3000.0;
+  const auto a = run_importance_fi(*bfn_, p, mild);
+  const auto b = run_importance_fi(*bfn_, p, extreme);
+  EXPECT_LT(b.weight_ess, a.weight_ess);
+}
+
+TEST_F(ImportanceTest, DeterministicForSeed) {
+  ImportanceFiConfig config;
+  config.beta = 10.0;
+  config.injections = 100;
+  config.seed = 10;
+  const auto a = run_importance_fi(*bfn_, 1e-4, config);
+  const auto b = run_importance_fi(*bfn_, 1e-4, config);
+  EXPECT_DOUBLE_EQ(a.mean_error, b.mean_error);
+  EXPECT_DOUBLE_EQ(a.weight_ess, b.weight_ess);
+}
+
+TEST_F(ImportanceTest, RejectsInvalidConfig) {
+  ImportanceFiConfig config;
+  config.beta = 0.5;
+  EXPECT_DEATH(run_importance_fi(*bfn_, 1e-3, config), "beta");
+  config.beta = 1e6;
+  EXPECT_DEATH(run_importance_fi(*bfn_, 1e-3, config), "below 1");
+}
+
+}  // namespace
+}  // namespace bdlfi::inject

@@ -1,0 +1,181 @@
+// End-to-end integration: the paper's full four-step workflow (§II) on both
+// subject architectures, plus cross-module consistency between the MCMC
+// estimate, the random-FI estimate, and direct enumeration on a small space.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bayes/targets.h"
+#include "data/cifar_like.h"
+#include "data/toy2d.h"
+#include "inject/activation.h"
+#include "inject/campaign.h"
+#include "inject/random_fi.h"
+#include "mcmc/runner.h"
+#include "nn/builders.h"
+#include "nn/checkpoint.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace bdlfi {
+namespace {
+
+TEST(Integration, FullWorkflowOnMlp) {
+  // Step 1: train the golden network.
+  util::Rng rng{1};
+  data::Dataset all = data::make_two_moons(300, 0.08, rng);
+  data::Split split = data::split_dataset(all, 0.8, rng);
+  util::Rng init{2};
+  nn::Network net = nn::make_mlp({2, 12, 2}, init);
+  train::TrainConfig tc;
+  tc.epochs = 30;
+  tc.lr = 0.05;
+  tc.seed = 3;
+  const auto trained = train::fit(net, split.train, split.test, tc);
+  ASSERT_GT(trained.final_test_accuracy, 0.9);
+
+  // Steps 2-3: fault model over the trained weights, Bayesian fault network.
+  bayes::BayesianFaultNetwork bfn(net, bayes::TargetSpec::all_parameters(),
+                                  fault::AvfProfile::uniform(),
+                                  split.test.inputs, split.test.labels);
+
+  // Step 4: MCMC inference of classification uncertainty at several p.
+  mcmc::RunnerConfig runner;
+  runner.num_chains = 2;
+  runner.mh.samples = 60;
+  runner.mh.burn_in = 20;
+  runner.seed = 4;
+  const auto sweep = inject::run_bdlfi_sweep(bfn, {1e-5, 1e-2}, runner);
+  EXPECT_LT(sweep.points[0].mean_error, sweep.points[1].mean_error);
+}
+
+TEST(Integration, FullWorkflowOnTinyResnet) {
+  data::CifarLikeConfig dc;
+  dc.samples_per_class = 12;
+  dc.num_classes = 4;
+  dc.image_size = 12;
+  util::Rng rng{5};
+  data::Dataset all = data::make_cifar_like(dc, rng);
+  data::Split split = data::split_dataset(all, 0.75, rng);
+
+  nn::ResNetConfig nc;
+  nc.width_multiplier = 0.0625;
+  nc.num_classes = 4;
+  util::Rng init{6};
+  nn::Network net = nn::make_resnet18(nc, init);
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 16;
+  tc.lr = 0.02;
+  tc.seed = 7;
+  const auto trained = train::fit(net, split.train, split.test, tc);
+  // Better than the 25% chance level — enough signal for injections.
+  EXPECT_GT(trained.final_test_accuracy, 0.3);
+
+  bayes::BayesianFaultNetwork bfn(net, bayes::TargetSpec::all_parameters(),
+                                  fault::AvfProfile::uniform(),
+                                  split.test.inputs, split.test.labels);
+  inject::RandomFiConfig fi;
+  fi.injections = 20;
+  fi.seed = 8;
+  const auto quiet = inject::run_random_fi(bfn, 1e-8, fi);
+  const auto loud = inject::run_random_fi(bfn, 1e-3, fi);
+  EXPECT_LE(quiet.mean_deviation, loud.mean_deviation);
+  EXPECT_NEAR(quiet.mean_error, bfn.golden_error(), 1.0);
+}
+
+TEST(Integration, McmcRandomFiAndSweepAgree) {
+  util::Rng rng{9};
+  data::Dataset ds = data::make_blobs(200, 3, 3.0, 0.4, rng);
+  util::Rng init{10};
+  nn::Network net = nn::make_mlp({2, 10, 3}, init);
+  train::TrainConfig tc;
+  tc.epochs = 20;
+  tc.lr = 0.05;
+  tc.seed = 11;
+  train::fit(net, ds, ds, tc);
+  bayes::BayesianFaultNetwork bfn(net, bayes::TargetSpec::all_parameters(),
+                                  fault::AvfProfile::uniform(), ds.inputs,
+                                  ds.labels);
+  const double p = 2e-3;
+  mcmc::RunnerConfig runner;
+  runner.num_chains = 4;
+  runner.mh.samples = 120;
+  runner.mh.burn_in = 40;
+  runner.mh.thin = 3;
+  runner.seed = 12;
+  const auto sweep = inject::run_bdlfi_sweep(bfn, {p}, runner);
+
+  inject::RandomFiConfig fi;
+  fi.injections = 600;
+  fi.seed = 13;
+  const auto random = inject::run_random_fi(bfn, p, fi);
+
+  const double noise = 3.0 * (random.ci95_halfwidth + 1.0);
+  EXPECT_NEAR(sweep.points[0].mean_error, random.mean_error, noise);
+}
+
+TEST(Integration, CheckpointedNetworkGivesIdenticalCampaign) {
+  util::Rng rng{14};
+  data::Dataset ds = data::make_two_moons(150, 0.08, rng);
+  util::Rng init{15};
+  nn::Network net = nn::make_mlp({2, 8, 2}, init);
+  train::TrainConfig tc;
+  tc.epochs = 15;
+  tc.seed = 16;
+  train::fit(net, ds, ds, tc);
+
+  const std::string path = "/tmp/bdlfi_integration_ckpt.bin";
+  ASSERT_TRUE(nn::save_checkpoint(net, path));
+  util::Rng init2{99};
+  nn::Network restored = nn::make_mlp({2, 8, 2}, init2);
+  ASSERT_TRUE(nn::load_checkpoint(restored, path));
+  std::remove(path.c_str());
+
+  auto campaign = [&](nn::Network& subject) {
+    bayes::BayesianFaultNetwork bfn(subject,
+                                    bayes::TargetSpec::all_parameters(),
+                                    fault::AvfProfile::uniform(), ds.inputs,
+                                    ds.labels);
+    inject::RandomFiConfig fi;
+    fi.injections = 50;
+    fi.seed = 17;
+    fi.workers = 2;
+    return inject::run_random_fi(bfn, 1e-3, fi);
+  };
+  const auto a = campaign(net);
+  const auto b = campaign(restored);
+  EXPECT_EQ(a.error_samples, b.error_samples);
+}
+
+TEST(Integration, ActivationAndWeightCampaignsOnSameNetwork) {
+  util::Rng rng{18};
+  data::Dataset ds = data::make_two_moons(150, 0.08, rng);
+  util::Rng init{19};
+  nn::Network net = nn::make_mlp({2, 12, 2}, init);
+  train::TrainConfig tc;
+  tc.epochs = 20;
+  tc.seed = 20;
+  train::fit(net, ds, ds, tc);
+
+  // Weight campaign via layer targeting.
+  mcmc::RunnerConfig runner;
+  runner.num_chains = 2;
+  runner.mh.samples = 20;
+  runner.seed = 21;
+  const auto weight_points = inject::run_layer_campaign(
+      net, ds.inputs, ds.labels, fault::AvfProfile::uniform(), 1e-3, runner);
+  EXPECT_EQ(weight_points.size(), 2u);
+
+  // Activation campaign over the same layers.
+  inject::ActivationCampaignConfig ac;
+  ac.injections = 10;
+  ac.p = 1e-3;
+  ac.seed = 22;
+  const auto act_points =
+      inject::run_activation_campaign(net, ds.inputs, ds.labels, ac);
+  EXPECT_EQ(act_points.size(), 1u + net.num_layers());
+}
+
+}  // namespace
+}  // namespace bdlfi

@@ -1,0 +1,278 @@
+// Property-based (parameterized) suites: numeric kernels against naive
+// references across a shape grid, fault-model invariants across
+// (profile × rate), and sampler stationarity across rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fault/models.h"
+#include "nn/builders.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace bdlfi {
+namespace {
+
+using tensor::Conv2dSpec;
+using tensor::Shape;
+using tensor::Tensor;
+
+// --- GEMM over shapes and transposes -----------------------------------------
+
+using GemmParam = std::tuple<int, int, int, bool, bool>;  // m, n, k, tA, tB
+
+class GemmProperty : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmProperty, MatchesNaiveReference) {
+  const auto [m, n, k, trans_a, trans_b] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(m * 131 + n * 17 + k)};
+  // Stored dims depend on transpose flags.
+  Tensor a = Tensor::randn(trans_a ? Shape{k, m} : Shape{m, k}, rng);
+  Tensor b = Tensor::randn(trans_b ? Shape{n, k} : Shape{k, n}, rng);
+  Tensor c{Shape{m, n}};
+  tensor::gemm(trans_a, trans_b, m, n, k, 1.0f, a.data(),
+               trans_a ? m : k, b.data(), trans_b ? k : n, 0.0f, c.data(), n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a.at(kk, i) : a.at(i, kk);
+        const float bv = trans_b ? b.at(j, kk) : b.at(kk, j);
+        acc += av * bv;
+      }
+      ASSERT_NEAR(c.at(i, j), acc, 1e-3f)
+          << "m=" << m << " n=" << n << " k=" << k << " tA=" << trans_a
+          << " tB=" << trans_b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmProperty,
+    ::testing::Combine(::testing::Values(1, 3, 17, 64),
+                       ::testing::Values(1, 5, 33),
+                       ::testing::Values(1, 7, 40),
+                       ::testing::Bool(), ::testing::Bool()));
+
+// --- Conv2d over configurations ------------------------------------------------
+
+using ConvParam = std::tuple<int, int, int, int, int>;  // C, O, kernel, stride, H
+
+class ConvProperty : public ::testing::TestWithParam<ConvParam> {};
+
+TEST_P(ConvProperty, ForwardMatchesNaive) {
+  const auto [c, o, kernel, stride, h] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(c * 7 + o * 11 + kernel + h)};
+  Tensor input = Tensor::randn(Shape{2, c, h, h}, rng);
+  Tensor weight = Tensor::randn(Shape{o, c, kernel, kernel}, rng);
+  Conv2dSpec spec;
+  spec.kernel_h = spec.kernel_w = kernel;
+  spec.stride = stride;
+  spec.set_pad(kernel / 2);
+  const Tensor fast = tensor::conv2d_forward(input, weight, {}, spec);
+
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(h);
+  for (std::int64_t s = 0; s < 2; ++s) {
+    for (std::int64_t oc = 0; oc < o; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ky = 0; ky < kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                const std::int64_t iy = oy * stride - spec.pad_h + ky;
+                const std::int64_t ix = ox * stride - spec.pad_w + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= h) continue;
+                acc += input.at(s, ic, iy, ix) * weight.at(oc, ic, ky, kx);
+              }
+            }
+          }
+          ASSERT_NEAR(fast.at(s, oc, oy, ox), acc, 1e-3f);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ConvProperty, BackwardInputGradientSpotCheck) {
+  const auto [c, o, kernel, stride, h] = GetParam();
+  if (h > 9) GTEST_SKIP() << "large case covered by forward check";
+  util::Rng rng{static_cast<std::uint64_t>(c + o + kernel + stride + h)};
+  Tensor input = Tensor::randn(Shape{1, c, h, h}, rng);
+  Tensor weight = Tensor::randn(Shape{o, c, kernel, kernel}, rng);
+  Conv2dSpec spec;
+  spec.kernel_h = spec.kernel_w = kernel;
+  spec.stride = stride;
+  spec.set_pad(kernel / 2);
+
+  Tensor out = tensor::conv2d_forward(input, weight, {}, spec);
+  Tensor ones = Tensor::full(out.shape(), 1.0f);
+  Tensor gi, gw, gb;
+  tensor::conv2d_backward(input, weight, ones, spec, gi, gw, gb);
+
+  auto loss = [&](const Tensor& x) {
+    Tensor y = tensor::conv2d_forward(x, weight, {}, spec);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) acc += y[i];
+    return acc;
+  };
+  const float eps = 1e-2f;
+  const std::int64_t probe = input.numel() / 2;
+  Tensor xp = input, xm = input;
+  xp[probe] += eps;
+  xm[probe] -= eps;
+  EXPECT_NEAR(gi[probe], (loss(xp) - loss(xm)) / (2.0 * eps), 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, ConvProperty,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(1, 4),
+                       ::testing::Values(1, 3, 5), ::testing::Values(1, 2),
+                       ::testing::Values(6, 9)));
+
+// --- Fault sampling invariants across (profile, p) ----------------------------
+
+struct ProfileCase {
+  const char* name;
+  fault::AvfProfile (*make)();
+};
+
+using FaultParam = std::tuple<int, double>;  // profile index, p
+
+class FaultSamplingProperty : public ::testing::TestWithParam<FaultParam> {
+ protected:
+  static const ProfileCase kProfiles[4];
+};
+
+const ProfileCase FaultSamplingProperty::kProfiles[4] = {
+    {"uniform", [] { return fault::AvfProfile::uniform(); }},
+    {"exponent_weighted",
+     [] { return fault::AvfProfile::exponent_weighted(4.0); }},
+    {"mantissa_only", [] { return fault::AvfProfile::mantissa_only(); }},
+    {"sign_exponent_only",
+     [] { return fault::AvfProfile::sign_exponent_only(); }},
+};
+
+TEST_P(FaultSamplingProperty, FlipRateMatchesExpectation) {
+  const auto [profile_idx, p] = GetParam();
+  const fault::AvfProfile profile = kProfiles[profile_idx].make();
+  util::Rng init{1};
+  nn::Network net = nn::make_mlp({8, 16, 4}, init);
+  fault::InjectionSpace space(net);
+  util::Rng rng{static_cast<std::uint64_t>(profile_idx * 1000 +
+                                           static_cast<int>(1.0 / p))};
+  const int trials = 300;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(space.sample_mask(profile, p, rng).num_flips());
+  }
+  const double expected = profile.expected_flips_per_word(p) *
+                          static_cast<double>(space.total_elements());
+  const double observed = total / trials;
+  // 300 trials of a Poisson-ish count: allow 20% + absolute slack.
+  EXPECT_NEAR(observed, expected, 0.2 * expected + 0.5)
+      << kProfiles[profile_idx].name << " p=" << p;
+}
+
+TEST_P(FaultSamplingProperty, ApplyRevertRestoresBitExactly) {
+  const auto [profile_idx, p] = GetParam();
+  const fault::AvfProfile profile = kProfiles[profile_idx].make();
+  util::Rng init{2};
+  nn::Network net = nn::make_mlp({8, 16, 4}, init);
+  fault::InjectionSpace space(net);
+  std::vector<std::uint32_t> golden;
+  for (const auto& e : space.entries()) {
+    for (std::int64_t i = 0; i < e.value->numel(); ++i) {
+      golden.push_back(fault::float_to_bits((*e.value)[i]));
+    }
+  }
+  util::Rng rng{static_cast<std::uint64_t>(profile_idx + 7)};
+  for (int t = 0; t < 10; ++t) {
+    const fault::FaultMask mask = space.sample_mask(profile, p, rng);
+    space.apply(mask);
+    space.apply(mask);
+  }
+  std::size_t k = 0;
+  for (const auto& e : space.entries()) {
+    for (std::int64_t i = 0; i < e.value->numel(); ++i, ++k) {
+      ASSERT_EQ(fault::float_to_bits((*e.value)[i]), golden[k]);
+    }
+  }
+}
+
+TEST_P(FaultSamplingProperty, LogPriorToggleAlgebra) {
+  const auto [profile_idx, p] = GetParam();
+  const fault::AvfProfile profile = kProfiles[profile_idx].make();
+  util::Rng init{3};
+  nn::Network net = nn::make_mlp({8, 16, 4}, init);
+  fault::InjectionSpace space(net);
+  util::Rng rng{static_cast<std::uint64_t>(profile_idx * 31 + 5)};
+  fault::FaultMask mask = space.sample_mask(profile, p, rng);
+  const double base = space.log_prior(mask, profile, p);
+  if (!std::isfinite(base)) GTEST_SKIP() << "degenerate profile/mask";
+  // Toggling any sampled-bit out and back in must round-trip the prior.
+  if (mask.empty()) GTEST_SKIP() << "empty mask at tiny p";
+  const std::int64_t bit = mask.bits().front();
+  const double delta_out = space.log_prior_toggle_delta(bit, profile, p);
+  fault::FaultMask without = mask;
+  without.toggle(bit);
+  EXPECT_NEAR(space.log_prior(without, profile, p), base - delta_out, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfileRateGrid, FaultSamplingProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1e-4, 1e-3, 1e-2)));
+
+// --- Architecture round-trips across builder configurations -------------------
+
+class MlpShapeProperty
+    : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(MlpShapeProperty, CloneAndParamEnumerationConsistent) {
+  util::Rng rng{4};
+  nn::Network net = nn::make_mlp(GetParam(), rng);
+  nn::Network copy = net.clone();
+  const auto a = net.params();
+  const auto b = copy.params();
+  ASSERT_EQ(a.size(), b.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].role, b[i].role);
+    EXPECT_EQ(tensor::Tensor::max_abs_diff(*a[i].value, *b[i].value), 0.0f);
+    total += a[i].value->numel();
+  }
+  EXPECT_EQ(total, net.num_params());
+
+  Tensor x{Shape{3, GetParam().front()}};
+  EXPECT_EQ(net.forward(x).shape(), Shape({3, GetParam().back()}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlpShapeProperty,
+    ::testing::Values(std::vector<std::int64_t>{2, 4},
+                      std::vector<std::int64_t>{2, 16, 2},
+                      std::vector<std::int64_t>{5, 8, 8, 3},
+                      std::vector<std::int64_t>{10, 32, 16, 8, 4}));
+
+class ResnetWidthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResnetWidthProperty, ForwardShapeAndSpaceConsistency) {
+  util::Rng rng{5};
+  nn::ResNetConfig config;
+  config.width_multiplier = GetParam();
+  config.num_classes = 7;
+  nn::Network net = nn::make_resnet18(config, rng);
+  Tensor x{Shape{1, 3, 16, 16}};
+  EXPECT_EQ(net.forward(x).shape(), Shape({1, 7}));
+  fault::InjectionSpace space(net);
+  EXPECT_EQ(space.total_elements(), net.num_params());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ResnetWidthProperty,
+                         ::testing::Values(0.0625, 0.125, 0.25));
+
+}  // namespace
+}  // namespace bdlfi

@@ -1,0 +1,155 @@
+// Range guards: calibration, clamping/NaN-squashing semantics, transparency
+// on clean data, and end-to-end SDC reduction under weight faults.
+#include "nn/range_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bayes/fault_network.h"
+#include "data/toy2d.h"
+#include "inject/random_fi.h"
+#include "nn/builders.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace bdlfi::nn {
+namespace {
+
+TEST(RangeGuard, UncalibratedIsTransparent) {
+  RangeGuard guard;
+  Tensor x{Shape{3}, {-5.0f, 0.0f, 1e30f}};
+  Tensor y = guard.forward(x, false);
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+  EXPECT_EQ(guard.corrections(), 0u);
+}
+
+TEST(RangeGuard, CalibrationRecordsRange) {
+  RangeGuard guard(0.0);
+  guard.set_calibrating(true);
+  Tensor x{Shape{4}, {-2.0f, 1.0f, 3.0f, 0.5f}};
+  guard.forward(x, false);
+  guard.set_calibrating(false);
+  EXPECT_TRUE(guard.is_calibrated());
+  EXPECT_FLOAT_EQ(guard.lo(), -2.0f);
+  EXPECT_FLOAT_EQ(guard.hi(), 3.0f);
+}
+
+TEST(RangeGuard, ClampsOutOfRangeAfterCalibration) {
+  RangeGuard guard(0.0);
+  guard.set_calibrating(true);
+  Tensor calib{Shape{2}, {0.0f, 1.0f}};
+  guard.forward(calib, false);
+  guard.set_calibrating(false);
+
+  Tensor x{Shape{4}, {-10.0f, 0.5f, 100.0f, 1.0f}};
+  Tensor y = guard.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+  EXPECT_EQ(guard.corrections(), 2u);
+}
+
+TEST(RangeGuard, NanSquashedToMidpoint) {
+  RangeGuard guard(0.0);
+  guard.set_calibrating(true);
+  Tensor calib{Shape{2}, {0.0f, 2.0f}};
+  guard.forward(calib, false);
+  guard.set_calibrating(false);
+
+  Tensor x{Shape{1}, {std::nanf("")}};
+  Tensor y = guard.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+}
+
+TEST(RangeGuard, MarginWidensRange) {
+  RangeGuard guard(0.5);
+  guard.set_calibrating(true);
+  Tensor calib{Shape{2}, {0.0f, 2.0f}};
+  guard.forward(calib, false);
+  guard.set_calibrating(false);
+
+  Tensor x{Shape{2}, {-0.9f, 2.9f}};  // within ±50% widening
+  Tensor y = guard.forward(x, false);
+  EXPECT_EQ(guard.corrections(), 0u);
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+}
+
+TEST(RangeGuard, CalibrationIgnoresNonFinite) {
+  RangeGuard guard(0.0);
+  guard.set_calibrating(true);
+  Tensor calib{Shape{3},
+               {1.0f, std::numeric_limits<float>::infinity(), 2.0f}};
+  guard.forward(calib, false);
+  EXPECT_FLOAT_EQ(guard.hi(), 2.0f);
+}
+
+class GuardedNetworkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng{1};
+    data_ = new data::Dataset(data::make_two_moons(300, 0.08, rng));
+    util::Rng init{2};
+    net_ = new Network(make_mlp({2, 16, 32, 2}, init));
+    train::TrainConfig config;
+    config.epochs = 35;
+    config.lr = 0.05;
+    config.seed = 3;
+    train::fit(*net_, *data_, *data_, config);
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    delete data_;
+  }
+  static Network* net_;
+  static data::Dataset* data_;
+};
+
+Network* GuardedNetworkTest::net_ = nullptr;
+data::Dataset* GuardedNetworkTest::data_ = nullptr;
+
+TEST_F(GuardedNetworkTest, GuardsPreserveCleanPredictions) {
+  Network guarded = add_range_guards(*net_, data_->inputs, 0.1);
+  EXPECT_EQ(guarded.num_layers(), 2 * net_->num_layers());
+  EXPECT_EQ(guarded.predict(data_->inputs), net_->predict(data_->inputs));
+  EXPECT_EQ(total_guard_corrections(guarded), 0u);
+}
+
+TEST_F(GuardedNetworkTest, GuardsCloneWithCalibration) {
+  Network guarded = add_range_guards(*net_, data_->inputs, 0.1);
+  Network copy = guarded.clone();
+  EXPECT_EQ(copy.predict(data_->inputs), guarded.predict(data_->inputs));
+  // The cloned guards must be calibrated too.
+  for (std::size_t i = 0; i < copy.num_layers(); ++i) {
+    if (auto* guard = dynamic_cast<RangeGuard*>(&copy.layer(i))) {
+      EXPECT_TRUE(guard->is_calibrated());
+    }
+  }
+}
+
+TEST_F(GuardedNetworkTest, GuardsReduceFaultDeviation) {
+  const double p = 3e-3;
+  bayes::BayesianFaultNetwork plain(
+      *net_, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), data_->inputs, data_->labels);
+
+  Network guarded = add_range_guards(*net_, data_->inputs, 0.1);
+  // Target only the original layers' parameters (guards have none anyway).
+  bayes::BayesianFaultNetwork protected_net(
+      guarded, bayes::TargetSpec::all_parameters(),
+      fault::AvfProfile::uniform(), data_->inputs, data_->labels);
+
+  inject::RandomFiConfig fi;
+  fi.injections = 400;
+  fi.seed = 4;
+  const auto base = inject::run_random_fi(plain, p, fi);
+  const auto hard = inject::run_random_fi(protected_net, p, fi);
+  EXPECT_LT(hard.mean_deviation, base.mean_deviation);
+  // Guards convert would-be NaN outputs into in-range values: detected↓.
+  EXPECT_LE(hard.mean_detected, base.mean_detected);
+}
+
+}  // namespace
+}  // namespace bdlfi::nn

@@ -1,0 +1,120 @@
+// Tensor & Shape invariants.
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bdlfi::tensor {
+namespace {
+
+TEST(Shape, NumelAndAccess) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({5, 7}).to_string(), "[5, 7]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t{Shape{3, 3}};
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[0], -1.0f);
+}
+
+TEST(Tensor, ArangeRowMajor) {
+  Tensor t = Tensor::arange(Shape{2, 3});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, OffsetMatchesRowMajor4d) {
+  Tensor t = Tensor::arange(Shape{2, 3, 4, 5});
+  EXPECT_EQ(t.at(1, 2, 3, 4), static_cast<float>(1 * 60 + 2 * 20 + 3 * 5 + 4));
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a = Tensor::full(Shape{2}, 1.0f);
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor a = Tensor::arange(Shape{2, 6});
+  Tensor b = a.reshaped(Shape{3, 4});
+  EXPECT_EQ(b.shape(), Shape({3, 4}));
+  EXPECT_EQ(b[7], 7.0f);
+}
+
+TEST(Tensor, ReshapeWrongNumelAborts) {
+  Tensor a{Shape{2, 3}};
+  EXPECT_DEATH((void)a.reshaped(Shape{5}), "numel");
+}
+
+TEST(Tensor, RandnMoments) {
+  util::Rng rng{1};
+  Tensor t = Tensor::randn(Shape{10000}, rng, 1.0f, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / 10000.0;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(sq / 10000.0 - mean * mean, 4.0, 0.3);
+}
+
+TEST(Tensor, UniformRange) {
+  util::Rng rng{2};
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -2.0f, 3.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::full(Shape{3}, 1.0f);
+  Tensor b = a;
+  b[1] = 1.5f;
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 0.5f);
+}
+
+TEST(Tensor, ScaleInPlace) {
+  Tensor a = Tensor::arange(Shape{4});
+  a.scale(2.0f);
+  EXPECT_EQ(a[3], 6.0f);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor a = Tensor::arange(Shape{100});
+  const std::string s = a.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdlfi::tensor

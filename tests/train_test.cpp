@@ -1,0 +1,164 @@
+// Training: loss correctness, optimizer dynamics, schedules, end-to-end
+// learning on separable data (the "golden run" of the paper's step 1).
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/toy2d.h"
+#include "nn/builders.h"
+#include "train/loss.h"
+#include "train/optimizer.h"
+#include "util/rng.h"
+
+namespace bdlfi::train {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(CrossEntropy, UniformLogitsLossIsLogC) {
+  Tensor logits{Shape{2, 4}};
+  std::vector<std::int64_t> labels{0, 3};
+  const LossResult r = cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits{Shape{1, 3}, {100.0f, 0.0f, 0.0f}};
+  std::vector<std::int64_t> labels{0};
+  EXPECT_NEAR(cross_entropy(logits, labels).loss, 0.0, 1e-5);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  util::Rng rng{1};
+  Tensor logits = Tensor::randn(Shape{6, 5}, rng);
+  std::vector<std::int64_t> labels{0, 1, 2, 3, 4, 0};
+  const LossResult r = cross_entropy(logits, labels);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < 5; ++c) sum += r.grad_logits.at(i, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, GradientNumericalCheck) {
+  util::Rng rng{2};
+  Tensor logits = Tensor::randn(Shape{3, 4}, rng);
+  std::vector<std::int64_t> labels{1, 0, 3};
+  const LossResult r = cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t idx = 0; idx < logits.numel(); ++idx) {
+    Tensor lp = logits, lm = logits;
+    lp[idx] += eps;
+    lm[idx] -= eps;
+    const double numeric =
+        (cross_entropy(lp, labels).loss - cross_entropy(lm, labels).loss) /
+        (2.0 * eps);
+    EXPECT_NEAR(r.grad_logits[idx], numeric, 1e-3);
+  }
+}
+
+TEST(Sgd, MovesAgainstGradient) {
+  tensor::Tensor w{tensor::Shape{2}, {1.0f, -1.0f}};
+  tensor::Tensor g{tensor::Shape{2}, {0.5f, -0.5f}};
+  std::vector<ParamRef> params{{"w", nn::ParamRole::kWeight, &w, &g}};
+  Sgd opt(0.1, /*momentum=*/0.0);
+  opt.step(params);
+  EXPECT_FLOAT_EQ(w[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(w[1], -1.0f + 0.1f * 0.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  tensor::Tensor w{tensor::Shape{1}, {0.0f}};
+  tensor::Tensor g{tensor::Shape{1}, {1.0f}};
+  std::vector<ParamRef> params{{"w", nn::ParamRole::kWeight, &w, &g}};
+  Sgd opt(1.0, /*momentum=*/0.5);
+  opt.step(params);  // v=1, w=-1
+  opt.step(params);  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(w[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  tensor::Tensor w{tensor::Shape{1}, {10.0f}};
+  tensor::Tensor g{tensor::Shape{1}, {0.0f}};
+  std::vector<ParamRef> params{{"w", nn::ParamRole::kWeight, &w, &g}};
+  Sgd opt(0.1, 0.0, /*weight_decay=*/0.1);
+  opt.step(params);
+  EXPECT_LT(w[0], 10.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (w-3)^2 → w should approach 3.
+  tensor::Tensor w{tensor::Shape{1}, {0.0f}};
+  tensor::Tensor g{tensor::Shape{1}};
+  std::vector<ParamRef> params{{"w", nn::ParamRole::kWeight, &w, &g}};
+  Adam opt(0.1);
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.step(params);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(Schedules, CosineDecaysToFloor) {
+  CosineLr schedule(0.01);
+  EXPECT_NEAR(schedule.lr_at(0, 100, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(schedule.lr_at(99, 100, 1.0), 0.01, 1e-6);
+  EXPECT_GT(schedule.lr_at(25, 100, 1.0), schedule.lr_at(75, 100, 1.0));
+}
+
+TEST(Schedules, StepDecay) {
+  StepLr schedule(10, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.lr_at(5, 100, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.lr_at(10, 100, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.lr_at(25, 100, 1.0), 0.25);
+}
+
+TEST(Trainer, LearnsTwoMoons) {
+  util::Rng rng{3};
+  data::Dataset all = data::make_two_moons(600, 0.08, rng);
+  data::Split split = data::split_dataset(all, 0.8, rng);
+
+  util::Rng init{4};
+  nn::Network net = nn::make_mlp({2, 16, 32, 2}, init);
+  TrainConfig config;
+  config.epochs = 40;
+  config.batch_size = 32;
+  config.lr = 0.05;
+  config.seed = 5;
+  const TrainResult result = fit(net, split.train, split.test, config);
+  EXPECT_GT(result.final_test_accuracy, 0.95);
+  // Loss decreased substantially.
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss * 0.5);
+}
+
+TEST(Trainer, TargetAccuracyStopsEarly) {
+  util::Rng rng{6};
+  data::Dataset all = data::make_blobs(300, 3, 3.0, 0.3, rng);
+  data::Split split = data::split_dataset(all, 0.8, rng);
+  util::Rng init{7};
+  nn::Network net = nn::make_mlp({2, 16, 3}, init);
+  TrainConfig config;
+  config.epochs = 100;
+  config.lr = 0.05;
+  config.target_accuracy = 0.9;  // blobs are easy; should stop long before 100
+  const TrainResult result = fit(net, split.train, split.test, config);
+  EXPECT_LT(result.history.size(), 100u);
+  EXPECT_GE(result.final_test_accuracy, 0.9);
+}
+
+TEST(Trainer, EvaluateAccuracyMatchesNetworkAccuracy) {
+  util::Rng rng{8};
+  data::Dataset ds = data::make_blobs(100, 2, 3.0, 0.3, rng);
+  util::Rng init{9};
+  nn::Network net = nn::make_mlp({2, 8, 2}, init);
+  const double a = evaluate_accuracy(net, ds, 16);
+  const double b = net.accuracy(ds.inputs, ds.labels);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+}  // namespace
+}  // namespace bdlfi::train

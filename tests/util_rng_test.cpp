@@ -1,0 +1,132 @@
+// RNG: determinism, distribution sanity, stream independence.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace bdlfi::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a{7};
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{5};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{17};
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng{19};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{23};
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  // E[failures before success] = (1-p)/p.
+  Rng rng{29};
+  const double p = 0.05;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.3);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng rng{31};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent{37};
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitmixIsConstexprFriendly) {
+  std::uint64_t s = 1;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(s, 1 + 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+}  // namespace bdlfi::util

@@ -1,0 +1,279 @@
+// bdlfi — command-line front end for fault-injection campaigns.
+//
+// Lets a user run the whole paper workflow without writing C++:
+//
+//   bdlfi train   --model=mlp|resnet --out=golden.ckpt [--epochs=..]
+//   bdlfi sweep   --ckpt=golden.ckpt --p-lo=1e-5 --p-hi=1e-1 [--points=9]
+//   bdlfi layers  --ckpt=golden.ckpt --p=1e-3 [--dose=4]
+//   bdlfi random  --ckpt=golden.ckpt --p=1e-3 --injections=1000
+//   bdlfi complete --ckpt=golden.ckpt --p=1e-3       (mixing-based stop)
+//
+// The dataset is regenerated deterministically from --data-seed, so a
+// checkpoint plus the command line fully reproduces any result. Model
+// architecture is stored implicitly: --model/--width/--image-size must match
+// between `train` and later commands (checkpoints validate names/shapes and
+// refuse mismatches).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bayes/targets.h"
+#include "data/cifar_like.h"
+#include "data/toy2d.h"
+#include "inject/campaign.h"
+#include "inject/random_fi.h"
+#include "mcmc/runner.h"
+#include "nn/builders.h"
+#include "nn/checkpoint.h"
+#include "train/trainer.h"
+#include "util/csv.h"
+#include "util/log.h"
+
+using namespace bdlfi;
+
+namespace {
+
+// Minimal --key=value parser (same convention as the benches).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_.emplace_back(arg, "1");
+      } else {
+        kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  double num(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return std::atof(v.c_str());
+    }
+    return fallback;
+  }
+  std::size_t count(const std::string& key, std::size_t fallback) const {
+    return static_cast<std::size_t>(num(key, static_cast<double>(fallback)));
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+struct Subject {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+Subject build_subject(const Args& args) {
+  const std::string model = args.get("model", "mlp");
+  const auto data_seed = static_cast<std::uint64_t>(args.num("data-seed", 11));
+  const auto init_seed = static_cast<std::uint64_t>(args.num("init-seed", 12));
+  util::Rng data_rng{data_seed};
+  util::Rng init_rng{init_seed};
+  Subject subject;
+  if (model == "mlp") {
+    data::Dataset all =
+        data::make_two_moons(args.count("samples", 800), 0.08, data_rng);
+    data::Split split = data::split_dataset(all, 0.75, data_rng);
+    subject.net = nn::make_mlp({2, 16, 32, 2}, init_rng);
+    subject.train = std::move(split.train);
+    subject.test = std::move(split.test);
+  } else if (model == "resnet") {
+    data::CifarLikeConfig dc;
+    dc.samples_per_class = args.count("samples-per-class", 60);
+    dc.image_size = static_cast<std::int64_t>(args.num("image-size", 16));
+    data::Dataset all = data::make_cifar_like(dc, data_rng);
+    data::Split split = data::split_dataset(all, 0.8, data_rng);
+    nn::ResNetConfig nc;
+    nc.width_multiplier = args.num("width", 0.125);
+    subject.net = nn::make_resnet18(nc, init_rng);
+    subject.train = std::move(split.train);
+    subject.test = std::move(split.test);
+  } else {
+    std::fprintf(stderr, "unknown --model=%s (mlp|resnet)\n", model.c_str());
+    std::exit(2);
+  }
+  return subject;
+}
+
+Subject load_subject(const Args& args) {
+  Subject subject = build_subject(args);
+  const std::string ckpt = args.get("ckpt", "");
+  if (ckpt.empty()) {
+    std::fprintf(stderr, "--ckpt=<file> is required\n");
+    std::exit(2);
+  }
+  if (!nn::load_checkpoint(subject.net, ckpt)) {
+    std::fprintf(stderr,
+                 "failed to load %s (did --model/--width/--image-size match "
+                 "the train run?)\n",
+                 ckpt.c_str());
+    std::exit(1);
+  }
+  return subject;
+}
+
+bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Args& args) {
+  fault::AvfProfile profile = fault::AvfProfile::uniform();
+  const std::string avf = args.get("avf", "uniform");
+  if (avf == "exponent") profile = fault::AvfProfile::exponent_weighted(4.0);
+  if (avf == "mantissa") profile = fault::AvfProfile::mantissa_only();
+  if (avf == "sign-exponent") {
+    profile = fault::AvfProfile::sign_exponent_only();
+  }
+  bayes::TargetSpec spec = bayes::TargetSpec::all_parameters();
+  const std::string layer = args.get("layer", "");
+  if (!layer.empty()) spec = bayes::TargetSpec::single_layer(layer);
+  return bayes::BayesianFaultNetwork(subject.net, spec, profile,
+                                     subject.test.inputs,
+                                     subject.test.labels);
+}
+
+mcmc::RunnerConfig runner_from(const Args& args) {
+  mcmc::RunnerConfig runner;
+  runner.num_chains = args.count("chains", 4);
+  runner.mh.samples = args.count("samples-per-chain", 100);
+  runner.mh.burn_in = args.count("burn-in", 30);
+  runner.mh.thin = args.count("thin", 5);
+  runner.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  return runner;
+}
+
+int cmd_train(const Args& args) {
+  Subject subject = build_subject(args);
+  train::TrainConfig config;
+  config.epochs = args.count("epochs", args.get("model", "mlp") == "mlp"
+                                           ? std::size_t{40}
+                                           : std::size_t{5});
+  config.batch_size = args.count("batch", 32);
+  config.lr = args.num("lr", args.get("model", "mlp") == "mlp" ? 0.05 : 0.02);
+  config.seed = static_cast<std::uint64_t>(args.num("seed", 13));
+  config.verbose = true;
+  const auto result =
+      train::fit(subject.net, subject.train, subject.test, config);
+  std::printf("final test accuracy: %.2f%%\n",
+              100.0 * result.final_test_accuracy);
+  const std::string out = args.get("out", "golden.ckpt");
+  if (!nn::save_checkpoint(subject.net, out)) return 1;
+  std::printf("golden weights written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  Subject subject = load_subject(args);
+  auto bfn = make_bfn(subject, args);
+  const auto ps = inject::log_space(args.num("p-lo", 1e-5),
+                                    args.num("p-hi", 1e-1),
+                                    args.count("points", 9));
+  const auto sweep = inject::run_bdlfi_sweep(bfn, ps, runner_from(args));
+  util::Table table({"p", "mean_error_%", "q05", "q95", "rhat", "ess"});
+  for (const auto& pt : sweep.points) {
+    table.row().col(pt.p).col(pt.mean_error).col(pt.q05).col(pt.q95)
+        .col(pt.rhat).col(pt.ess);
+  }
+  std::printf("golden error: %.2f%%\n%s", sweep.golden_error,
+              table.to_text().c_str());
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !table.write_csv(out)) return 1;
+  return 0;
+}
+
+int cmd_layers(const Args& args) {
+  Subject subject = load_subject(args);
+  const auto points = inject::run_layer_campaign(
+      subject.net, subject.test.inputs, subject.test.labels,
+      fault::AvfProfile::uniform(), args.num("p", 1e-3), runner_from(args),
+      args.num("dose", 0.0));
+  util::Table table({"idx", "layer", "kind", "params", "mean_error_%",
+                     "deviation_%"});
+  for (const auto& pt : points) {
+    table.row().col(pt.layer_index).col(pt.layer_name).col(pt.layer_kind)
+        .col(static_cast<std::size_t>(pt.layer_params)).col(pt.mean_error)
+        .col(pt.mean_deviation);
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_random(const Args& args) {
+  Subject subject = load_subject(args);
+  auto bfn = make_bfn(subject, args);
+  inject::RandomFiConfig config;
+  config.injections = args.count("injections", 1000);
+  config.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto result =
+      inject::run_random_fi(bfn, args.num("p", 1e-3), config);
+  std::printf("random FI @ p=%.3g over %zu injections:\n"
+              "  mean error %.3f%% (golden %.3f%%), ci95 ±%.3f\n"
+              "  deviation %.3f%%  SDC %.3f%%  detected %.3f%%\n",
+              args.num("p", 1e-3), result.injections, result.mean_error,
+              bfn.golden_error(), result.ci95_halfwidth,
+              result.mean_deviation, result.mean_sdc, result.mean_detected);
+  return 0;
+}
+
+int cmd_complete(const Args& args) {
+  Subject subject = load_subject(args);
+  auto bfn = make_bfn(subject, args);
+  const double p = args.num("p", 1e-3);
+  mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  mcmc::CompletenessCriterion criterion;
+  criterion.rhat_threshold = args.num("rhat", 1.05);
+  criterion.mean_rel_tol = args.num("tol", 0.05);
+  criterion.max_rounds = args.count("max-rounds", 8);
+  const auto result = mcmc::run_until_complete(bfn, factory, p,
+                                               runner_from(args), criterion);
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& r = result.trajectory[i];
+    std::printf("round %zu: samples=%zu mean=%.3f%% rhat=%.4f ess=%.0f\n",
+                i + 1, r.cumulative_samples, r.mean_error, r.rhat, r.ess);
+  }
+  std::printf("campaign %s after %zu rounds\n",
+              result.converged ? "COMPLETE" : "NOT CONVERGED", result.rounds);
+  return result.converged ? 0 : 3;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "bdlfi <command> [--flags]\n"
+      "  train     train a golden network    (--model=mlp|resnet --out=F)\n"
+      "  sweep     error vs flip probability (--ckpt=F --p-lo --p-hi)\n"
+      "  layers    per-layer campaign        (--ckpt=F --p [--dose])\n"
+      "  random    traditional random FI     (--ckpt=F --p --injections)\n"
+      "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
+      "common: --model --width --image-size --data-seed --avf=uniform|"
+      "exponent|mantissa|sign-exponent --layer=<name>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const Args args(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "layers") return cmd_layers(args);
+  if (cmd == "random") return cmd_random(args);
+  if (cmd == "complete") return cmd_complete(args);
+  usage();
+  return 2;
+}
