@@ -43,8 +43,11 @@ int main(int argc, char** argv) {
       fault::AvfProfile::uniform(), p, runner);
 
   util::Table table({"layer_idx", "name", "kind", "params",
-                     "err_fixed_dose_%", "q05", "q95", "err_fixed_rate_%"});
+                     "err_fixed_dose_%", "q05", "q95", "err_fixed_rate_%",
+                     "evals", "truncated", "layers_saved_%"});
   std::vector<double> depths, errors_dose, errors_rate;
+  double evals_saved = 0.0;
+  std::size_t evals = 0, truncated = 0;
   for (std::size_t i = 0; i < fixed_dose.size(); ++i) {
     const auto& pt = fixed_dose[i];
     table.row()
@@ -55,15 +58,25 @@ int main(int argc, char** argv) {
         .col(pt.mean_error)
         .col(pt.q05)
         .col(pt.q95)
-        .col(fixed_rate[i].mean_error);
+        .col(fixed_rate[i].mean_error)
+        .col(pt.network_evals)
+        .col(pt.truncated_evals)
+        .col(pt.layers_saved_pct);
     depths.push_back(static_cast<double>(pt.layer_index));
     errors_dose.push_back(pt.mean_error);
     errors_rate.push_back(fixed_rate[i].mean_error);
+    evals_saved += pt.evals_saved + fixed_rate[i].evals_saved;
+    evals += pt.network_evals + fixed_rate[i].network_evals;
+    truncated += pt.truncated_evals + fixed_rate[i].truncated_evals;
   }
   std::printf("=== Fig. 3: ResNet-18 error vs injected layer "
               "(dose = %.3g flips/injection; rate mode p = %.2g) ===\n\n",
               dose, p);
   bench::emit(table, "fig3_resnet_layers");
+  std::printf("stats: %zu/%zu mask evals truncated via the golden activation "
+              "cache; ~%.0f equivalent full-network evals saved across both "
+              "modes\n",
+              truncated, evals, evals_saved);
 
   util::Series series{"fixed dose (paper protocol)", {}, {}, '*'};
   series.xs = depths;

@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
   const inject::SweepResult sweep = inject::run_bdlfi_sweep(bfn, ps, runner);
 
   util::Table table({"p", "mean_error_%", "q05", "q95", "deviation_%",
-                     "mean_flips", "rhat", "samples"});
+                     "mean_flips", "rhat", "samples", "evals", "truncated",
+                     "layers_saved_%"});
+  std::size_t evals = 0, truncated = 0;
   for (const auto& pt : sweep.points) {
     table.row()
         .col(pt.p)
@@ -50,12 +52,19 @@ int main(int argc, char** argv) {
         .col(pt.mean_deviation)
         .col(pt.mean_flips)
         .col(pt.rhat)
-        .col(pt.samples);
+        .col(pt.samples)
+        .col(pt.network_evals)
+        .col(pt.truncated_evals)
+        .col(pt.layers_saved_pct);
+    evals += pt.network_evals;
+    truncated += pt.truncated_evals;
   }
   std::printf(
       "=== Fig. 4: ResNet-18 classification error vs flip probability ===\n");
   std::printf("golden run error: %.2f%%\n\n", sweep.golden_error);
   bench::emit(table, "fig4_resnet_sweep");
+  std::printf("stats: %zu/%zu mask evals truncated via the golden activation "
+              "cache\n", truncated, evals);
 
   util::Series series{"BDLFI mean error", {}, {}, '*'};
   util::Series golden{"golden run", {}, {}, '-'};

@@ -1,0 +1,210 @@
+// Measures the throughput win of truncated forward replay: for each
+// parameterized ResNet-18 layer, masks confined to that layer are evaluated
+// with the golden-activation cache enabled vs. disabled, and the speedup is
+// reported per layer plus aggregated over the last third of the network —
+// where truncation replays the fewest layers and the win is largest
+// (speedup ~ depth / layers-remaining).
+//
+// Training is deliberately skipped: evaluation throughput is independent of
+// the weight values, and an untrained network keeps the bench about the
+// replay machinery. Results go to BENCH_mask_eval.json (and the usual CSV).
+// `--smoke` shrinks everything so ctest can exercise the path in seconds.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "bayes/fault_network.h"
+#include "common.h"
+#include "util/rng.h"
+
+using namespace bdlfi;
+
+namespace {
+
+struct LayerTiming {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  std::int64_t layer_params = 0;
+  std::size_t evals = 0;
+  double full_seconds = 0.0;
+  double truncated_seconds = 0.0;
+  double full_throughput = 0.0;       // evals / s
+  double truncated_throughput = 0.0;  // evals / s
+  double speedup = 0.0;
+  double layers_saved_pct = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool smoke = flags.get("smoke", std::int64_t{0}) != 0;
+  util::Stopwatch total;
+
+  // Subject: the paper's ResNet-18 topology, scaled by the usual flags.
+  nn::ResNetConfig net_config;
+  net_config.width_multiplier = flags.get("width", smoke ? 0.0625 : 0.25);
+  net_config.num_classes = 10;
+  util::Rng init{static_cast<std::uint64_t>(
+      flags.get("init-seed", std::int64_t{61}))};
+  nn::Network net = nn::make_resnet18(net_config, init);
+
+  data::CifarLikeConfig data_config;
+  data_config.image_size = flags.get("image-size", smoke ? std::int64_t{8}
+                                                         : std::int64_t{16});
+  const std::size_t eval_batch =
+      flags.get("eval-batch", smoke ? std::size_t{8} : std::size_t{64});
+  data_config.samples_per_class = (eval_batch + 9) / 10 + 1;
+  util::Rng data_rng{static_cast<std::uint64_t>(
+      flags.get("data-seed", std::int64_t{62}))};
+  data::Dataset eval =
+      data::make_cifar_like(data_config, data_rng).slice(0, eval_batch);
+
+  const std::size_t masks = std::max<std::size_t>(
+      1, flags.get("masks", smoke ? std::size_t{3} : std::size_t{24}));
+  const std::size_t reps = std::max<std::size_t>(
+      1, flags.get("reps", smoke ? std::size_t{1} : std::size_t{3}));
+  const double p = flags.get("p", 1e-3);
+
+  const std::size_t depth = net.num_layers();
+  std::printf("[setup] ResNet-18 (width %.3g, %lldx%lld), %zu layers, "
+              "eval batch %zu, %zu masks x %zu reps per layer, p=%.2g%s\n",
+              net_config.width_multiplier,
+              static_cast<long long>(data_config.image_size),
+              static_cast<long long>(data_config.image_size), depth,
+              eval_batch, masks, reps, p, smoke ? " [smoke]" : "");
+
+  std::vector<LayerTiming> timings;
+  for (std::size_t i = 0; i < depth; ++i) {
+    std::vector<nn::ParamRef> refs;
+    net.layer(i).collect_params(net.layer_name(i) + ".", refs);
+    if (refs.empty()) continue;  // relu/pool/flatten: nothing to corrupt
+    std::int64_t layer_params = 0;
+    for (const auto& r : refs) layer_params += r.value->numel();
+
+    const bayes::TargetSpec spec =
+        bayes::TargetSpec::single_layer(net.layer_name(i));
+    bayes::EvalCacheConfig full_config;
+    full_config.enable_truncated_replay = false;
+    bayes::BayesianFaultNetwork truncated(net, spec,
+                                          fault::AvfProfile::uniform(),
+                                          eval.inputs, eval.labels);
+    bayes::BayesianFaultNetwork full(net, spec, fault::AvfProfile::uniform(),
+                                     eval.inputs, eval.labels, full_config);
+
+    util::Rng rng{70 + static_cast<std::uint64_t>(i)};
+    std::vector<bayes::FaultMask> batch;
+    batch.reserve(masks);
+    for (std::size_t m = 0; m < masks; ++m) {
+      batch.push_back(truncated.sample_prior_mask(p, rng));
+    }
+
+    // Warm-up (page in both code paths), then timed runs.
+    full.evaluate_mask(batch.front());
+    truncated.evaluate_mask(batch.front());
+    truncated.reset_eval_stats();
+
+    util::Stopwatch full_timer;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (const auto& mask : batch) full.evaluate_mask(mask);
+    }
+    const double full_s = full_timer.seconds();
+
+    util::Stopwatch truncated_timer;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (const auto& mask : batch) truncated.evaluate_mask(mask);
+    }
+    const double truncated_s = truncated_timer.seconds();
+
+    LayerTiming t;
+    t.layer_index = i;
+    t.layer_name = net.layer_name(i);
+    t.layer_params = layer_params;
+    t.evals = masks * reps;
+    t.full_seconds = full_s;
+    t.truncated_seconds = truncated_s;
+    t.full_throughput = static_cast<double>(t.evals) / std::max(full_s, 1e-9);
+    t.truncated_throughput =
+        static_cast<double>(t.evals) / std::max(truncated_s, 1e-9);
+    t.speedup = full_s / std::max(truncated_s, 1e-9);
+    t.layers_saved_pct = truncated.eval_stats().layers_saved_pct();
+    timings.push_back(t);
+  }
+
+  util::Table table({"layer_idx", "name", "params", "evals",
+                     "full_evals_per_s", "trunc_evals_per_s", "speedup",
+                     "layers_saved_%"});
+  for (const auto& t : timings) {
+    table.row()
+        .col(t.layer_index)
+        .col(t.layer_name)
+        .col(static_cast<std::size_t>(t.layer_params))
+        .col(t.evals)
+        .col(t.full_throughput)
+        .col(t.truncated_throughput)
+        .col(t.speedup)
+        .col(t.layers_saved_pct);
+  }
+  std::printf("=== perf: full vs truncated mask evaluation, per target layer "
+              "===\n\n");
+  bench::emit(table, "perf_mask_eval");
+
+  // Aggregate speedups as total-time ratios (robust to per-layer noise).
+  double full_all = 0.0, trunc_all = 0.0, full_last = 0.0, trunc_last = 0.0;
+  const std::size_t last_third_begin = depth - depth / 3;
+  for (const auto& t : timings) {
+    full_all += t.full_seconds;
+    trunc_all += t.truncated_seconds;
+    if (t.layer_index >= last_third_begin) {
+      full_last += t.full_seconds;
+      trunc_last += t.truncated_seconds;
+    }
+  }
+  const double overall = full_all / std::max(trunc_all, 1e-9);
+  const double last_third = full_last / std::max(trunc_last, 1e-9);
+  std::printf("overall speedup (all layers): %.2fx\n", overall);
+  std::printf("last-third speedup (layers >= %zu): %.2fx%s\n",
+              last_third_begin, last_third,
+              last_third >= 3.0 ? "  [target >= 3x: PASS]"
+                                : (smoke ? "  [smoke: target not checked]"
+                                         : "  [target >= 3x: FAIL]"));
+
+  std::FILE* json = std::fopen("BENCH_mask_eval.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_mask_eval.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json,
+               "  \"config\": {\"width\": %g, \"image_size\": %lld, "
+               "\"eval_batch\": %zu, \"masks\": %zu, \"reps\": %zu, "
+               "\"p\": %g, \"depth\": %zu, \"smoke\": %s},\n",
+               net_config.width_multiplier,
+               static_cast<long long>(data_config.image_size), eval_batch,
+               masks, reps, p, depth, smoke ? "true" : "false");
+  std::fprintf(json, "  \"layers\": [\n");
+  for (std::size_t k = 0; k < timings.size(); ++k) {
+    const auto& t = timings[k];
+    std::fprintf(json,
+                 "    {\"layer_index\": %zu, \"name\": \"%s\", "
+                 "\"params\": %" PRId64 ", \"evals\": %zu, "
+                 "\"full_evals_per_s\": %.3f, "
+                 "\"truncated_evals_per_s\": %.3f, \"speedup\": %.3f, "
+                 "\"layers_saved_pct\": %.2f}%s\n",
+                 t.layer_index, t.layer_name.c_str(), t.layer_params, t.evals,
+                 t.full_throughput, t.truncated_throughput, t.speedup,
+                 t.layers_saved_pct, k + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"summary\": {\"overall_speedup\": %.3f, "
+               "\"last_third_speedup\": %.3f, \"last_third_begin\": %zu}\n",
+               overall, last_third, last_third_begin);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("[json written to BENCH_mask_eval.json]\n");
+  std::printf("[perf_mask_eval done in %.1fs]\n", total.seconds());
+  // The smoke run only checks that the pipeline works end to end; the real
+  // run enforces the acceptance target.
+  return (!smoke && last_third < 3.0) ? 1 : 0;
+}

@@ -1,64 +1,184 @@
 #include "bayes/fault_network.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace bdlfi::bayes {
 
+namespace {
+
+/// A mask sorted into the three site kinds the evaluation pipeline treats
+/// differently: persistent parameter bits (XOR-able in place), input bits
+/// (applied to a copy of the eval batch), and per-layer activation bits
+/// (applied in flight via the forward hook). Offsets are element indices
+/// *within* the owning tensor.
+struct SplitMask {
+  std::vector<std::int64_t> param_bits;  // flat space addressing
+  std::vector<std::pair<std::int64_t, int>> input_flips;
+  std::map<std::int64_t, std::vector<std::pair<std::int64_t, int>>> act_flips;
+};
+
+SplitMask split_mask(const InjectionSpace& space, const FaultMask& mask) {
+  SplitMask split;
+  for (std::int64_t flat : mask.bits()) {
+    const fault::FaultSite site = fault::FaultSite::from_flat(flat);
+    const InjectionSpace::Entry& entry = space.entry_of(site.element);
+    const std::int64_t elem = site.element - entry.offset;
+    switch (entry.site) {
+      case InjectionSpace::SiteKind::kParam:
+        split.param_bits.push_back(flat);
+        break;
+      case InjectionSpace::SiteKind::kInput:
+        split.input_flips.emplace_back(elem, site.bit);
+        break;
+      case InjectionSpace::SiteKind::kActivation:
+        split.act_flips[entry.layer].emplace_back(elem, site.bit);
+        break;
+    }
+  }
+  return split;
+}
+
+void flip_into(tensor::Tensor& t,
+               const std::vector<std::pair<std::int64_t, int>>& flips) {
+  for (const auto& [elem, bit] : flips) {
+    t[elem] = fault::flip_bit(t[elem], bit);
+  }
+}
+
+}  // namespace
+
 BayesianFaultNetwork::BayesianFaultNetwork(
     const nn::Network& golden, const TargetSpec& target, AvfProfile profile,
-    tensor::Tensor eval_inputs, std::vector<std::int64_t> eval_labels)
+    tensor::Tensor eval_inputs, std::vector<std::int64_t> eval_labels,
+    EvalCacheConfig cache_config)
     : net_(golden.clone()),
       target_(target),
       profile_(std::move(profile)),
       eval_inputs_(std::move(eval_inputs)),
-      eval_labels_(std::move(eval_labels)) {
+      eval_labels_(std::move(eval_labels)),
+      cache_config_(cache_config) {
   BDLFI_CHECK(!eval_labels_.empty());
   BDLFI_CHECK(eval_inputs_.shape()[0] ==
               static_cast<std::int64_t>(eval_labels_.size()));
-  space_ = std::make_unique<InjectionSpace>(net_, target_);
-  golden_preds_ = net_.predict(eval_inputs_);
+  // One golden forward serves three purposes: the golden predictions, the
+  // activation cache behind truncated replay, and the activation geometry
+  // that sizes input/activation fault sites.
+  const std::size_t budget = cache_config_.enable_truncated_replay
+                                 ? cache_config_.memory_budget_bytes
+                                 : 0;
+  const tensor::Tensor logits = cache_.capture(net_, eval_inputs_, budget);
+  golden_preds_ = tensor::argmax_rows(logits);
   std::size_t miss = 0;
   for (std::size_t i = 0; i < eval_labels_.size(); ++i) {
     if (golden_preds_[i] != eval_labels_[i]) ++miss;
   }
   golden_error_ = 100.0 * static_cast<double>(miss) /
                   static_cast<double>(eval_labels_.size());
+  geometry_.input_numel = eval_inputs_.numel();
+  geometry_.layer_numel.resize(cache_.num_layers());
+  for (std::size_t i = 0; i < cache_.num_layers(); ++i) {
+    geometry_.layer_numel[i] = cache_.layer_numel(i);
+  }
+  rebuild_space();
+}
+
+BayesianFaultNetwork::BayesianFaultNetwork(const BayesianFaultNetwork& other,
+                                           ReplicaTag)
+    : net_(other.net_.clone()),
+      target_(other.target_),
+      profile_(other.profile_),
+      eval_inputs_(other.eval_inputs_),
+      eval_labels_(other.eval_labels_),
+      golden_preds_(other.golden_preds_),
+      golden_error_(other.golden_error_),
+      cache_config_(other.cache_config_),
+      cache_(other.cache_),
+      geometry_(other.geometry_) {
+  rebuild_space();
+  // Hardening configuration carries over: replicas must inject into the same
+  // vulnerable subset as the original.
+  space_->protect_elements(other.space_->protected_elements());
+}
+
+void BayesianFaultNetwork::rebuild_space() {
+  space_ = std::make_unique<InjectionSpace>(net_, target_, &geometry_);
 }
 
 std::unique_ptr<BayesianFaultNetwork> BayesianFaultNetwork::replicate() const {
-  auto copy = std::make_unique<BayesianFaultNetwork>(net_, target_, profile_,
-                                                     eval_inputs_,
-                                                     eval_labels_);
-  // Hardening configuration carries over: replicas must inject into the same
-  // vulnerable subset as the original.
-  copy->space_->protect_elements(space_->protected_elements());
-  return copy;
+  return std::unique_ptr<BayesianFaultNetwork>(
+      new BayesianFaultNetwork(*this, ReplicaTag{}));
+}
+
+tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
+  const SplitMask split = split_mask(*space_, mask);
+  const std::size_t depth = net_.num_layers();
+  // First layer whose execution can differ from golden; replay can begin no
+  // later than the cached-prefix length (a replay at B needs act[B-1]).
+  const std::int64_t first = space_->first_replay_layer(mask);
+  const std::int64_t begin =
+      std::min(first, static_cast<std::int64_t>(cache_.cached_layers()));
+
+  nn::Network::ActivationHook hook;
+  if (!split.act_flips.empty()) {
+    hook = [&split](std::size_t i, tensor::Tensor& act) {
+      const auto it = split.act_flips.find(static_cast<std::int64_t>(i));
+      if (it != split.act_flips.end()) flip_into(act, it->second);
+    };
+  }
+
+  space_->apply_bits(split.param_bits);
+  tensor::Tensor logits;
+  if (begin > 0) {
+    tensor::Tensor start =
+        cache_.activation(static_cast<std::size_t>(begin - 1));
+    const auto it = split.act_flips.find(begin - 1);
+    if (it != split.act_flips.end()) flip_into(start, it->second);
+    logits = net_.forward_from(static_cast<std::size_t>(begin),
+                               std::move(start), /*training=*/false, hook);
+    ++eval_stats_.truncated_evals;
+    eval_stats_.layers_run += depth - static_cast<std::size_t>(begin);
+  } else {
+    if (!split.input_flips.empty()) {
+      tensor::Tensor input = eval_inputs_;
+      flip_into(input, split.input_flips);
+      logits = net_.forward(input, /*training=*/false, hook);
+    } else {
+      logits = net_.forward(eval_inputs_, /*training=*/false, hook);
+    }
+    ++eval_stats_.full_evals;
+    eval_stats_.layers_run += depth;
+  }
+  eval_stats_.layers_total += depth;
+  space_->apply_bits(split.param_bits);  // XOR self-inverse: golden restored
+  return logits;
 }
 
 MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
-  space_->apply(mask);
-  const tensor::Tensor logits = net_.forward(eval_inputs_);
-  space_->apply(mask);  // XOR is self-inverse: state restored exactly
-  const auto preds = tensor::argmax_rows(logits);
+  const tensor::Tensor logits = logits_under_mask(mask);
 
   MaskOutcome outcome;
   outcome.flipped_bits = mask.num_flips();
   const std::int64_t classes = logits.shape()[1];
   std::size_t miss = 0, dev = 0, detected = 0, sdc = 0;
   for (std::size_t i = 0; i < eval_labels_.size(); ++i) {
-    bool finite = true;
     const float* row = logits.data() + static_cast<std::int64_t>(i) * classes;
-    for (std::int64_t c = 0; c < classes; ++c) {
-      if (!std::isfinite(row[c])) {
-        finite = false;
-        break;
-      }
+    // One fused pass per row: argmax and NaN/Inf finiteness together. The
+    // argmax matches tensor::argmax_rows — a NaN compare is false, so a NaN
+    // never displaces the incumbent.
+    std::int64_t best = 0;
+    bool finite = std::isfinite(row[0]);
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+      finite = finite && std::isfinite(row[c]);
     }
-    const bool deviated = preds[i] != golden_preds_[i];
-    if (preds[i] != eval_labels_[i]) ++miss;
+    const bool deviated = best != golden_preds_[i];
+    if (best != eval_labels_[i]) ++miss;
     if (deviated) ++dev;
     if (!finite) {
       ++detected;
@@ -76,9 +196,7 @@ MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
 
 std::vector<std::uint8_t> BayesianFaultNetwork::deviation_under_mask(
     const FaultMask& mask) {
-  space_->apply(mask);
-  const auto preds = net_.predict(eval_inputs_);
-  space_->apply(mask);
+  const auto preds = tensor::argmax_rows(logits_under_mask(mask));
   std::vector<std::uint8_t> out(preds.size());
   for (std::size_t i = 0; i < preds.size(); ++i) {
     out[i] = preds[i] != golden_preds_[i] ? 1 : 0;

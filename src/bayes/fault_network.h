@@ -7,6 +7,13 @@
 // W' = e ⊙ W (bitwise XOR); XOR's self-inverse property means a mask can be
 // applied, measured, and reverted in O(#flips) without copying weights.
 //
+// Evaluation is *truncated* whenever possible: the golden per-layer
+// activations of the eval batch are recorded once (ActivationCache), and a
+// mask whose earliest affected layer is L replays only layers [L, depth)
+// from the cached prefix — an exact O(depth-L) shortcut, since eval-mode
+// inference is deterministic. Masks touching the input (or networks whose
+// cache exceeds the memory budget) fall back to the full forward.
+//
 // The network owned here is private to the instance, so independent MCMC
 // chains each hold their own BayesianFaultNetwork and run lock-free in
 // parallel.
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "fault/space.h"
+#include "nn/activation_cache.h"
 #include "nn/network.h"
 
 namespace bdlfi::bayes {
@@ -45,19 +53,48 @@ struct MaskOutcome {
   std::size_t flipped_bits = 0;
 };
 
+/// Configuration of the golden-activation cache behind truncated evaluation.
+struct EvalCacheConfig {
+  /// Master switch; off forces every evaluation down the full-forward path.
+  bool enable_truncated_replay = true;
+  /// Retained golden activations are capped at this many bytes; the cache
+  /// keeps the longest layer *prefix* that fits (a replay from layer L needs
+  /// exactly the cached output of layer L-1).
+  std::size_t memory_budget_bytes = std::size_t{256} << 20;
+};
+
+/// Per-instance observability counters for the truncated-replay pipeline.
+struct EvalStats {
+  std::size_t full_evals = 0;       // evaluations that ran every layer
+  std::size_t truncated_evals = 0;  // evaluations resumed from the cache
+  std::size_t layers_run = 0;       // layer executions actually performed
+  std::size_t layers_total = 0;     // layer executions a full-forward policy
+                                    // would have performed
+  double layers_saved_pct() const {
+    return layers_total == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(layers_total - layers_run) /
+                     static_cast<double>(layers_total);
+  }
+};
+
 class BayesianFaultNetwork {
  public:
   /// Clones `golden`; the original is never mutated. `eval_inputs` is a
   /// [N, ...] batch and `eval_labels` its ground truth.
   BayesianFaultNetwork(const nn::Network& golden, const TargetSpec& target,
                        AvfProfile profile, tensor::Tensor eval_inputs,
-                       std::vector<std::int64_t> eval_labels);
+                       std::vector<std::int64_t> eval_labels,
+                       EvalCacheConfig cache_config = {});
 
   BayesianFaultNetwork(const BayesianFaultNetwork&) = delete;
   BayesianFaultNetwork& operator=(const BayesianFaultNetwork&) = delete;
   BayesianFaultNetwork(BayesianFaultNetwork&&) = delete;
 
   /// Independent replica (own network copy, same golden weights/eval set).
+  /// Copies the golden predictions and activation cache instead of re-running
+  /// the golden forward pass — replication is O(memcpy), not O(inference).
   std::unique_ptr<BayesianFaultNetwork> replicate() const;
 
   const InjectionSpace& space() const { return *space_; }
@@ -75,15 +112,22 @@ class BayesianFaultNetwork {
   }
 
   /// Applies `mask`, measures, reverts. The weights are bit-exact golden
-  /// before and after this call.
+  /// before and after this call. Replays only from the first affected layer
+  /// when the cache allows it.
   MaskOutcome evaluate_mask(const FaultMask& mask);
+
+  /// Output logits of the network corrupted by `mask` over the eval batch —
+  /// bit-identical between the truncated and full evaluation paths. State is
+  /// golden again on return.
+  tensor::Tensor logits_under_mask(const FaultMask& mask);
 
   /// Per-sample indicator: prediction under `mask` differs from golden.
   std::vector<std::uint8_t> deviation_under_mask(const FaultMask& mask);
 
   /// Applies the XOR delta between the network's current mask state and a new
   /// mask — the O(|Δ|) state transition used by MCMC kernels. The caller is
-  /// responsible for tracking which mask is currently applied.
+  /// responsible for tracking which mask is currently applied. Parameter
+  /// sites only (transient input/activation sites cannot persist).
   void transition(const FaultMask& from, const FaultMask& to);
 
   /// Predictions of the (currently corrupted or clean) network on an
@@ -100,7 +144,21 @@ class BayesianFaultNetwork {
     return space_->log_prior(mask, profile_, p);
   }
 
+  /// Truncated-replay observability (full vs truncated evals, layers saved).
+  const EvalStats& eval_stats() const { return eval_stats_; }
+  void reset_eval_stats() { eval_stats_ = {}; }
+  const EvalCacheConfig& cache_config() const { return cache_config_; }
+  /// Cached golden-activation prefix length (0 = full-forward fallback only).
+  std::size_t cached_layers() const { return cache_.cached_layers(); }
+
  private:
+  struct ReplicaTag {};
+  /// Replication path: clones the network and copies all derived golden
+  /// state (predictions, error, activation cache) without a forward pass.
+  BayesianFaultNetwork(const BayesianFaultNetwork& other, ReplicaTag);
+
+  void rebuild_space();
+
   nn::Network net_;
   std::unique_ptr<InjectionSpace> space_;
   TargetSpec target_;
@@ -109,6 +167,10 @@ class BayesianFaultNetwork {
   std::vector<std::int64_t> eval_labels_;
   std::vector<std::int64_t> golden_preds_;
   double golden_error_ = 0.0;
+  EvalCacheConfig cache_config_;
+  nn::ActivationCache cache_;
+  fault::ActivationGeometry geometry_;
+  EvalStats eval_stats_;
 };
 
 }  // namespace bdlfi::bayes

@@ -19,13 +19,8 @@ std::string layer_of(const std::string& param_name) {
 
 bool TargetSpec::matches(const std::string& param_name,
                          nn::ParamRole role) const {
-  if (!layer_names.empty()) {
-    const std::string layer = layer_of(param_name);
-    if (std::find(layer_names.begin(), layer_names.end(), layer) ==
-        layer_names.end()) {
-      return false;
-    }
-  }
+  if (!include_params) return false;
+  if (!matches_layer(layer_of(param_name))) return false;
   const bool is_buffer = role == nn::ParamRole::kBnRunningMean ||
                          role == nn::ParamRole::kBnRunningVar;
   if (is_buffer) return include_buffers;
@@ -35,18 +30,81 @@ bool TargetSpec::matches(const std::string& param_name,
   return true;
 }
 
-InjectionSpace::InjectionSpace(nn::Network& net, const TargetSpec& spec) {
+bool TargetSpec::matches_layer(const std::string& layer_name) const {
+  return layer_names.empty() ||
+         std::find(layer_names.begin(), layer_names.end(), layer_name) !=
+             layer_names.end();
+}
+
+InjectionSpace::InjectionSpace(nn::Network& net, const TargetSpec& spec,
+                               const ActivationGeometry* geometry) {
+  num_layers_ = net.num_layers();
+  // Layer index of each parameter prefix, for first_replay_layer.
+  auto layer_index = [&](const std::string& name) -> std::int64_t {
+    const std::string layer = layer_of(name);
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      if (net.layer_name(i) == layer) return static_cast<std::int64_t>(i);
+    }
+    return 0;  // unknown prefix: conservatively force a full replay
+  };
   auto add_refs = [&](const std::vector<nn::ParamRef>& refs) {
     for (const auto& r : refs) {
       if (!spec.matches(r.name, r.role)) continue;
-      entries_.push_back({r.name, r.role, r.value, total_elements_});
+      entries_.push_back({r.name, r.role, r.value, total_elements_,
+                          SiteKind::kParam, layer_index(r.name),
+                          r.value->numel()});
       total_elements_ += r.value->numel();
     }
   };
   add_refs(net.params());
   if (spec.include_buffers) add_refs(net.buffers());
+  if (spec.include_input) {
+    BDLFI_CHECK_MSG(geometry != nullptr && geometry->input_numel > 0,
+                    "input fault sites need an ActivationGeometry");
+    entries_.push_back({"<input>", nn::ParamRole::kWeight, nullptr,
+                        total_elements_, SiteKind::kInput, -1,
+                        geometry->input_numel});
+    total_elements_ += geometry->input_numel;
+  }
+  if (spec.include_activations) {
+    BDLFI_CHECK_MSG(geometry != nullptr &&
+                        geometry->layer_numel.size() == net.num_layers(),
+                    "activation fault sites need an ActivationGeometry");
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      if (!spec.matches_layer(net.layer_name(i))) continue;
+      const std::int64_t n = geometry->layer_numel[i];
+      if (n <= 0) continue;
+      entries_.push_back({net.layer_name(i) + ".act",
+                          nn::ParamRole::kWeight, nullptr, total_elements_,
+                          SiteKind::kActivation, static_cast<std::int64_t>(i),
+                          n});
+      total_elements_ += n;
+    }
+  }
   BDLFI_CHECK_MSG(total_elements_ > 0,
                   "TargetSpec selects no fault targets");
+}
+
+std::int64_t InjectionSpace::first_replay_layer(const FaultMask& mask) const {
+  auto first = static_cast<std::int64_t>(num_layers_);
+  for (std::int64_t flat : mask.bits()) {
+    const Entry& e = entry_of(flat / kBitsPerWord);
+    std::int64_t layer = 0;
+    switch (e.site) {
+      case SiteKind::kParam:
+        layer = e.layer;
+        break;
+      case SiteKind::kInput:
+        layer = 0;
+        break;
+      case SiteKind::kActivation:
+        layer = e.layer + 1;
+        break;
+    }
+    first = std::min(first, layer);
+    if (first == 0) break;
+  }
+  return first;
 }
 
 const InjectionSpace::Entry& InjectionSpace::entry_of(
@@ -60,11 +118,6 @@ const InjectionSpace::Entry& InjectionSpace::entry_of(
   return *(it - 1);
 }
 
-float* InjectionSpace::element_ptr(std::int64_t element) const {
-  const Entry& entry = entry_of(element);
-  return entry.value->data() + (element - entry.offset);
-}
-
 void InjectionSpace::apply(const FaultMask& mask) const {
   apply_bits(mask.bits());
 }
@@ -76,6 +129,14 @@ void InjectionSpace::apply_bits(
     float* p = element_ptr(site.element);
     *p = flip_bit(*p, site.bit);
   }
+}
+
+float* InjectionSpace::element_ptr(std::int64_t element) const {
+  const Entry& entry = entry_of(element);
+  BDLFI_CHECK_MSG(entry.site == SiteKind::kParam,
+                  "input/activation sites are transient: apply them via the "
+                  "mask-evaluation pipeline, not by persistent XOR");
+  return entry.value->data() + (element - entry.offset);
 }
 
 FaultMask InjectionSpace::sample_mask(const AvfProfile& profile, double p,

@@ -22,12 +22,20 @@ namespace bdlfi::fault {
 
 struct TargetSpec {
   /// Layer names to include (exact match on the prefix before the first '.');
-  /// empty means every layer.
+  /// empty means every layer. Also filters activation sites by owning layer.
   std::vector<std::string> layer_names;
   /// Roles to include; empty means every trainable role.
   std::vector<nn::ParamRole> roles;
   /// Also expose BN running statistics (non-trainable but memory-resident).
   bool include_buffers = false;
+  /// Expose parameter tensors at all (off for pure input/activation spaces).
+  bool include_params = true;
+  /// Expose the evaluation batch itself — §II's "memory units for storing
+  /// ... inputs" — as fault sites of pseudo-layer -1.
+  bool include_input = false;
+  /// Expose per-layer output activations (in-flight corruption, applied via
+  /// the forward hook during evaluation rather than by persistent XOR).
+  bool include_activations = false;
 
   static TargetSpec all_parameters() { return {}; }
   static TargetSpec single_layer(std::string name) {
@@ -40,33 +48,74 @@ struct TargetSpec {
     spec.roles = {nn::ParamRole::kWeight};
     return spec;
   }
+  static TargetSpec input_only() {
+    TargetSpec spec;
+    spec.include_params = false;
+    spec.include_input = true;
+    return spec;
+  }
+  static TargetSpec activations_only() {
+    TargetSpec spec;
+    spec.include_params = false;
+    spec.include_activations = true;
+    return spec;
+  }
 
   bool matches(const std::string& param_name, nn::ParamRole role) const;
+  bool matches_layer(const std::string& layer_name) const;
+};
+
+/// Element counts of the transient tensors of one evaluation batch — the
+/// geometry input/activation fault sites are addressed against. Produced by
+/// the golden forward (nn::ActivationCache records it as a side effect).
+struct ActivationGeometry {
+  std::int64_t input_numel = 0;
+  std::vector<std::int64_t> layer_numel;  // output numel per layer
 };
 
 class InjectionSpace {
  public:
+  /// What kind of memory a fault site lives in. kParam sites are persistent
+  /// tensors XOR-able in place; kInput/kActivation sites are transient — the
+  /// evaluation pipeline applies them to in-flight tensors instead.
+  enum class SiteKind { kParam, kInput, kActivation };
+
   struct Entry {
     std::string name;
     nn::ParamRole role;
-    tensor::Tensor* value;
+    tensor::Tensor* value;  // nullptr for kInput/kActivation (virtual) sites
     std::int64_t offset;  // flat element index of this tensor's first element
+    SiteKind site = SiteKind::kParam;
+    /// Owning layer index: params/activations → their layer; input → -1.
+    std::int64_t layer = -1;
+    std::int64_t numel = 0;
   };
 
   /// Pointers into `net` are held; the network must outlive the space and not
-  /// be structurally modified.
-  InjectionSpace(nn::Network& net, const TargetSpec& spec = {});
+  /// be structurally modified. `geometry` is required when `spec` selects
+  /// input or activation sites (their sizes depend on the evaluation batch).
+  InjectionSpace(nn::Network& net, const TargetSpec& spec = {},
+                 const ActivationGeometry* geometry = nullptr);
 
   std::int64_t total_elements() const { return total_elements_; }
   std::int64_t total_bits() const { return total_elements_ * kBitsPerWord; }
   const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t num_layers() const { return num_layers_; }
 
   /// The tensor entry containing flat element `element`.
   const Entry& entry_of(std::int64_t element) const;
   float* element_ptr(std::int64_t element) const;
 
+  /// Index of the first layer whose *execution* can differ from golden under
+  /// `mask`: weight/bias/BN sites → owning layer, input sites → 0, activation
+  /// sites of layer L → L+1 (layer L itself still runs golden; only its
+  /// stored output is corrupted). Returns num_layers() for an empty mask —
+  /// nothing needs re-running and the cached golden logits stand.
+  std::int64_t first_replay_layer(const FaultMask& mask) const;
+
   /// XORs every bit of the mask into the network state. Self-inverse:
   /// applying the same mask twice restores the golden state exactly.
+  /// Check-fails on input/activation sites (transient — no state to XOR).
   void apply(const FaultMask& mask) const;
   /// XORs an explicit list of flat bit indices (an MCMC move delta).
   void apply_bits(std::span<const std::int64_t> flat_bits) const;
@@ -101,6 +150,7 @@ class InjectionSpace {
  private:
   std::vector<Entry> entries_;
   std::int64_t total_elements_ = 0;
+  std::size_t num_layers_ = 0;
   std::vector<std::int64_t> protected_;  // sorted, unique
 };
 

@@ -44,6 +44,9 @@ SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
     point.ess = campaign.diagnostics.ess;
     point.samples = campaign.total_samples;
     point.network_evals = campaign.total_network_evals;
+    point.full_evals = campaign.total_full_evals;
+    point.truncated_evals = campaign.total_truncated_evals;
+    point.layers_saved_pct = campaign.layers_saved_pct();
     result.points.push_back(point);
     BDLFI_LOG_DEBUG("sweep p=%.2e: error=%.2f%% (golden %.2f%%), rhat=%.3f",
                     p, point.mean_error, result.golden_error, point.rhat);
@@ -94,9 +97,28 @@ std::vector<LayerPoint> run_layer_campaign(
     point.q95 = campaign.q95;
     point.mean_deviation = campaign.mean_deviation;
     point.samples = campaign.total_samples;
+    point.network_evals = campaign.total_network_evals;
+    point.full_evals = campaign.total_full_evals;
+    point.truncated_evals = campaign.total_truncated_evals;
+    point.layers_saved_pct = campaign.layers_saved_pct();
+    // Layer executions skipped, expressed in whole-network forward passes:
+    // the currency the Fig. 3 benches budget in.
+    const double depth = static_cast<double>(net.num_layers());
+    point.evals_saved =
+        depth == 0.0
+            ? 0.0
+            : static_cast<double>(campaign.total_layers_total -
+                                  campaign.total_layers_run) /
+                  depth;
     points.push_back(point);
     BDLFI_LOG_DEBUG("layer %zu (%s): error=%.2f%%", i,
                     point.layer_name.c_str(), point.mean_error);
+    BDLFI_LOG_INFO(
+        "layer %zu (%s) stats: %zu evals (%zu truncated, %zu full), "
+        "%.1f%% layer executions skipped, ~%.1f network evals saved",
+        i, point.layer_name.c_str(), point.network_evals,
+        point.truncated_evals, point.full_evals, point.layers_saved_pct,
+        point.evals_saved);
   }
   return points;
 }

@@ -27,6 +27,11 @@ struct SweepPoint {
   double ess = 0.0;
   std::size_t samples = 0;
   std::size_t network_evals = 0;
+  // Truncated-replay observability: evals resumed from the activation cache
+  // vs full forwards, and the % of layer executions that cache skipped.
+  std::size_t full_evals = 0;
+  std::size_t truncated_evals = 0;
+  double layers_saved_pct = 0.0;
 };
 
 struct SweepResult {
@@ -52,6 +57,14 @@ struct LayerPoint {
   double q05 = 0.0, q95 = 0.0;
   double mean_deviation = 0.0;
   std::size_t samples = 0;
+  std::size_t network_evals = 0;
+  std::size_t full_evals = 0;
+  std::size_t truncated_evals = 0;
+  /// % of layer executions skipped by truncated replay for this layer's
+  /// campaign (≈ the depth fraction above the injected layer).
+  double layers_saved_pct = 0.0;
+  /// Equivalent full-network evaluations saved by the activation cache.
+  double evals_saved = 0.0;
 };
 
 /// Injects faults into exactly one layer's parameters at a time and measures

@@ -69,6 +69,7 @@ bool MhSampler::step(FaultMask& current, double& current_logd,
 }
 
 ChainResult MhSampler::run() {
+  const bayes::EvalStats stats_base = net_.eval_stats();
   util::Rng rng{config_.seed};
   FaultMask current = net_.sample_prior_mask(p_, rng);
   double current_logd = target_.log_density(current);
@@ -96,6 +97,11 @@ ChainResult MhSampler::run() {
       proposed_ ? static_cast<double>(accepted_) / static_cast<double>(proposed_)
                 : 0.0;
   result.network_evals = network_evals_;
+  const bayes::EvalStats& stats = net_.eval_stats();
+  result.full_evals = stats.full_evals - stats_base.full_evals;
+  result.truncated_evals = stats.truncated_evals - stats_base.truncated_evals;
+  result.layers_run = stats.layers_run - stats_base.layers_run;
+  result.layers_total = stats.layers_total - stats_base.layers_total;
   return result;
 }
 

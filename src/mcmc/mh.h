@@ -32,6 +32,13 @@ struct ChainResult {
   std::vector<double> flips_samples;      // #flipped bits per retained sample
   double acceptance_rate = 0.0;
   std::size_t network_evals = 0;  // forward passes spent
+  // Truncated-replay observability (from the replica's EvalStats): how many
+  // of the network evals resumed from the golden activation cache, and the
+  // layer executions actually run vs what a full-forward policy would cost.
+  std::size_t full_evals = 0;
+  std::size_t truncated_evals = 0;
+  std::size_t layers_run = 0;
+  std::size_t layers_total = 0;
 };
 
 class MhSampler {

@@ -27,6 +27,10 @@ CampaignResult pool_chains(std::vector<ChainResult> chains) {
     for (double d : c.deviation_samples) dev.add(d);
     for (double f : c.flips_samples) flips.add(f);
     result.total_network_evals += c.network_evals;
+    result.total_full_evals += c.full_evals;
+    result.total_truncated_evals += c.truncated_evals;
+    result.total_layers_run += c.layers_run;
+    result.total_layers_total += c.layers_total;
     error_streams.push_back(c.error_samples);
   }
   result.total_samples = errors.count();
@@ -114,6 +118,10 @@ CompletenessResult run_until_complete(
                                src.flips_samples.begin(),
                                src.flips_samples.end());
       dst.network_evals += src.network_evals;
+      dst.full_evals += src.full_evals;
+      dst.truncated_evals += src.truncated_evals;
+      dst.layers_run += src.layers_run;
+      dst.layers_total += src.layers_total;
       dst.acceptance_rate = src.acceptance_rate;  // latest round's rate
     }
     CampaignResult pooled = pool_chains(cumulative);

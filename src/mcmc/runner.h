@@ -48,6 +48,22 @@ struct CampaignResult {
   CampaignDiagnostics diagnostics;
   std::size_t total_samples = 0;
   std::size_t total_network_evals = 0;
+  // Truncated-replay observability pooled across chains.
+  std::size_t total_full_evals = 0;
+  std::size_t total_truncated_evals = 0;
+  std::size_t total_layers_run = 0;
+  std::size_t total_layers_total = 0;
+  /// % of layer executions skipped thanks to the golden activation cache —
+  /// i.e. equivalent full-network evaluations saved, as a fraction of the
+  /// work a cache-less campaign would have spent.
+  double layers_saved_pct() const {
+    return total_layers_total == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(total_layers_total -
+                                         total_layers_run) /
+                     static_cast<double>(total_layers_total);
+  }
 };
 
 /// Runs `config.num_chains` chains at flip probability `p` against targets

@@ -1,0 +1,39 @@
+#include "nn/activation_cache.h"
+
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+Tensor ActivationCache::capture(Network& net, const Tensor& input,
+                                std::size_t budget_bytes) {
+  cached_.clear();
+  layer_numel_.assign(net.num_layers(), 0);
+  bytes_ = 0;
+  bool prefix_open = true;
+  Tensor logits = net.forward(
+      input, /*training=*/false, [&](std::size_t i, Tensor& act) {
+        layer_numel_[i] = act.numel();
+        if (!prefix_open) return;
+        const std::size_t sz =
+            static_cast<std::size_t>(act.numel()) * sizeof(float);
+        if (bytes_ + sz > budget_bytes) {
+          prefix_open = false;  // keep a contiguous prefix only
+          return;
+        }
+        cached_.push_back(act);
+        bytes_ += sz;
+      });
+  return logits;
+}
+
+const Tensor& ActivationCache::activation(std::size_t layer) const {
+  BDLFI_CHECK(layer < cached_.size());
+  return cached_[layer];
+}
+
+std::int64_t ActivationCache::layer_numel(std::size_t layer) const {
+  BDLFI_CHECK(layer < layer_numel_.size());
+  return layer_numel_[layer];
+}
+
+}  // namespace bdlfi::nn

@@ -1,0 +1,57 @@
+// Golden activation cache for truncated forward replay.
+//
+// One eval-mode forward pass of a fixed batch is recorded layer by layer;
+// afterwards, inference can resume from any cached layer via
+// Network::forward_from instead of re-running the whole network. Because
+// eval-mode layers (including BN on running stats) are deterministic pure
+// functions of their input, a replay from a cached golden prefix is
+// bit-identical to a full forward — so a fault campaign whose mask first
+// touches layer L only pays for layers [L, depth) per evaluation.
+//
+// Memory is bounded: `capture` retains the longest *prefix* of per-layer
+// activations whose cumulative size fits `budget_bytes` (a prefix, not a
+// subset, because a replay starting at layer L needs exactly act[L-1]).
+// Layer sizes are recorded for every layer regardless of retention, so the
+// cache doubles as the activation geometry oracle for fault-site addressing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace bdlfi::nn {
+
+class ActivationCache {
+ public:
+  ActivationCache() = default;
+
+  /// Runs one eval-mode forward of `net` on `input`, retaining the longest
+  /// prefix of per-layer output activations that fits `budget_bytes`
+  /// (budget 0 retains nothing — full-forward fallback). Records every
+  /// layer's element count regardless. Returns the final logits.
+  Tensor capture(Network& net, const Tensor& input, std::size_t budget_bytes);
+
+  /// Number of layers observed by the captured forward (0 before capture).
+  std::size_t num_layers() const { return layer_numel_.size(); }
+  /// Cached prefix length: activations of layers [0, cached_layers()) are
+  /// retained.
+  std::size_t cached_layers() const { return cached_.size(); }
+  bool has(std::size_t layer) const { return layer < cached_.size(); }
+
+  /// Golden output activation of layer `layer`; only valid when has(layer).
+  const Tensor& activation(std::size_t layer) const;
+
+  /// Output element count of layer `layer` under the captured batch
+  /// (recorded for all layers, cached or not).
+  std::int64_t layer_numel(std::size_t layer) const;
+
+  std::size_t bytes_retained() const { return bytes_; }
+
+ private:
+  std::vector<Tensor> cached_;             // prefix [0, cached_.size())
+  std::vector<std::int64_t> layer_numel_;  // all layers
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace bdlfi::nn

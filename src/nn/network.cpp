@@ -18,8 +18,14 @@ void Network::add(std::string name, std::unique_ptr<Layer> layer) {
 Tensor Network::forward(const Tensor& x, bool training,
                         const ActivationHook& hook) {
   BDLFI_CHECK_MSG(!layers_.empty(), "forward on empty network");
-  Tensor act = x;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  return forward_from(0, x, training, hook);
+}
+
+Tensor Network::forward_from(std::size_t first_layer, Tensor act,
+                             bool training, const ActivationHook& hook) {
+  BDLFI_CHECK_MSG(first_layer <= layers_.size(),
+                  "forward_from past the end of the network");
+  for (std::size_t i = first_layer; i < layers_.size(); ++i) {
     act = layers_[i].entry->forward(act, training);
     if (hook) hook(i, act);
   }

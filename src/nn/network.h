@@ -43,6 +43,18 @@ class Network {
   Tensor forward(const Tensor& x, bool training = false,
                  const ActivationHook& hook = nullptr);
 
+  /// Resumes inference mid-network: runs layers [first_layer, num_layers())
+  /// on `act`, which must be the activation *entering* layer `first_layer`
+  /// (i.e. the output of layer first_layer-1, or the network input when
+  /// first_layer == 0). `hook` fires with the same layer indices as forward().
+  /// first_layer == num_layers() returns `act` unchanged. In eval mode every
+  /// layer is a deterministic function of its input, so replaying a suffix
+  /// from a cached golden activation is bit-exact with a full forward — the
+  /// invariant the truncated mask-evaluation pipeline rests on.
+  Tensor forward_from(std::size_t first_layer, Tensor act,
+                      bool training = false,
+                      const ActivationHook& hook = nullptr);
+
   /// Backward from d(loss)/d(logits); returns d(loss)/d(input).
   Tensor backward(const Tensor& grad_logits);
 
