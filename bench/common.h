@@ -10,12 +10,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/cifar_like.h"
 #include "data/toy2d.h"
 #include "nn/builders.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/csv.h"
 #include "util/log.h"
@@ -58,10 +63,86 @@ class Flags {
     return static_cast<std::size_t>(
         get(key, static_cast<std::int64_t>(fallback)));
   }
+  std::string get(const std::string& key, const char* fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
 
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
 };
+
+/// Shared observability wiring for the benches: honors the --progress,
+/// --metrics=<file.jsonl>, and --trace=<file.json> flags. Attach the round
+/// hook to a RunnerConfig to stream per-round campaign health; finish()
+/// (or destruction) writes the Chrome trace and the final metrics snapshot.
+class ObsSession {
+ public:
+  ObsSession(const Flags& flags, const std::string& label) {
+    trace_path_ = flags.get("trace", "");
+    const std::string metrics = flags.get("metrics", "");
+    const bool progress = flags.get("progress", std::int64_t{0}) != 0;
+    if (progress || !metrics.empty()) {
+      obs::CampaignReporter::Options options;
+      options.progress = progress;
+      options.metrics_path = metrics;
+      options.label = label;
+      reporter_ = std::make_unique<obs::CampaignReporter>(options);
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::global().set_enabled(true);
+    }
+    if (reporter_ != nullptr || !trace_path_.empty()) obs::set_enabled(true);
+  }
+
+  ~ObsSession() { finish(); }
+
+  obs::CampaignReporter* reporter() { return reporter_.get(); }
+
+  /// Round hook for mcmc::RunnerConfig (empty when no sink is attached, so
+  /// the runner skips event assembly entirely).
+  obs::RoundCallback hook() {
+    return reporter_ != nullptr ? reporter_->hook() : obs::RoundCallback{};
+  }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (reporter_ != nullptr) reporter_->metrics_event();
+    if (!trace_path_.empty()) {
+      if (obs::TraceRecorder::global().write(trace_path_)) {
+        std::printf("[trace written to %s]\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n", trace_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<obs::CampaignReporter> reporter_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
+
+/// Shared JSON sink for bench result documents: writes the document built in
+/// `w` (a complete object) to BENCH_<name>.json. Replaces per-bench ad-hoc
+/// fprintf JSON; the schema per bench is documented in DESIGN.md §6.
+inline bool emit_bench_json(const obs::JsonWriter& w, const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string& doc = w.str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (ok) std::printf("[json written to %s]\n", path.c_str());
+  return ok;
+}
 
 /// Writes the CSV next to the binary under bench_results/.
 inline void emit(const util::Table& table, const std::string& name) {

@@ -15,6 +15,7 @@ using namespace bdlfi;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   util::Stopwatch total;
+  bench::ObsSession obs_session(flags, "fig2");
 
   bench::MlpSetup setup = bench::make_trained_moons_mlp(flags);
 
@@ -28,13 +29,14 @@ int main(int argc, char** argv) {
   runner.mh.burn_in = flags.get("burn-in", std::size_t{50});
   runner.mh.thin = flags.get("thin", std::size_t{5});
   runner.seed = 31;
+  runner.round_hook = obs_session.hook();
 
   const auto ps =
       inject::log_space(1e-5, 1e-1, flags.get("points", std::size_t{9}));
   const inject::SweepResult sweep = inject::run_bdlfi_sweep(bfn, ps, runner);
 
   util::Table table({"p", "mean_error_%", "q05", "q50", "q95", "deviation_%",
-                     "mean_flips", "rhat", "ess", "samples", "evals",
+                     "mean_flips", "accept", "rhat", "ess", "samples", "evals",
                      "truncated", "layers_saved_%"});
   std::size_t evals = 0, truncated = 0;
   for (const auto& pt : sweep.points) {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
         .col(pt.q95)
         .col(pt.mean_deviation)
         .col(pt.mean_flips)
+        .col(pt.acceptance_rate)
         .col(pt.rhat)
         .col(pt.ess)
         .col(pt.samples)
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
   std::printf("flat regime ends near p ~ %.3g (paper: two clear regimes; "
               "knee is the optimal reliability/performance trade-off)\n",
               knee);
+  obs_session.finish();
   std::printf("[fig2 done in %.1fs]\n", total.seconds());
   return 0;
 }

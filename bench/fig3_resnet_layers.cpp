@@ -18,6 +18,7 @@ using namespace bdlfi;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   util::Stopwatch total;
+  bench::ObsSession obs_session(flags, "fig3");
 
   bench::ResnetSetup setup = bench::make_trained_resnet(flags);
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   runner.mh.burn_in = flags.get("burn-in", std::size_t{5});
   runner.mh.thin = flags.get("thin", std::size_t{5});
   runner.seed = 51;
+  runner.round_hook = obs_session.hook();
   const double p = flags.get("p", 1e-3);
   const double dose = flags.get("dose", 4.0);
 
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"layer_idx", "name", "kind", "params",
                      "err_fixed_dose_%", "q05", "q95", "err_fixed_rate_%",
-                     "evals", "truncated", "layers_saved_%"});
+                     "accept", "evals", "truncated", "layers_saved_%"});
   std::vector<double> depths, errors_dose, errors_rate;
   double evals_saved = 0.0;
   std::size_t evals = 0, truncated = 0;
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
         .col(pt.q05)
         .col(pt.q95)
         .col(fixed_rate[i].mean_error)
+        .col(pt.acceptance_rate)
         .col(pt.network_evals)
         .col(pt.truncated_evals)
         .col(pt.layers_saved_pct);
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
               "relationship between injection depth and output error "
               "(|rho| << 1); the fixed-rate mode shows any residual trend is "
               "a layer-size artifact, not depth.\n");
+  obs_session.finish();
   std::printf("[fig3 done in %.1fs]\n", total.seconds());
   return 0;
 }

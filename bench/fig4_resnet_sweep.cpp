@@ -15,6 +15,7 @@ using namespace bdlfi;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   util::Stopwatch total;
+  bench::ObsSession obs_session(flags, "fig4");
 
   bench::ResnetSetup setup = bench::make_trained_resnet(flags);
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   runner.mh.burn_in = flags.get("burn-in", std::size_t{8});
   runner.mh.thin = flags.get("thin", std::size_t{10});
   runner.seed = 41;
+  runner.round_hook = obs_session.hook();
 
   // The knee of the curve sits where p × (#fault-site bits) × P(bit matters)
   // ~ 1, so its x-position scales inversely with network size; we sweep a
@@ -40,8 +42,8 @@ int main(int argc, char** argv) {
   const inject::SweepResult sweep = inject::run_bdlfi_sweep(bfn, ps, runner);
 
   util::Table table({"p", "mean_error_%", "q05", "q95", "deviation_%",
-                     "mean_flips", "rhat", "samples", "evals", "truncated",
-                     "layers_saved_%"});
+                     "mean_flips", "accept", "rhat", "samples", "evals",
+                     "truncated", "layers_saved_%"});
   std::size_t evals = 0, truncated = 0;
   for (const auto& pt : sweep.points) {
     table.row()
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
         .col(pt.q95)
         .col(pt.mean_deviation)
         .col(pt.mean_flips)
+        .col(pt.acceptance_rate)
         .col(pt.rhat)
         .col(pt.samples)
         .col(pt.network_evals)
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
   opt.x_label = "flip probability p";
   opt.y_label = "classification error (%)";
   std::printf("%s\n", util::render_plot({series, golden}, opt).c_str());
+  obs_session.finish();
   std::printf("[fig4 done in %.1fs]\n", total.seconds());
   return 0;
 }

@@ -10,11 +10,11 @@
 // replay machinery. Results go to BENCH_mask_eval.json (and the usual CSV).
 // `--smoke` shrinks everything so ctest can exercise the path in seconds.
 #include <algorithm>
-#include <cinttypes>
 #include <cstdio>
 
 #include "bayes/fault_network.h"
 #include "common.h"
+#include "obs/json.h"
 #include "util/rng.h"
 
 using namespace bdlfi;
@@ -169,40 +169,40 @@ int main(int argc, char** argv) {
                                 : (smoke ? "  [smoke: target not checked]"
                                          : "  [target >= 3x: FAIL]"));
 
-  std::FILE* json = std::fopen("BENCH_mask_eval.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_mask_eval.json for writing\n");
-    return 1;
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("width", net_config.width_multiplier);
+  json.field("image_size",
+             static_cast<std::int64_t>(data_config.image_size));
+  json.field("eval_batch", eval_batch);
+  json.field("masks", masks);
+  json.field("reps", reps);
+  json.field("p", p);
+  json.field("depth", depth);
+  json.field("smoke", smoke);
+  json.end_object();
+  json.key("layers").begin_array();
+  for (const auto& t : timings) {
+    json.begin_object();
+    json.field("layer_index", t.layer_index);
+    json.field("name", t.layer_name);
+    json.field("params", static_cast<std::int64_t>(t.layer_params));
+    json.field("evals", t.evals);
+    json.field("full_evals_per_s", t.full_throughput);
+    json.field("truncated_evals_per_s", t.truncated_throughput);
+    json.field("speedup", t.speedup);
+    json.field("layers_saved_pct", t.layers_saved_pct);
+    json.end_object();
   }
-  std::fprintf(json, "{\n");
-  std::fprintf(json,
-               "  \"config\": {\"width\": %g, \"image_size\": %lld, "
-               "\"eval_batch\": %zu, \"masks\": %zu, \"reps\": %zu, "
-               "\"p\": %g, \"depth\": %zu, \"smoke\": %s},\n",
-               net_config.width_multiplier,
-               static_cast<long long>(data_config.image_size), eval_batch,
-               masks, reps, p, depth, smoke ? "true" : "false");
-  std::fprintf(json, "  \"layers\": [\n");
-  for (std::size_t k = 0; k < timings.size(); ++k) {
-    const auto& t = timings[k];
-    std::fprintf(json,
-                 "    {\"layer_index\": %zu, \"name\": \"%s\", "
-                 "\"params\": %" PRId64 ", \"evals\": %zu, "
-                 "\"full_evals_per_s\": %.3f, "
-                 "\"truncated_evals_per_s\": %.3f, \"speedup\": %.3f, "
-                 "\"layers_saved_pct\": %.2f}%s\n",
-                 t.layer_index, t.layer_name.c_str(), t.layer_params, t.evals,
-                 t.full_throughput, t.truncated_throughput, t.speedup,
-                 t.layers_saved_pct, k + 1 < timings.size() ? "," : "");
-  }
-  std::fprintf(json, "  ],\n");
-  std::fprintf(json,
-               "  \"summary\": {\"overall_speedup\": %.3f, "
-               "\"last_third_speedup\": %.3f, \"last_third_begin\": %zu}\n",
-               overall, last_third, last_third_begin);
-  std::fprintf(json, "}\n");
-  std::fclose(json);
-  std::printf("[json written to BENCH_mask_eval.json]\n");
+  json.end_array();
+  json.key("summary").begin_object();
+  json.field("overall_speedup", overall);
+  json.field("last_third_speedup", last_third);
+  json.field("last_third_begin", last_third_begin);
+  json.end_object();
+  json.end_object();
+  if (!bench::emit_bench_json(json, "mask_eval")) return 1;
   std::printf("[perf_mask_eval done in %.1fs]\n", total.seconds());
   // The smoke run only checks that the pipeline works end to end; the real
   // run enforces the acceptance target.

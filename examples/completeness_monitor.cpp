@@ -3,6 +3,11 @@
 // measured hypothesis" — the paper's §I advantage over traditional FI, which
 // can only ever report how many injections were performed.
 //
+// The monitoring is live: an obs::CampaignReporter subscribes to the runner's
+// round hook and prints each row the moment the round finishes (plus campaign
+// health on stderr), rather than dumping the trajectory after the fact — the
+// point of a completeness monitor is watching the estimate stabilize.
+//
 // Also demonstrates the conditioned posterior: tilting the chain toward
 // error-causing fault patterns (DeviationTemperedTarget) to inspect *which*
 // faults actually break the network.
@@ -18,6 +23,7 @@
 #include "mcmc/mh.h"
 #include "mcmc/runner.h"
 #include "nn/builders.h"
+#include "obs/reporter.h"
 #include "train/trainer.h"
 
 using namespace bdlfi;
@@ -50,17 +56,28 @@ int main(int argc, char** argv) {
     return std::make_unique<bayes::PriorTarget>(chain_net, p);
   };
   mcmc::CompletenessCriterion criterion;  // rhat <= 1.05, mean stable to 5%
+
+  // Live monitoring: the reporter receives every round event as it happens;
+  // our subscriber renders the trajectory row immediately.
+  obs::CampaignReporter::Options monitor_options;
+  monitor_options.label = "completeness";
+  obs::CampaignReporter reporter(monitor_options);
+  reporter.on_round([](const obs::RoundEvent& r) {
+    std::printf("  %-6zu %-10zu %-12.3f %-8.4f %-8.0f %-8.2f\n", r.round,
+                r.cumulative_samples, r.mean_error, r.rhat, r.ess,
+                r.acceptance_rate);
+    std::fflush(stdout);
+  });
+  runner.round_hook = reporter.hook();
+
+  std::printf("campaign trajectory at p = %.0e (live, one row per round):\n",
+              p);
+  std::printf("  %-6s %-10s %-12s %-8s %-8s %-8s\n", "round", "samples",
+              "mean_error%", "rhat", "ESS", "accept");
+  reporter.begin(p, runner.num_chains, runner.mh.samples);
   const auto result =
       mcmc::run_until_complete(bfn, prior, p, runner, criterion);
-
-  std::printf("campaign trajectory at p = %.0e:\n", p);
-  std::printf("  %-6s %-10s %-12s %-8s %-8s\n", "round", "samples",
-              "mean_error%", "rhat", "ESS");
-  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
-    const auto& r = result.trajectory[i];
-    std::printf("  %-6zu %-10zu %-12.3f %-8.4f %-8.0f\n", i + 1,
-                r.cumulative_samples, r.mean_error, r.rhat, r.ess);
-  }
+  reporter.end(result.converged, result.rounds);
   std::printf("=> %s after %zu rounds (%zu samples, %zu forward passes)\n\n",
               result.converged ? "COMPLETE" : "NOT CONVERGED", result.rounds,
               result.final_result.total_samples,

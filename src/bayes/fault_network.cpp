@@ -5,12 +5,30 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace bdlfi::bayes {
 
 namespace {
+
+// Process-wide truncated-replay counters, aggregated across every instance
+// and chain (the per-instance EvalStats stay authoritative for results; the
+// registry view is what live reporters and sinks read).
+struct EvalMetrics {
+  obs::Counter& full = obs::MetricsRegistry::global().counter("eval.full");
+  obs::Counter& truncated =
+      obs::MetricsRegistry::global().counter("eval.truncated");
+  obs::Counter& layers_run =
+      obs::MetricsRegistry::global().counter("eval.layers_run");
+  obs::Counter& layers_total =
+      obs::MetricsRegistry::global().counter("eval.layers_total");
+  static EvalMetrics& get() {
+    static EvalMetrics m;
+    return m;
+  }
+};
 
 /// A mask sorted into the three site kinds the evaluation pipeline treats
 /// differently: persistent parameter bits (XOR-able in place), input bits
@@ -155,6 +173,17 @@ tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
     eval_stats_.layers_run += depth;
   }
   eval_stats_.layers_total += depth;
+  if (obs::enabled()) {
+    EvalMetrics& m = EvalMetrics::get();
+    if (begin > 0) {
+      m.truncated.add();
+      m.layers_run.add(depth - static_cast<std::size_t>(begin));
+    } else {
+      m.full.add();
+      m.layers_run.add(depth);
+    }
+    m.layers_total.add(depth);
+  }
   space_->apply_bits(split.param_bits);  // XOR self-inverse: golden restored
   return logits;
 }

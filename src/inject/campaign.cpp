@@ -40,6 +40,7 @@ SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
     point.q95 = campaign.q95;
     point.mean_deviation = campaign.mean_deviation;
     point.mean_flips = campaign.mean_flips;
+    point.acceptance_rate = campaign.mean_acceptance;
     point.rhat = campaign.diagnostics.rhat;
     point.ess = campaign.diagnostics.ess;
     point.samples = campaign.total_samples;
@@ -96,6 +97,7 @@ std::vector<LayerPoint> run_layer_campaign(
     point.q05 = campaign.q05;
     point.q95 = campaign.q95;
     point.mean_deviation = campaign.mean_deviation;
+    point.acceptance_rate = campaign.mean_acceptance;
     point.samples = campaign.total_samples;
     point.network_evals = campaign.total_network_evals;
     point.full_evals = campaign.total_full_evals;

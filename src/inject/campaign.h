@@ -23,6 +23,9 @@ struct SweepPoint {
   double q05 = 0.0, q50 = 0.0, q95 = 0.0;
   double mean_deviation = 0.0;
   double mean_flips = 0.0;
+  /// Mean MH acceptance rate across the point's chains — the mixing health
+  /// the paper's completeness argument rests on.
+  double acceptance_rate = 0.0;
   double rhat = 0.0;
   double ess = 0.0;
   std::size_t samples = 0;
@@ -56,6 +59,7 @@ struct LayerPoint {
   double mean_error = 0.0;
   double q05 = 0.0, q95 = 0.0;
   double mean_deviation = 0.0;
+  double acceptance_rate = 0.0;  // mean across chains
   std::size_t samples = 0;
   std::size_t network_evals = 0;
   std::size_t full_evals = 0;

@@ -2,9 +2,25 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bdlfi::mcmc {
+
+namespace {
+
+struct GibbsMetrics {
+  obs::Counter& sweeps =
+      obs::MetricsRegistry::global().counter("mcmc.gibbs_sweeps");
+  obs::Counter& toggles =
+      obs::MetricsRegistry::global().counter("mcmc.gibbs_toggles");
+  static GibbsMetrics& get() {
+    static GibbsMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 GibbsSampler::GibbsSampler(bayes::BayesianFaultNetwork& net,
                            bayes::MaskTarget& target, double p,
@@ -37,8 +53,10 @@ void GibbsSampler::sweep(FaultMask& current, double& current_logd,
     if (rng.bernoulli(prob_toggle)) {
       current.toggle(flat);
       current_logd += toggle_delta;
+      if (obs::enabled()) GibbsMetrics::get().toggles.add();
     }
   }
+  if (obs::enabled()) GibbsMetrics::get().sweeps.add();
 }
 
 ChainResult GibbsSampler::run() {

@@ -2,9 +2,28 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bdlfi::mcmc {
+
+namespace {
+
+// Sampler-level counters shared by all chains; registered once.
+struct MhMetrics {
+  obs::Counter& proposals =
+      obs::MetricsRegistry::global().counter("mcmc.proposals");
+  obs::Counter& accepts = obs::MetricsRegistry::global().counter("mcmc.accepts");
+  obs::Counter& samples = obs::MetricsRegistry::global().counter("mcmc.samples");
+  obs::Counter& evals =
+      obs::MetricsRegistry::global().counter("mcmc.network_evals");
+  static MhMetrics& get() {
+    static MhMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 MhSampler::MhSampler(bayes::BayesianFaultNetwork& net,
                      bayes::MaskTarget& target, double p,
@@ -41,6 +60,11 @@ bool MhSampler::step(FaultMask& current, double& current_logd,
       FaultMask::symmetric_difference(current, proposal.next);
   if (delta_bits.empty()) {
     ++accepted_;  // proposal == current: trivially accepted, nothing to do
+    if (obs::enabled()) {
+      MhMetrics& m = MhMetrics::get();
+      m.proposals.add();
+      m.accepts.add();
+    }
     return true;
   }
   std::optional<double> analytic;
@@ -59,13 +83,19 @@ bool MhSampler::step(FaultMask& current, double& current_logd,
     log_alpha = next_logd - current_logd + proposal.log_q_ratio;
   }
 
-  if (log_alpha >= 0.0 || std::log(rng.uniform() + 1e-300) < log_alpha) {
+  const bool accepted =
+      log_alpha >= 0.0 || std::log(rng.uniform() + 1e-300) < log_alpha;
+  if (accepted) {
     current = std::move(proposal.next);
     current_logd = next_logd;
     ++accepted_;
-    return true;
   }
-  return false;
+  if (obs::enabled()) {
+    MhMetrics& m = MhMetrics::get();
+    m.proposals.add();
+    if (accepted) m.accepts.add();
+  }
+  return accepted;
 }
 
 ChainResult MhSampler::run() {
@@ -92,6 +122,11 @@ ChainResult MhSampler::run() {
     result.error_samples.push_back(outcome.classification_error);
     result.deviation_samples.push_back(outcome.deviation);
     result.flips_samples.push_back(static_cast<double>(outcome.flipped_bits));
+  }
+  if (obs::enabled()) {
+    MhMetrics& m = MhMetrics::get();
+    m.samples.add(config_.samples);
+    m.evals.add(network_evals_);
   }
   result.acceptance_rate =
       proposed_ ? static_cast<double>(accepted_) / static_cast<double>(proposed_)

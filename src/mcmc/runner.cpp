@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace bdlfi::mcmc {
@@ -22,10 +24,12 @@ CampaignResult pool_chains(std::vector<ChainResult> chains) {
   util::SampleSet errors;
   util::RunningStats dev, flips;
   std::vector<std::vector<double>> error_streams;
+  double acceptance = 0.0;
   for (auto& c : chains) {
     for (double e : c.error_samples) errors.add(e);
     for (double d : c.deviation_samples) dev.add(d);
     for (double f : c.flips_samples) flips.add(f);
+    acceptance += c.acceptance_rate;
     result.total_network_evals += c.network_evals;
     result.total_full_evals += c.full_evals;
     result.total_truncated_evals += c.truncated_evals;
@@ -43,6 +47,8 @@ CampaignResult pool_chains(std::vector<ChainResult> chains) {
   }
   result.mean_deviation = dev.mean();
   result.mean_flips = flips.mean();
+  result.mean_acceptance =
+      chains.empty() ? 0.0 : acceptance / static_cast<double>(chains.size());
 
   if (error_streams.size() >= 2 && error_streams[0].size() >= 2) {
     result.diagnostics.rhat = util::gelman_rubin(error_streams);
@@ -65,8 +71,10 @@ std::vector<ChainResult> run_round(const bayes::BayesianFaultNetwork& golden,
                                    const RunnerConfig& config,
                                    std::uint64_t round) {
   BDLFI_CHECK(config.num_chains >= 1);
+  obs::TraceSpan round_span("mcmc.round");
   std::vector<ChainResult> chains(config.num_chains);
   util::parallel_for(0, config.num_chains, [&](std::size_t c) {
+    obs::TraceSpan chain_span("mcmc.chain");
     auto replica = golden.replicate();
     auto target = make_target(*replica);
     if (config.use_gibbs) {
@@ -84,12 +92,50 @@ std::vector<ChainResult> run_round(const bayes::BayesianFaultNetwork& golden,
   return chains;
 }
 
+/// Campaign health of the round just pooled, for the runner's round hook.
+/// `round_acceptance` is this round's per-chain mean, `round_evals` /
+/// `round_seconds` this round's work; everything else is cumulative.
+obs::RoundEvent make_round_event(const CampaignResult& pooled,
+                                 std::size_t round, double p,
+                                 double round_acceptance,
+                                 std::size_t round_evals,
+                                 double round_seconds) {
+  obs::RoundEvent event;
+  event.round = round;
+  event.p = p;
+  event.cumulative_samples = pooled.total_samples;
+  event.mean_error = pooled.mean_error;
+  event.rhat = pooled.diagnostics.rhat;
+  event.ess = pooled.diagnostics.ess;
+  event.acceptance_rate = round_acceptance;
+  event.network_evals = pooled.total_network_evals;
+  event.evals_per_sec = round_seconds > 0.0
+                            ? static_cast<double>(round_evals) / round_seconds
+                            : 0.0;
+  const std::size_t cached = pooled.total_truncated_evals;
+  const std::size_t total_evals = cached + pooled.total_full_evals;
+  event.cache_hit_rate =
+      total_evals == 0
+          ? 0.0
+          : static_cast<double>(cached) / static_cast<double>(total_evals);
+  event.round_seconds = round_seconds;
+  return event;
+}
+
 }  // namespace
 
 CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
                           const TargetFactory& make_target, double p,
                           const RunnerConfig& config) {
-  return pool_chains(run_round(golden, make_target, p, config, 0));
+  util::Stopwatch timer;
+  CampaignResult pooled = pool_chains(run_round(golden, make_target, p,
+                                                config, 0));
+  if (config.round_hook) {
+    config.round_hook(make_round_event(pooled, 1, p, pooled.mean_acceptance,
+                                       pooled.total_network_evals,
+                                       timer.seconds()));
+  }
+  return pooled;
 }
 
 CompletenessResult run_until_complete(
@@ -103,8 +149,13 @@ CompletenessResult run_until_complete(
   std::vector<ChainResult> cumulative(config.num_chains);
 
   double prev_mean = std::numeric_limits<double>::quiet_NaN();
+  std::size_t prev_evals = 0;
   for (std::size_t round = 0; round < criterion.max_rounds; ++round) {
+    util::Stopwatch round_timer;
     auto fresh = run_round(golden, make_target, p, config, round);
+    double round_acceptance = 0.0;
+    for (const auto& c : fresh) round_acceptance += c.acceptance_rate;
+    round_acceptance /= static_cast<double>(config.num_chains);
     for (std::size_t c = 0; c < config.num_chains; ++c) {
       auto& dst = cumulative[c];
       const auto& src = fresh[c];
@@ -129,6 +180,12 @@ CompletenessResult run_until_complete(
     result.trajectory.push_back({pooled.total_samples, pooled.mean_error,
                                  pooled.diagnostics.rhat,
                                  pooled.diagnostics.ess});
+    if (config.round_hook) {
+      config.round_hook(make_round_event(
+          pooled, round + 1, p, round_acceptance,
+          pooled.total_network_evals - prev_evals, round_timer.seconds()));
+    }
+    prev_evals = pooled.total_network_evals;
 
     const bool mixed = pooled.diagnostics.rhat <= criterion.rhat_threshold;
     bool stable = false;

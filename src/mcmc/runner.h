@@ -15,6 +15,7 @@
 #include "bayes/targets.h"
 #include "mcmc/gibbs.h"
 #include "mcmc/mh.h"
+#include "obs/reporter.h"
 #include "util/stats.h"
 
 namespace bdlfi::mcmc {
@@ -29,6 +30,10 @@ struct RunnerConfig {
   std::uint64_t seed = 1;
   bool use_gibbs = false;
   GibbsConfig gibbs;
+  /// Invoked after every pooled round with the campaign health of that round
+  /// (live observability). Wire an obs::CampaignReporter via reporter.hook(),
+  /// or any custom subscriber. Called from the orchestrating thread.
+  obs::RoundCallback round_hook;
 };
 
 struct CampaignDiagnostics {
@@ -45,6 +50,8 @@ struct CampaignResult {
   double q05 = 0.0, q50 = 0.0, q95 = 0.0;
   double mean_deviation = 0.0;
   double mean_flips = 0.0;
+  /// Mean MH acceptance rate across chains (latest round's rate per chain).
+  double mean_acceptance = 0.0;
   CampaignDiagnostics diagnostics;
   std::size_t total_samples = 0;
   std::size_t total_network_evals = 0;

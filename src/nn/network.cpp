@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace bdlfi::nn {
 
@@ -25,11 +26,50 @@ Tensor Network::forward_from(std::size_t first_layer, Tensor act,
                              bool training, const ActivationHook& hook) {
   BDLFI_CHECK_MSG(first_layer <= layers_.size(),
                   "forward_from past the end of the network");
+  if (profile_) {
+    for (std::size_t i = first_layer; i < layers_.size(); ++i) {
+      const util::Stopwatch timer;
+      act = layers_[i].entry->forward(act, training);
+      layer_seconds_[i] += timer.seconds();
+      ++layer_calls_[i];
+      if (hook) hook(i, act);
+    }
+    return act;
+  }
   for (std::size_t i = first_layer; i < layers_.size(); ++i) {
     act = layers_[i].entry->forward(act, training);
     if (hook) hook(i, act);
   }
   return act;
+}
+
+void Network::set_layer_profiling(bool on) {
+  profile_ = on;
+  if (on && layer_seconds_.size() != layers_.size()) {
+    layer_seconds_.assign(layers_.size(), 0.0);
+    layer_calls_.assign(layers_.size(), 0);
+  }
+}
+
+std::vector<Network::LayerTiming> Network::layer_profile() const {
+  std::vector<LayerTiming> out;
+  out.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    LayerTiming t;
+    t.name = layers_[i].name;
+    t.kind = layers_[i].entry->kind();
+    if (i < layer_seconds_.size()) {
+      t.seconds = layer_seconds_[i];
+      t.calls = layer_calls_[i];
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void Network::reset_layer_profile() {
+  layer_seconds_.assign(layers_.size(), 0.0);
+  layer_calls_.assign(layers_.size(), 0);
 }
 
 Tensor Network::backward(const Tensor& grad_logits) {

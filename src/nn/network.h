@@ -86,12 +86,30 @@ class Network {
   /// One-line-per-layer summary (name, kind, #params).
   std::string summary();
 
+  /// Optional per-layer forward timing. Off by default (zero overhead); when
+  /// on, every forward/forward_from accumulates wall time per layer. Not
+  /// copied by clone(). Not thread-safe: profile a network from one thread.
+  void set_layer_profiling(bool on);
+  bool layer_profiling() const { return profile_; }
+  struct LayerTiming {
+    std::string name;
+    std::string kind;
+    double seconds = 0.0;
+    std::size_t calls = 0;
+  };
+  /// One entry per layer (zeros for layers never executed while profiling).
+  std::vector<LayerTiming> layer_profile() const;
+  void reset_layer_profile();
+
  private:
   struct Entry {
     std::string name;
     std::unique_ptr<Layer> entry;
   };
   std::vector<Entry> layers_;
+  bool profile_ = false;
+  std::vector<double> layer_seconds_;
+  std::vector<std::size_t> layer_calls_;
 };
 
 }  // namespace bdlfi::nn

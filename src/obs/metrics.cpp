@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.h"
+
+namespace bdlfi::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.resize(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaky: never
+  return *registry;  // destroyed, so instrumented statics stay valid at exit
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  assert(gauges_.find(name) == gauges_.end() &&
+         histograms_.find(name) == histograms_.end());
+  counter_storage_.emplace_back();
+  counters_.emplace(name, &counter_storage_.back());
+  return counter_storage_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  assert(counters_.find(name) == counters_.end() &&
+         histograms_.find(name) == histograms_.end());
+  gauge_storage_.emplace_back();
+  gauges_.emplace(name, &gauge_storage_.back());
+  return gauge_storage_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  assert(counters_.find(name) == counters_.end() &&
+         gauges_.find(name) == gauges_.end());
+  histogram_storage_.emplace_back(std::move(upper_bounds));
+  histograms_.emplace(name, &histogram_storage_.back());
+  return histogram_storage_.back();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.value = h->sum();
+    s.count = h->count();
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& s : snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        w.field(s.name, static_cast<std::uint64_t>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        w.field(s.name, s.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        w.key(s.name).begin_object();
+        w.field("count", s.count);
+        w.field("sum", s.value);
+        w.key("bounds").begin_array();
+        for (double b : s.bounds) w.number(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (std::uint64_t b : s.buckets) w.number(b);
+        w.end_array();
+        w.end_object();
+        break;
+      }
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace bdlfi::obs

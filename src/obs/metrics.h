@@ -1,0 +1,124 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms shared by every subsystem. Designed for hot loops:
+//
+//  * registration (name lookup) takes a mutex and is done once, at
+//    construction time of the instrumented object — never per increment;
+//  * updates are single relaxed atomic RMWs, safe from any thread;
+//  * everything is compiled in unconditionally, but call sites guard on
+//    obs::enabled() (one relaxed load + branch) so an un-instrumented run
+//    pays effectively nothing.
+//
+// Metric objects live for the process lifetime: reset() zeroes values but
+// never invalidates pointers handed out by the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bdlfi::obs {
+
+/// Master switch for the whole observability layer (metrics + reporter).
+/// Default off; CLI/bench front ends flip it when a sink is requested.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Relaxed-atomic add (CAS loop); used for occupancy-style +1/-1 updates.
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-boundary histogram: bucket i counts observations <= bounds[i], the
+/// last (implicit) bucket counts the overflow. Boundaries are immutable after
+/// registration, so observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // deque: atomics can't move
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time view of one metric, for export.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram sum
+  std::uint64_t count = 0;  // histogram observation count
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  /// Get-or-create by name. A name registered as one kind cannot be re-used
+  /// as another (checked). Returned references stay valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Sorted-by-name snapshot of every registered metric.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// One JSON object: {"metric.name": value, ..., "hist.name": {...}}.
+  std::string to_json() const;
+
+  /// Zero every metric (registrations survive — pointers stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // deques give pointer stability under growth.
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+};
+
+}  // namespace bdlfi::obs

@@ -1,0 +1,146 @@
+#include "obs/reporter.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace bdlfi::obs {
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+CampaignReporter::CampaignReporter(Options options)
+    : options_(std::move(options)) {
+  if (!options_.metrics_path.empty()) {
+    sink_ = std::fopen(options_.metrics_path.c_str(), "w");
+    if (sink_ == nullptr) {
+      std::fprintf(stderr, "[obs] cannot open %s for writing; JSONL disabled\n",
+                   options_.metrics_path.c_str());
+    }
+  }
+}
+
+CampaignReporter::~CampaignReporter() {
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+void CampaignReporter::on_round(RoundCallback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.push_back(std::move(cb));
+}
+
+void CampaignReporter::write_line(const std::string& json) {
+  if (sink_ == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), sink_);
+  std::fputc('\n', sink_);
+  std::fflush(sink_);  // live consumers tail the file
+}
+
+void CampaignReporter::begin(double p, std::size_t chains,
+                             std::size_t samples_per_round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", "campaign_begin");
+  w.field("label", options_.label);
+  w.field("p", p);
+  w.field("chains", chains);
+  w.field("samples_per_round", samples_per_round);
+  w.field("ts_ms", wall_ms());
+  w.end_object();
+  write_line(w.str());
+  if (options_.progress) {
+    std::fprintf(stderr, "[%s] campaign begin: p=%.3g, %zu chains x %zu "
+                 "samples/round\n",
+                 options_.label.c_str(), p, chains, samples_per_round);
+  }
+}
+
+void CampaignReporter::round(const RoundEvent& event) {
+  std::vector<RoundCallback> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+    JsonWriter w;
+    w.begin_object();
+    w.field("event", "round");
+    w.field("label", options_.label);
+    w.field("round", event.round);
+    w.field("p", event.p);
+    w.field("samples", event.cumulative_samples);
+    w.field("mean_error", event.mean_error);
+    w.field("rhat", event.rhat);
+    w.field("ess", event.ess);
+    w.field("acceptance_rate", event.acceptance_rate);
+    w.field("network_evals", event.network_evals);
+    w.field("evals_per_sec", event.evals_per_sec);
+    w.field("cache_hit_rate", event.cache_hit_rate);
+    w.field("seconds", event.round_seconds);
+    w.field("ts_ms", wall_ms());
+    w.end_object();
+    write_line(w.str());
+    if (options_.progress) {
+      std::fprintf(stderr,
+                   "[%s] round %zu: p=%.3g samples=%zu mean=%.3f%% "
+                   "rhat=%.4f ess=%.0f accept=%.2f evals/s=%.0f "
+                   "cache-hit=%.0f%%\n",
+                   options_.label.c_str(), event.round, event.p,
+                   event.cumulative_samples, event.mean_error, event.rhat,
+                   event.ess, event.acceptance_rate, event.evals_per_sec,
+                   100.0 * event.cache_hit_rate);
+    }
+    subscribers = subscribers_;
+  }
+  // Subscribers run outside the lock: they may re-enter the reporter.
+  for (const auto& cb : subscribers) cb(event);
+}
+
+void CampaignReporter::end(bool converged, std::size_t rounds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter w;
+    w.begin_object();
+    w.field("event", "campaign_end");
+    w.field("label", options_.label);
+    w.field("converged", converged);
+    w.field("rounds", rounds);
+    w.field("ts_ms", wall_ms());
+    w.end_object();
+    write_line(w.str());
+    if (options_.progress) {
+      std::fprintf(stderr, "[%s] campaign %s after %zu rounds\n",
+                   options_.label.c_str(),
+                   converged ? "COMPLETE" : "NOT CONVERGED", rounds);
+    }
+  }
+  metrics_event();
+}
+
+void CampaignReporter::metrics_event() {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", "metrics");
+  w.field("label", options_.label);
+  w.key("registry");
+  // Splice the registry's own JSON object in as the value.
+  std::string line = w.str();
+  line += MetricsRegistry::global().to_json();
+  line += ",\"ts_ms\":" + std::to_string(wall_ms()) + "}";
+  write_line(line);
+}
+
+RoundCallback CampaignReporter::hook() {
+  return [this](const RoundEvent& event) { round(event); };
+}
+
+}  // namespace bdlfi::obs

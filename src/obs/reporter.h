@@ -1,0 +1,92 @@
+// CampaignReporter: live MCMC campaign health. The runner invokes a round
+// hook after every pooled round; the reporter turns those into
+//
+//  * an optional human progress line per round on stderr
+//    (acceptance, R-hat, ESS, evals/sec, cache hit rate), and
+//  * an optional JSONL event stream (one JSON object per line) with the
+//    schema documented in DESIGN.md §6: campaign_begin / round /
+//    campaign_end / metrics events.
+//
+// The reporter is deliberately decoupled from the mcmc types: the runner
+// fills a plain RoundEvent, so obs stays at the bottom of the dependency
+// stack and anything (benches, examples, future shard workers) can publish.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bdlfi::obs {
+
+/// Health of one campaign round (cumulative unless noted).
+struct RoundEvent {
+  std::size_t round = 0;  // 1-based
+  double p = 0.0;         // flip probability of the campaign
+  std::size_t cumulative_samples = 0;
+  double mean_error = 0.0;  // pooled running estimate, %
+  double rhat = 0.0;
+  double ess = 0.0;
+  double acceptance_rate = 0.0;  // mean over chains, this round
+  std::size_t network_evals = 0;  // cumulative forward passes
+  double evals_per_sec = 0.0;     // this round's throughput
+  /// truncated / (truncated + full) over the campaign so far.
+  double cache_hit_rate = 0.0;
+  double round_seconds = 0.0;
+};
+
+using RoundCallback = std::function<void(const RoundEvent&)>;
+
+class CampaignReporter {
+ public:
+  struct Options {
+    /// Print a per-round progress line to stderr.
+    bool progress = false;
+    /// Append JSONL events to this file ("" disables). The file is opened on
+    /// the first event and truncated.
+    std::string metrics_path;
+    /// Tag carried in every event ("sweep", "complete", a bench name, ...).
+    std::string label = "campaign";
+  };
+
+  explicit CampaignReporter(Options options);
+  ~CampaignReporter();
+
+  CampaignReporter(const CampaignReporter&) = delete;
+  CampaignReporter& operator=(const CampaignReporter&) = delete;
+
+  /// Additional subscriber invoked on every round event (after the built-in
+  /// progress/JSONL handling). Used by examples and tests.
+  void on_round(RoundCallback cb);
+
+  /// Emits a campaign_begin event.
+  void begin(double p, std::size_t chains, std::size_t samples_per_round);
+
+  /// Emits a round event (invoke from the runner's round hook).
+  void round(const RoundEvent& event);
+
+  /// Emits a campaign_end event plus a final metrics-registry snapshot.
+  void end(bool converged, std::size_t rounds);
+
+  /// Emits just a metrics-registry snapshot event (benches call this once at
+  /// the end; end() includes it automatically).
+  void metrics_event();
+
+  /// Adapter for mcmc::RunnerConfig::round_hook.
+  RoundCallback hook();
+
+  /// Round events seen so far (test/monitoring hook).
+  const std::vector<RoundEvent>& events() const { return events_; }
+
+ private:
+  void write_line(const std::string& json);
+
+  Options options_;
+  std::FILE* sink_ = nullptr;
+  std::mutex mu_;
+  std::vector<RoundEvent> events_;
+  std::vector<RoundCallback> subscribers_;
+};
+
+}  // namespace bdlfi::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace bdlfi::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // leaky: spans may
+  return *recorder;  // still fire from static destructors
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after thread exit.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    b->tid = next_tid_++;
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceRecorder::record(std::string name, std::uint64_t ts_us,
+                           std::uint64_t dur_us) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back({std::move(name), ts_us, dur_us});
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      w.begin_object();
+      w.field("name", e.name);
+      w.field("cat", "bdlfi");
+      w.field("ph", "X");
+      w.field("ts", e.ts_us);
+      w.field("dur", e.dur_us);
+      w.field("pid", std::uint64_t{1});
+      w.field("tid", static_cast<std::uint64_t>(buf->tid));
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  const std::string doc = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool write_ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool close_ok = std::fclose(f) == 0;
+  return write_ok && close_ok;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+}  // namespace bdlfi::obs

@@ -1,0 +1,100 @@
+// RAII trace spans feeding per-thread buffers, serialized to the Chrome
+// trace-event format (load the output in chrome://tracing or Perfetto).
+//
+// When tracing is disabled (the default), constructing a TraceSpan is one
+// relaxed atomic load and a branch. When enabled, span end appends one event
+// to a buffer owned by the recording thread; the only lock taken is that
+// buffer's own mutex (uncontended except while a serializer is draining).
+// Buffers are kept alive by shared ownership, so threads may exit before the
+// trace is written.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bdlfi::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   // since recorder epoch
+  std::uint64_t dur_us = 0;  // complete ("ph":"X") event duration
+};
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder used by TraceSpan.
+  static TraceRecorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder epoch (process start of use).
+  std::uint64_t now_us() const;
+
+  /// Appends a completed span to the calling thread's buffer.
+  void record(std::string name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) over every thread's
+  /// events, in arbitrary cross-thread order (the viewer sorts by ts).
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void clear();
+
+  /// Total events currently buffered (test hook).
+  std::size_t event_count() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder();
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// Times a scope and records it on destruction. `name` must outlive the span
+/// (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    TraceRecorder& rec = TraceRecorder::global();
+    if (rec.enabled()) {
+      name_ = name;
+      start_us_ = rec.now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder& rec = TraceRecorder::global();
+      const std::uint64_t end = rec.now_us();
+      rec.record(name_, start_us_, end - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = tracing was off at entry
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace bdlfi::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "train/loss.h"
 #include "util/check.h"
@@ -54,6 +56,7 @@ TrainResult fit(nn::Network& net, const data::Dataset& train,
   TrainResult result;
   std::int64_t step = 0;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
     batches.start_epoch();
     double loss_sum = 0.0;
     std::size_t loss_batches = 0;
@@ -85,6 +88,13 @@ TrainResult fit(nn::Network& net, const data::Dataset& train,
         seen ? static_cast<double>(hits) / static_cast<double>(seen) : 0.0;
     stats.test_accuracy = evaluate_accuracy(net, test);
     stats.lr = opt->lr();
+    if (obs::enabled()) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("train.epochs").add();
+      reg.gauge("train.loss").set(stats.train_loss);
+      reg.gauge("train.train_accuracy").set(stats.train_accuracy);
+      reg.gauge("train.test_accuracy").set(stats.test_accuracy);
+    }
     result.history.push_back(stats);
     if (config.verbose) {
       BDLFI_LOG_INFO(

@@ -1,15 +1,40 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
-#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <string>
+#include <vector>
 
 namespace bdlfi::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mu;  // keep multi-threaded lines unscrambled
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("BDLFI_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  std::fprintf(stderr,
+               "[WARN ] unrecognized BDLFI_LOG_LEVEL=%s "
+               "(debug|info|warn|error|off); using info\n",
+               env);
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_store() {
+  // First touch seeds the level from the environment, once per process.
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,11 +45,14 @@ const char* level_name(LogLevel level) {
     default: return "?????";
   }
 }
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  return level_store().load(std::memory_order_relaxed);
+}
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  level_store().store(level, std::memory_order_relaxed);
 }
 
 void log(LogLevel level, const char* fmt, ...) {
@@ -33,15 +61,35 @@ void log(LogLevel level, const char* fmt, ...) {
   const auto now = clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s %lld.%03lld] ", level_name(level),
-               static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000));
+
+  // Format the whole line into one buffer and emit it with a single write, so
+  // concurrent loggers (and anything else on stderr) can never interleave
+  // mid-line. stderr is unbuffered, so one fwrite is one write(2).
+  char prefix[48];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[%s %lld.%03lld] ",
+                    level_name(level), static_cast<long long>(ms / 1000),
+                    static_cast<long long>(ms % 1000));
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int body_len = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body_len < 0 || prefix_len < 0) {
+    va_end(args_copy);
+    return;
+  }
+
+  std::vector<char> line(static_cast<std::size_t>(prefix_len) +
+                         static_cast<std::size_t>(body_len) + 2);
+  std::memcpy(line.data(), prefix, static_cast<std::size_t>(prefix_len));
+  std::vsnprintf(line.data() + prefix_len,
+                 static_cast<std::size_t>(body_len) + 1, fmt, args_copy);
+  va_end(args_copy);
+  line[line.size() - 1] = '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace bdlfi::util

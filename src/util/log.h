@@ -9,11 +9,15 @@ namespace bdlfi::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide minimum level actually emitted (default Info).
+/// Process-wide minimum level actually emitted. Seeded once at startup from
+/// the BDLFI_LOG_LEVEL environment variable (debug|info|warn|error|off, or
+/// 0-4); defaults to Info when unset.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
 /// printf-style log to stderr with level prefix and wall-clock timestamp.
+/// Thread-safe: the whole line is formatted first and emitted as a single
+/// write, so concurrent callers never interleave mid-line.
 void log(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 

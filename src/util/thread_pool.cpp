@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bdlfi::util {
+
+namespace {
+
+// Pool gauges, registered once. queue_depth counts submitted-but-unstarted
+// tasks; active_workers counts tasks currently executing, so
+// active_workers / pool-size is the utilization the reporter surfaces.
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("pool.queue_depth");
+  obs::Gauge& active_workers =
+      obs::MetricsRegistry::global().gauge("pool.active_workers");
+  obs::Counter& tasks =
+      obs::MetricsRegistry::global().counter("pool.tasks_completed");
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -31,6 +52,9 @@ void ThreadPool::submit(std::function<void()> task) {
     BDLFI_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
     queue_.push(std::move(task));
     ++in_flight_;
+    if (obs::enabled()) {
+      PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+    }
   }
   cv_task_.notify_one();
 }
@@ -49,8 +73,16 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      if (obs::enabled()) {
+        PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+        PoolMetrics::get().active_workers.add(1.0);
+      }
     }
     task();
+    if (obs::enabled()) {
+      PoolMetrics::get().active_workers.add(-1.0);
+      PoolMetrics::get().tasks.add();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -13,6 +13,9 @@
 // architecture is stored implicitly: --model/--width/--image-size must match
 // between `train` and later commands (checkpoints validate names/shapes and
 // refuse mismatches).
+// Observability (any command): --progress streams per-round campaign health
+// to stderr, --metrics=<file.jsonl> writes the machine-readable event stream,
+// --trace=<file.json> records Chrome-trace spans (open in chrome://tracing).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,6 +29,9 @@
 #include "mcmc/runner.h"
 #include "nn/builders.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/csv.h"
 #include "util/log.h"
@@ -69,6 +75,37 @@ class Args {
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
 };
+
+// Live reporter wired from --progress/--metrics; null when neither is given.
+std::unique_ptr<obs::CampaignReporter> g_reporter;
+std::string g_trace_path;
+
+void setup_observability(const Args& args, const std::string& label) {
+  g_trace_path = args.get("trace", "");
+  const std::string metrics = args.get("metrics", "");
+  const bool progress = args.get("progress", "0") != "0";
+  if (progress || !metrics.empty()) {
+    obs::CampaignReporter::Options options;
+    options.progress = progress;
+    options.metrics_path = metrics;
+    options.label = label;
+    g_reporter = std::make_unique<obs::CampaignReporter>(options);
+  }
+  if (!g_trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
+  if (g_reporter != nullptr || !g_trace_path.empty()) obs::set_enabled(true);
+}
+
+void finish_observability() {
+  if (g_reporter != nullptr) g_reporter->metrics_event();
+  if (!g_trace_path.empty()) {
+    if (obs::TraceRecorder::global().write(g_trace_path)) {
+      std::printf("[trace written to %s]\n", g_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", g_trace_path.c_str());
+    }
+  }
+  g_reporter.reset();
+}
 
 struct Subject {
   nn::Network net;
@@ -148,6 +185,7 @@ mcmc::RunnerConfig runner_from(const Args& args) {
   runner.mh.burn_in = args.count("burn-in", 30);
   runner.mh.thin = args.count("thin", 5);
   runner.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  if (g_reporter != nullptr) runner.round_hook = g_reporter->hook();
   return runner;
 }
 
@@ -178,10 +216,11 @@ int cmd_sweep(const Args& args) {
                                     args.num("p-hi", 1e-1),
                                     args.count("points", 9));
   const auto sweep = inject::run_bdlfi_sweep(bfn, ps, runner_from(args));
-  util::Table table({"p", "mean_error_%", "q05", "q95", "rhat", "ess"});
+  util::Table table({"p", "mean_error_%", "q05", "q95", "accept", "rhat",
+                     "ess"});
   for (const auto& pt : sweep.points) {
     table.row().col(pt.p).col(pt.mean_error).col(pt.q05).col(pt.q95)
-        .col(pt.rhat).col(pt.ess);
+        .col(pt.acceptance_rate).col(pt.rhat).col(pt.ess);
   }
   std::printf("golden error: %.2f%%\n%s", sweep.golden_error,
               table.to_text().c_str());
@@ -235,8 +274,13 @@ int cmd_complete(const Args& args) {
   criterion.rhat_threshold = args.num("rhat", 1.05);
   criterion.mean_rel_tol = args.num("tol", 0.05);
   criterion.max_rounds = args.count("max-rounds", 8);
-  const auto result = mcmc::run_until_complete(bfn, factory, p,
-                                               runner_from(args), criterion);
+  const mcmc::RunnerConfig runner = runner_from(args);
+  if (g_reporter != nullptr) {
+    g_reporter->begin(p, runner.num_chains, runner.mh.samples);
+  }
+  const auto result =
+      mcmc::run_until_complete(bfn, factory, p, runner, criterion);
+  if (g_reporter != nullptr) g_reporter->end(result.converged, result.rounds);
   for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
     const auto& r = result.trajectory[i];
     std::printf("round %zu: samples=%zu mean=%.3f%% rhat=%.4f ess=%.0f\n",
@@ -257,7 +301,10 @@ void usage() {
       "  random    traditional random FI     (--ckpt=F --p --injections)\n"
       "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
       "common: --model --width --image-size --data-seed --avf=uniform|"
-      "exponent|mantissa|sign-exponent --layer=<name>\n");
+      "exponent|mantissa|sign-exponent --layer=<name>\n"
+      "observability: --progress (live per-round health on stderr)\n"
+      "               --metrics=<file.jsonl> (machine-readable event stream)\n"
+      "               --trace=<file.json> (Chrome trace; chrome://tracing)\n");
 }
 
 }  // namespace
@@ -269,11 +316,18 @@ int main(int argc, char** argv) {
   }
   const Args args(argc, argv);
   const std::string cmd = argv[1];
-  if (cmd == "train") return cmd_train(args);
-  if (cmd == "sweep") return cmd_sweep(args);
-  if (cmd == "layers") return cmd_layers(args);
-  if (cmd == "random") return cmd_random(args);
-  if (cmd == "complete") return cmd_complete(args);
+  int rc = 2;
+  if (cmd == "train" || cmd == "sweep" || cmd == "layers" || cmd == "random" ||
+      cmd == "complete") {
+    setup_observability(args, "bdlfi " + cmd);
+    if (cmd == "train") rc = cmd_train(args);
+    if (cmd == "sweep") rc = cmd_sweep(args);
+    if (cmd == "layers") rc = cmd_layers(args);
+    if (cmd == "random") rc = cmd_random(args);
+    if (cmd == "complete") rc = cmd_complete(args);
+    finish_observability();
+    return rc;
+  }
   usage();
   return 2;
 }

@@ -1,0 +1,109 @@
+// check_json — validates observability output files.
+//
+//   check_json file.json            strict single-document JSON
+//   check_json --jsonl file.jsonl   one JSON document per non-empty line
+//   check_json --trace file.json    Chrome trace: object with a traceEvents
+//                                   array of {name, ph, ts, pid, tid} events
+//
+// Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
+// ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
+// DESIGN.md promises, with the same parser the obs tests use.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+using namespace bdlfi;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool check_trace(const obs::JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "trace root is not an object";
+    return false;
+  }
+  const obs::JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "missing traceEvents array";
+    return false;
+  }
+  std::size_t index = 0;
+  for (const auto& event : events->as_array()) {
+    const char* missing = nullptr;
+    const obs::JsonValue* name = event.find("name");
+    const obs::JsonValue* ph = event.find("ph");
+    const obs::JsonValue* ts = event.find("ts");
+    const obs::JsonValue* pid = event.find("pid");
+    const obs::JsonValue* tid = event.find("tid");
+    if (name == nullptr || !name->is_string()) missing = "name";
+    else if (ph == nullptr || !ph->is_string()) missing = "ph";
+    else if (ts == nullptr || !ts->is_number()) missing = "ts";
+    else if (pid == nullptr || !pid->is_number()) missing = "pid";
+    else if (tid == nullptr || !tid->is_number()) missing = "tid";
+    if (missing != nullptr) {
+      *error = "traceEvents[" + std::to_string(index) +
+               "]: bad or missing \"" + missing + "\"";
+      return false;
+    }
+    ++index;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonl = false, trace = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr || (jsonl && trace)) {
+    std::fprintf(stderr, "usage: check_json [--jsonl|--trace] <file>\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "check_json: cannot read %s\n", path);
+    return 1;
+  }
+
+  std::string error;
+  if (jsonl) {
+    if (!obs::jsonl_valid(text, &error)) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+  } else {
+    const auto doc = obs::json_parse(text, &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    if (trace && !check_trace(*doc, &error)) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: OK\n", path);
+  return 0;
+}
