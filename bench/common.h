@@ -16,6 +16,7 @@
 
 #include "data/cifar_like.h"
 #include "data/toy2d.h"
+#include "mcmc/runner.h"
 #include "nn/builders.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -125,6 +126,22 @@ class ObsSession {
   std::string trace_path_;
   bool finished_ = false;
 };
+
+/// Wires the resilience flags (--round-timeout-ms, --max-chain-retries,
+/// --retry-backoff-ms) into the runner config and routes chain-health events
+/// to the session reporter when one is attached. Everything defaults to off:
+/// with no flags the supervisor adds no clock reads to the sampling loop, so
+/// the bench wall-clock matches a build without resilience entirely.
+inline void wire_resilience(const Flags& flags, ObsSession& session,
+                            mcmc::RunnerConfig& runner) {
+  runner.supervisor.round_timeout_ms = flags.get("round-timeout-ms", 0.0);
+  runner.supervisor.max_retries =
+      flags.get("max-chain-retries", std::size_t{2});
+  runner.supervisor.backoff_base_ms = flags.get("retry-backoff-ms", 0.0);
+  if (session.reporter() != nullptr) {
+    runner.health_hook = session.reporter()->health_hook();
+  }
+}
 
 /// Shared JSON sink for bench result documents: writes the document built in
 /// `w` (a complete object) to BENCH_<name>.json. Replaces per-bench ad-hoc

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   runner.mh.thin = flags.get("thin", std::size_t{5});
   runner.seed = 31;
   runner.round_hook = obs_session.hook();
+  bench::wire_resilience(flags, obs_session, runner);
 
   const auto ps =
       inject::log_space(1e-5, 1e-1, flags.get("points", std::size_t{9}));
@@ -37,8 +38,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"p", "mean_error_%", "q05", "q50", "q95", "deviation_%",
                      "mean_flips", "accept", "rhat", "ess", "samples", "evals",
-                     "truncated", "layers_saved_%"});
-  std::size_t evals = 0, truncated = 0;
+                     "truncated", "layers_saved_%", "quar"});
+  std::size_t evals = 0, truncated = 0, quarantined = 0;
   for (const auto& pt : sweep.points) {
     table.row()
         .col(pt.p)
@@ -54,13 +55,23 @@ int main(int argc, char** argv) {
         .col(pt.samples)
         .col(pt.network_evals)
         .col(pt.truncated_evals)
-        .col(pt.layers_saved_pct);
+        .col(pt.layers_saved_pct)
+        .col(pt.chains_quarantined);
     evals += pt.network_evals;
     truncated += pt.truncated_evals;
+    quarantined += pt.chains_quarantined;
   }
   std::printf("=== Fig. 2: MLP classification error vs flip probability ===\n");
   std::printf("golden run error: %.2f%%\n\n", sweep.golden_error);
   bench::emit(table, "fig2_mlp_sweep");
+  if (quarantined > 0) {
+    std::printf("DEGRADED: %zu chain(s) quarantined across the sweep; "
+                "statistics cover surviving chains only\n", quarantined);
+  }
+  if (sweep.interrupted) {
+    std::printf("INTERRUPTED: sweep stopped early; the table is a valid "
+                "prefix of the grid\n");
+  }
   std::printf("stats: %zu/%zu mask evals truncated via the golden activation "
               "cache\n", truncated, evals);
 

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   runner.mh.thin = flags.get("thin", std::size_t{10});
   runner.seed = 41;
   runner.round_hook = obs_session.hook();
+  bench::wire_resilience(flags, obs_session, runner);
 
   // The knee of the curve sits where p × (#fault-site bits) × P(bit matters)
   // ~ 1, so its x-position scales inversely with network size; we sweep a
@@ -43,8 +44,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"p", "mean_error_%", "q05", "q95", "deviation_%",
                      "mean_flips", "accept", "rhat", "samples", "evals",
-                     "truncated", "layers_saved_%"});
-  std::size_t evals = 0, truncated = 0;
+                     "truncated", "layers_saved_%", "quar"});
+  std::size_t evals = 0, truncated = 0, quarantined = 0;
   for (const auto& pt : sweep.points) {
     table.row()
         .col(pt.p)
@@ -58,9 +59,11 @@ int main(int argc, char** argv) {
         .col(pt.samples)
         .col(pt.network_evals)
         .col(pt.truncated_evals)
-        .col(pt.layers_saved_pct);
+        .col(pt.layers_saved_pct)
+        .col(pt.chains_quarantined);
     evals += pt.network_evals;
     truncated += pt.truncated_evals;
+    quarantined += pt.chains_quarantined;
   }
   std::printf(
       "=== Fig. 4: ResNet-18 classification error vs flip probability ===\n");
@@ -68,6 +71,14 @@ int main(int argc, char** argv) {
   bench::emit(table, "fig4_resnet_sweep");
   std::printf("stats: %zu/%zu mask evals truncated via the golden activation "
               "cache\n", truncated, evals);
+  if (quarantined > 0) {
+    std::printf("DEGRADED: %zu chain(s) quarantined across the sweep; "
+                "statistics cover surviving chains only\n", quarantined);
+  }
+  if (sweep.interrupted) {
+    std::printf("INTERRUPTED: sweep stopped early; the table is a valid "
+                "prefix of the grid\n");
+  }
 
   util::Series series{"BDLFI mean error", {}, {}, '*'};
   util::Series golden{"golden run", {}, {}, '-'};

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI job: build with ASan + UBSan (BDLFI_SANITIZE=ON) and run the test suite.
+# The resilience layer (signal handlers, checkpoint serialization, chain
+# retry/quarantine) is the main consumer: those paths have exactly the
+# use-after-free / UB failure modes sanitizers exist to catch.
+#
+# Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBDLFI_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# abort_on_error gives CI a crash dump instead of a hung exit; the suite must
+# stay leak-clean too.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -9,7 +9,12 @@
 namespace bdlfi::inject {
 
 std::vector<double> log_space(double lo, double hi, std::size_t count) {
-  BDLFI_CHECK(lo > 0.0 && hi > lo && count >= 2);
+  BDLFI_CHECK_MSG(lo > 0.0 && hi >= lo,
+                  "log_space requires 0 < lo <= hi");
+  if (count == 0) return {};
+  // A single point (or a collapsed range) has no spacing to compute; the
+  // old count-1 division would emit NaN grid points here.
+  if (count == 1 || lo == hi) return std::vector<double>(count, lo);
   std::vector<double> out;
   out.reserve(count);
   const double llo = std::log10(lo), lhi = std::log10(hi);
@@ -48,7 +53,19 @@ SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
     point.full_evals = campaign.total_full_evals;
     point.truncated_evals = campaign.total_truncated_evals;
     point.layers_saved_pct = campaign.layers_saved_pct();
+    point.chains_quarantined = campaign.chains_quarantined;
+    point.degraded = campaign.degraded;
     result.points.push_back(point);
+    if (campaign.degraded) {
+      BDLFI_LOG_WARN("sweep p=%.2e degraded: %zu chain(s) quarantined", p,
+                     campaign.chains_quarantined);
+    }
+    if (campaign.interrupted) {
+      // Stop at a clean prefix rather than sampling the remaining grid
+      // points with a doomed budget.
+      result.interrupted = true;
+      break;
+    }
     BDLFI_LOG_DEBUG("sweep p=%.2e: error=%.2f%% (golden %.2f%%), rhat=%.3f",
                     p, point.mean_error, result.golden_error, point.rhat);
   }
@@ -103,6 +120,8 @@ std::vector<LayerPoint> run_layer_campaign(
     point.full_evals = campaign.total_full_evals;
     point.truncated_evals = campaign.total_truncated_evals;
     point.layers_saved_pct = campaign.layers_saved_pct();
+    point.chains_quarantined = campaign.chains_quarantined;
+    point.degraded = campaign.degraded;
     // Layer executions skipped, expressed in whole-network forward passes:
     // the currency the Fig. 3 benches budget in.
     const double depth = static_cast<double>(net.num_layers());
@@ -113,6 +132,11 @@ std::vector<LayerPoint> run_layer_campaign(
                                   campaign.total_layers_run) /
                   depth;
     points.push_back(point);
+    if (campaign.degraded) {
+      BDLFI_LOG_WARN("layer %zu (%s) degraded: %zu chain(s) quarantined", i,
+                     point.layer_name.c_str(), campaign.chains_quarantined);
+    }
+    if (campaign.interrupted) break;
     BDLFI_LOG_DEBUG("layer %zu (%s): error=%.2f%%", i,
                     point.layer_name.c_str(), point.mean_error);
     BDLFI_LOG_INFO(

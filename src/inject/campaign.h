@@ -35,14 +35,23 @@ struct SweepPoint {
   std::size_t full_evals = 0;
   std::size_t truncated_evals = 0;
   double layers_saved_pct = 0.0;
+  /// Graceful degradation: chains the supervisor quarantined at this point;
+  /// statistics above cover the survivors only.
+  std::size_t chains_quarantined = 0;
+  bool degraded = false;
 };
 
 struct SweepResult {
   double golden_error = 0.0;  // the figure's "Golden Run" reference line
   std::vector<SweepPoint> points;
+  /// An interrupt stopped the sweep: `points` is a valid prefix of the grid.
+  bool interrupted = false;
 };
 
-/// Log-spaced grid of `count` probabilities in [lo, hi].
+/// Log-spaced grid of `count` probabilities in [lo, hi]. Degenerate requests
+/// get graceful answers instead of NaN grid points: count == 0 -> empty,
+/// count == 1 or lo == hi -> {lo}. Non-positive or inverted bounds are a
+/// programming error and still fail hard.
 std::vector<double> log_space(double lo, double hi, std::size_t count);
 
 /// BDLFI sweep over flip probabilities using prior-target MCMC chains.
@@ -69,6 +78,9 @@ struct LayerPoint {
   double layers_saved_pct = 0.0;
   /// Equivalent full-network evaluations saved by the activation cache.
   double evals_saved = 0.0;
+  /// Graceful degradation (see SweepPoint).
+  std::size_t chains_quarantined = 0;
+  bool degraded = false;
 };
 
 /// Injects faults into exactly one layer's parameters at a time and measures

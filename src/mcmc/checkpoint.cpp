@@ -1,0 +1,367 @@
+#include "mcmc/checkpoint.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/json.h"
+#include "util/log.h"
+
+namespace bdlfi::mcmc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(const std::string& text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char h : text) {
+    v <<= 4;
+    if (h >= '0' && h <= '9') v |= static_cast<std::uint64_t>(h - '0');
+    else if (h >= 'a' && h <= 'f') v |= static_cast<std::uint64_t>(h - 'a' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// u64 words as ':'-joined 16-digit hex (see header: numbers would go
+/// through a double in the parser and lose bits).
+std::string words_to_string(const std::vector<std::uint64_t>& words) {
+  std::string out;
+  out.reserve(words.size() * 17);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i != 0) out.push_back(':');
+    out += hex64(words[i]);
+  }
+  return out;
+}
+
+bool words_from_string(const std::string& text,
+                       std::vector<std::uint64_t>* out) {
+  out->clear();
+  if (text.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t sep = text.find(':', pos);
+    if (sep == std::string::npos) sep = text.size();
+    std::uint64_t word = 0;
+    if (!parse_hex64(text.substr(pos, sep - pos), &word)) return false;
+    out->push_back(word);
+    if (sep == text.size()) break;
+    pos = sep + 1;
+  }
+  return true;
+}
+
+void fnv1a_mix(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void write_double_array(obs::JsonWriter& w, const std::string& key,
+                        const std::vector<double>& values) {
+  w.key(key).begin_array();
+  for (const double v : values) w.number_exact(v);
+  w.end_array();
+}
+
+bool read_double_array(const obs::JsonValue& obj, const std::string& key,
+                       std::vector<double>* out) {
+  const obs::JsonValue* arr = obj.find(key);
+  if (arr == nullptr || !arr->is_array()) return false;
+  out->clear();
+  out->reserve(arr->as_array().size());
+  for (const auto& v : arr->as_array()) {
+    if (v.is_null()) {
+      // number_exact serializes non-finite as null; restore as NaN so the
+      // supervisor's divergence scan still sees the pathology after resume.
+      out->push_back(std::numeric_limits<double>::quiet_NaN());
+    } else if (v.is_number()) {
+      out->push_back(v.as_number());
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_size(const obs::JsonValue& obj, const std::string& key,
+               std::size_t* out) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = static_cast<std::size_t>(v->as_number());
+  return true;
+}
+
+bool read_double(const obs::JsonValue& obj, const std::string& key,
+                 double* out) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return false;
+  if (v->is_null()) {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (!v->is_number()) return false;
+  *out = v->as_number();
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
+                                   const RunnerConfig& config, double p) {
+  // Canonical config string; %.17g keeps double identity exact. Field order
+  // is part of the format — extend by appending only.
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "v1|seed=%llu|chains=%zu|gibbs=%d|"
+      "mh=%zu,%zu,%zu,%.17g,%.17g,%.17g,%zu|"
+      "gb=%zu,%zu,%zu|p=%.17g|net=%lld,%zu,%s",
+      static_cast<unsigned long long>(config.seed), config.num_chains,
+      config.use_gibbs ? 1 : 0, config.mh.samples, config.mh.burn_in,
+      config.mh.thin, config.mh.w_single_toggle, config.mh.w_block_resample,
+      config.mh.w_independence, config.mh.block_size, config.gibbs.samples,
+      config.gibbs.burn_in, config.gibbs.coordinates_per_sweep, p,
+      static_cast<long long>(golden.space().total_bits()), golden.eval_size(),
+      hex64(std::bit_cast<std::uint64_t>(golden.golden_error())).c_str());
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  fnv1a_mix(h, buf);
+  return h;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  return (fs::path(dir) / "campaign.ckpt.json").string();
+}
+
+bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kCheckpointSchema);
+  w.field("version", kCheckpointVersion);
+  w.field("fingerprint", hex64(ck.fingerprint));
+  w.field_exact("p", ck.p);
+  w.field("rounds_completed", static_cast<std::uint64_t>(ck.rounds_completed));
+  w.field("converged", ck.converged);
+  w.field_exact("prev_mean", ck.prev_mean);
+  w.field("prev_evals", static_cast<std::uint64_t>(ck.prev_evals));
+  w.key("trajectory").begin_array();
+  for (const auto& r : ck.trajectory) {
+    w.begin_object();
+    w.field("samples", static_cast<std::uint64_t>(r.cumulative_samples));
+    w.field_exact("mean_error", r.mean_error);
+    w.field_exact("rhat", r.rhat);
+    w.field_exact("ess", r.ess);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("chains").begin_array();
+  for (std::size_t c = 0; c < ck.chains.size(); ++c) {
+    const ChainResult& chain = ck.chains[c];
+    const ChainHealth& health =
+        c < ck.health.size() ? ck.health[c] : ChainHealth{};
+    w.begin_object();
+    w.field("chain", static_cast<std::uint64_t>(c));
+    w.field("status", to_string(health.status));
+    w.field("retries", static_cast<std::uint64_t>(health.retries));
+    w.field("last_failure", health.last_failure);
+    w.field("quarantined_round",
+            static_cast<std::uint64_t>(health.quarantined_round));
+    if (c < ck.cursors.size() && ck.cursors[c].valid) {
+      w.key("cursor").begin_object();
+      w.field("rng", words_to_string(ck.cursors[c].rng_state));
+      w.key("mask").begin_array();
+      for (const std::int64_t bit : ck.cursors[c].mask.bits()) {
+        w.number(bit);
+      }
+      w.end_array();
+      w.end_object();
+    } else {
+      w.key("cursor").null();
+    }
+    w.field_exact("acceptance_rate", chain.acceptance_rate);
+    w.field("network_evals", static_cast<std::uint64_t>(chain.network_evals));
+    w.field("full_evals", static_cast<std::uint64_t>(chain.full_evals));
+    w.field("truncated_evals",
+            static_cast<std::uint64_t>(chain.truncated_evals));
+    w.field("layers_run", static_cast<std::uint64_t>(chain.layers_run));
+    w.field("layers_total", static_cast<std::uint64_t>(chain.layers_total));
+    write_double_array(w, "error_samples", chain.error_samples);
+    write_double_array(w, "deviation_samples", chain.deviation_samples);
+    write_double_array(w, "flips_samples", chain.flips_samples);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    BDLFI_LOG_WARN("checkpoint: cannot open %s for writing", tmp.c_str());
+    return false;
+  }
+  const std::string& doc = w.str();
+  const bool wrote =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+      std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  if (wrote) ::fsync(fileno(f));
+#endif
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    BDLFI_LOG_WARN("checkpoint: short write to %s", tmp.c_str());
+    return false;
+  }
+  // rename() is atomic within a filesystem: readers see either the previous
+  // complete checkpoint or this one, never a torn file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    BDLFI_LOG_WARN("checkpoint: rename to %s failed", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const auto doc = obs::json_parse(buffer.str(), &parse_error);
+  if (!doc.has_value() || !doc->is_object()) {
+    return fail("malformed checkpoint: " + parse_error);
+  }
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kCheckpointSchema) {
+    return fail("not a campaign checkpoint");
+  }
+  const obs::JsonValue* version = doc->find("version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<std::uint64_t>(version->as_number()) != kCheckpointVersion) {
+    return fail("unsupported checkpoint version");
+  }
+
+  CampaignCheckpoint ck;
+  const obs::JsonValue* fp = doc->find("fingerprint");
+  if (fp == nullptr || !fp->is_string() ||
+      !parse_hex64(fp->as_string(), &ck.fingerprint)) {
+    return fail("missing/invalid fingerprint");
+  }
+  if (!read_double(*doc, "p", &ck.p) ||
+      !read_size(*doc, "rounds_completed", &ck.rounds_completed) ||
+      !read_double(*doc, "prev_mean", &ck.prev_mean) ||
+      !read_size(*doc, "prev_evals", &ck.prev_evals)) {
+    return fail("missing/invalid scalar fields");
+  }
+  const obs::JsonValue* converged = doc->find("converged");
+  if (converged == nullptr || !converged->is_bool()) {
+    return fail("missing/invalid converged flag");
+  }
+  ck.converged = converged->as_bool();
+
+  const obs::JsonValue* trajectory = doc->find("trajectory");
+  if (trajectory == nullptr || !trajectory->is_array()) {
+    return fail("missing trajectory");
+  }
+  for (const auto& entry : trajectory->as_array()) {
+    CompletenessResult::RoundStats stats{};
+    if (!entry.is_object() ||
+        !read_size(entry, "samples", &stats.cumulative_samples) ||
+        !read_double(entry, "mean_error", &stats.mean_error) ||
+        !read_double(entry, "rhat", &stats.rhat) ||
+        !read_double(entry, "ess", &stats.ess)) {
+      return fail("malformed trajectory entry");
+    }
+    ck.trajectory.push_back(stats);
+  }
+
+  const obs::JsonValue* chains = doc->find("chains");
+  if (chains == nullptr || !chains->is_array()) return fail("missing chains");
+  for (const auto& entry : chains->as_array()) {
+    if (!entry.is_object()) return fail("malformed chain entry");
+    ChainResult chain;
+    ChainHealth health;
+    ChainCursor cursor;
+    if (!read_size(entry, "chain", &health.chain) ||
+        !read_size(entry, "retries", &health.retries) ||
+        !read_size(entry, "quarantined_round", &health.quarantined_round) ||
+        !read_double(entry, "acceptance_rate", &chain.acceptance_rate) ||
+        !read_size(entry, "network_evals", &chain.network_evals) ||
+        !read_size(entry, "full_evals", &chain.full_evals) ||
+        !read_size(entry, "truncated_evals", &chain.truncated_evals) ||
+        !read_size(entry, "layers_run", &chain.layers_run) ||
+        !read_size(entry, "layers_total", &chain.layers_total) ||
+        !read_double_array(entry, "error_samples", &chain.error_samples) ||
+        !read_double_array(entry, "deviation_samples",
+                           &chain.deviation_samples) ||
+        !read_double_array(entry, "flips_samples", &chain.flips_samples)) {
+      return fail("malformed chain entry");
+    }
+    const obs::JsonValue* status = entry.find("status");
+    if (status == nullptr || !status->is_string() ||
+        !chain_status_from_string(status->as_string(), &health.status)) {
+      return fail("invalid chain status");
+    }
+    const obs::JsonValue* last_failure = entry.find("last_failure");
+    if (last_failure != nullptr && last_failure->is_string()) {
+      health.last_failure = last_failure->as_string();
+    }
+    const obs::JsonValue* cur = entry.find("cursor");
+    if (cur == nullptr) return fail("missing cursor");
+    if (cur->is_object()) {
+      const obs::JsonValue* rng = cur->find("rng");
+      const obs::JsonValue* mask = cur->find("mask");
+      if (rng == nullptr || !rng->is_string() ||
+          !words_from_string(rng->as_string(), &cursor.rng_state) ||
+          mask == nullptr || !mask->is_array()) {
+        return fail("malformed cursor");
+      }
+      std::vector<std::int64_t> bits;
+      bits.reserve(mask->as_array().size());
+      for (const auto& bit : mask->as_array()) {
+        if (!bit.is_number()) return fail("malformed cursor mask");
+        bits.push_back(static_cast<std::int64_t>(bit.as_number()));
+      }
+      cursor.mask = FaultMask(std::move(bits));
+      cursor.valid = true;
+    } else if (!cur->is_null()) {
+      return fail("malformed cursor");
+    }
+    ck.chains.push_back(std::move(chain));
+    ck.cursors.push_back(std::move(cursor));
+    ck.health.push_back(std::move(health));
+  }
+  return ck;
+}
+
+}  // namespace bdlfi::mcmc

@@ -1,0 +1,77 @@
+// On-disk campaign checkpoints for crash-safe run_until_complete.
+//
+// After every pooled round the runner serializes the complete campaign state
+// — per-chain retained samples and counters, each chain's continuation
+// cursor (RNG engine state + current mask), the supervisor's health table,
+// the round trajectory, and a fingerprint of the sampling configuration —
+// to a single versioned JSON document, written atomically (temp file +
+// fsync + rename). Restoring it reproduces the exact state the campaign
+// would have had at that round, so a resumed run emits bit-identical samples
+// to an uninterrupted one. A fingerprint mismatch (different seed, chain
+// count, sampler parameters, flip probability, or subject network) rejects
+// the resume instead of silently mixing incompatible streams.
+//
+// Doubles are serialized with JsonWriter::number_exact (%.17g, round-trip
+// exact); u64 words (RNG state, fingerprint) travel as hex strings because
+// the JSON number path goes through a double and would corrupt them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcmc/runner.h"
+
+namespace bdlfi::mcmc {
+
+inline constexpr const char* kCheckpointSchema = "bdlfi_campaign_checkpoint";
+inline constexpr std::uint64_t kCheckpointVersion = 1;
+
+/// Continuation cursor of one chain: everything needed to extend its walk
+/// bit-exactly. Invalid before the chain's first completed round and after a
+/// supervised restart.
+struct ChainCursor {
+  bool valid = false;
+  std::vector<std::uint64_t> rng_state;
+  FaultMask mask;
+};
+
+/// Full campaign state after `rounds_completed` pooled rounds.
+struct CampaignCheckpoint {
+  std::uint64_t fingerprint = 0;
+  double p = 0.0;
+  std::size_t rounds_completed = 0;
+  bool converged = false;
+  /// Stability-check state of the completeness loop.
+  double prev_mean = 0.0;
+  std::size_t prev_evals = 0;
+  std::vector<CompletenessResult::RoundStats> trajectory;
+  /// Cumulative per-chain streams/counters (index = chain).
+  std::vector<ChainResult> chains;
+  std::vector<ChainCursor> cursors;
+  std::vector<ChainHealth> health;
+};
+
+/// FNV-1a hash of the canonical sampling configuration: seed, chain count,
+/// sampler parameters, flip probability, and subject-network identity
+/// (injection-space size, eval-set size, golden error bits). Deliberately
+/// excludes stopping knobs (CompletenessCriterion) and supervision policy —
+/// resuming with a larger round budget or different retry policy is legal
+/// and extends the same campaign.
+std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
+                                   const RunnerConfig& config, double p);
+
+/// Canonical checkpoint file location inside a checkpoint directory.
+std::string checkpoint_path(const std::string& dir);
+
+/// Atomically writes `ck` to `path` (parent directories created). False on
+/// any I/O failure; the previous checkpoint, if any, is left intact.
+bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck);
+
+/// Parses and validates a checkpoint. nullopt with a message in `error` on
+/// missing file, malformed JSON, or schema/version mismatch.
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  std::string* error = nullptr);
+
+}  // namespace bdlfi::mcmc

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/interrupt.h"
 
 namespace bdlfi::mcmc {
 
@@ -33,7 +34,12 @@ GibbsSampler::GibbsSampler(bayes::BayesianFaultNetwork& net,
 void GibbsSampler::sweep(FaultMask& current, double& current_logd,
                          util::Rng& rng) {
   const std::int64_t total_bits = net_.space().total_bits();
+  const bool watchdog = config_.round_timeout_ms > 0.0;
   for (std::size_t i = 0; i < config_.coordinates_per_sweep; ++i) {
+    if (watchdog && watch_.millis() > config_.round_timeout_ms) {
+      timed_out_ = true;
+      return;
+    }
     const auto flat = static_cast<std::int64_t>(
         rng.below(static_cast<std::uint64_t>(total_bits)));
     const auto analytic = target_.analytic_toggle_delta(current, flat);
@@ -47,6 +53,7 @@ void GibbsSampler::sweep(FaultMask& current, double& current_logd,
       ++network_evals_;
       toggle_delta = other - current_logd;
     }
+    if (std::isnan(toggle_delta)) diverged_ = true;
     // Conditional probability of the *toggled* state:
     //   P(toggled) = exp(Δ) / (1 + exp(Δ)) — a logistic draw.
     const double prob_toggle = 1.0 / (1.0 + std::exp(-toggle_delta));
@@ -61,17 +68,36 @@ void GibbsSampler::sweep(FaultMask& current, double& current_logd,
 
 ChainResult GibbsSampler::run() {
   const bayes::EvalStats stats_base = net_.eval_stats();
+  watch_.reset();
   util::Rng rng{config_.seed};
-  FaultMask current = net_.sample_prior_mask(p_, rng);
+  FaultMask current;
+  if (config_.resume) {
+    BDLFI_CHECK_MSG(rng.state_load(config_.resume_rng),
+                    "invalid resume RNG state");
+    current = config_.resume_mask;
+  } else {
+    current = net_.sample_prior_mask(p_, rng);
+  }
   double current_logd = target_.log_density(current);
   if (target_.requires_network_eval()) ++network_evals_;
+  if (std::isnan(current_logd) ||
+      (std::isinf(current_logd) && current_logd > 0.0)) {
+    diverged_ = true;
+  }
 
   ChainResult result;
-  for (std::size_t i = 0; i < config_.burn_in; ++i) {
-    sweep(current, current_logd, rng);
+  if (!config_.resume) {
+    for (std::size_t i = 0; !timed_out_ && i < config_.burn_in; ++i) {
+      sweep(current, current_logd, rng);
+    }
   }
-  for (std::size_t s = 0; s < config_.samples; ++s) {
+  for (std::size_t s = 0; !timed_out_ && s < config_.samples; ++s) {
+    if (util::interrupt_requested()) {
+      result.interrupted = true;
+      break;
+    }
     sweep(current, current_logd, rng);
+    if (timed_out_) break;
     const bayes::MaskOutcome outcome = net_.evaluate_mask(current);
     ++network_evals_;
     result.error_samples.push_back(outcome.classification_error);
@@ -80,6 +106,10 @@ ChainResult GibbsSampler::run() {
   }
   result.acceptance_rate = 1.0;  // Gibbs always moves per-coordinate
   result.network_evals = network_evals_;
+  result.timed_out = timed_out_;
+  result.diverged = diverged_;
+  result.rng_state = rng.state_save();
+  result.final_mask = current;
   const bayes::EvalStats& stats = net_.eval_stats();
   result.full_evals = stats.full_evals - stats_base.full_evals;
   result.truncated_evals = stats.truncated_evals - stats_base.truncated_evals;

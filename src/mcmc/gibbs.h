@@ -9,6 +9,7 @@
 
 #include "bayes/targets.h"
 #include "mcmc/mh.h"
+#include "util/stopwatch.h"
 
 namespace bdlfi::mcmc {
 
@@ -18,6 +19,11 @@ struct GibbsConfig {
   /// Bit coordinates resampled per sweep.
   std::size_t coordinates_per_sweep = 64;
   std::uint64_t seed = 1;
+  /// Same semantics as the MhConfig fields of the same names.
+  double round_timeout_ms = 0.0;
+  bool resume = false;
+  std::vector<std::uint64_t> resume_rng;
+  FaultMask resume_mask;
 };
 
 class GibbsSampler {
@@ -35,6 +41,9 @@ class GibbsSampler {
   double p_;
   GibbsConfig config_;
   std::size_t network_evals_ = 0;
+  bool diverged_ = false;
+  bool timed_out_ = false;
+  util::Stopwatch watch_;
 };
 
 }  // namespace bdlfi::mcmc

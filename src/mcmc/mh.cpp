@@ -4,10 +4,18 @@
 
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/interrupt.h"
+#include "util/stopwatch.h"
 
 namespace bdlfi::mcmc {
 
 namespace {
+
+// -Inf log density is a legitimate hard rejection (zero-probability state);
+// NaN and +Inf can only come from a pathological target and poison the walk.
+inline bool pathological_logd(double logd) {
+  return std::isnan(logd) || (std::isinf(logd) && logd > 0.0);
+}
 
 // Sampler-level counters shared by all chains; registered once.
 struct MhMetrics {
@@ -83,6 +91,8 @@ bool MhSampler::step(FaultMask& current, double& current_logd,
     log_alpha = next_logd - current_logd + proposal.log_q_ratio;
   }
 
+  if (pathological_logd(next_logd)) diverged_ = true;
+
   const bool accepted =
       log_alpha >= 0.0 || std::log(rng.uniform() + 1e-300) < log_alpha;
   if (accepted) {
@@ -101,22 +111,53 @@ bool MhSampler::step(FaultMask& current, double& current_logd,
 ChainResult MhSampler::run() {
   const bayes::EvalStats stats_base = net_.eval_stats();
   util::Rng rng{config_.seed};
-  FaultMask current = net_.sample_prior_mask(p_, rng);
-  double current_logd = target_.log_density(current);
-  if (target_.requires_network_eval()) ++network_evals_;
 
   ChainResult result;
+  FaultMask current;
+  if (config_.resume) {
+    BDLFI_CHECK_MSG(rng.state_load(config_.resume_rng),
+                    "invalid resume RNG state");
+    current = config_.resume_mask;
+  } else {
+    current = net_.sample_prior_mask(p_, rng);
+  }
+  double current_logd = target_.log_density(current);
+  if (target_.requires_network_eval()) ++network_evals_;
+  if (pathological_logd(current_logd)) diverged_ = true;
+
   result.error_samples.reserve(config_.samples);
   result.deviation_samples.reserve(config_.samples);
   result.flips_samples.reserve(config_.samples);
 
-  for (std::size_t i = 0; i < config_.burn_in; ++i) {
-    step(current, current_logd, rng);
+  // Clock reads only happen when the watchdog is armed, so the default
+  // configuration costs nothing on the hot path.
+  const bool watchdog = config_.round_timeout_ms > 0.0;
+  util::Stopwatch watch;
+  bool aborted = false;
+  if (!config_.resume) {
+    for (std::size_t i = 0; i < config_.burn_in; ++i) {
+      step(current, current_logd, rng);
+      if (watchdog && watch.millis() > config_.round_timeout_ms) {
+        result.timed_out = true;
+        aborted = true;
+        break;
+      }
+    }
   }
-  for (std::size_t s = 0; s < config_.samples; ++s) {
+  for (std::size_t s = 0; !aborted && s < config_.samples; ++s) {
+    if (util::interrupt_requested()) {
+      result.interrupted = true;
+      break;
+    }
     for (std::size_t t = 0; t < config_.thin; ++t) {
       step(current, current_logd, rng);
+      if (watchdog && watch.millis() > config_.round_timeout_ms) {
+        result.timed_out = true;
+        aborted = true;
+        break;
+      }
     }
+    if (aborted) break;
     const bayes::MaskOutcome outcome = net_.evaluate_mask(current);
     ++network_evals_;
     result.error_samples.push_back(outcome.classification_error);
@@ -125,13 +166,16 @@ ChainResult MhSampler::run() {
   }
   if (obs::enabled()) {
     MhMetrics& m = MhMetrics::get();
-    m.samples.add(config_.samples);
+    m.samples.add(result.error_samples.size());
     m.evals.add(network_evals_);
   }
   result.acceptance_rate =
       proposed_ ? static_cast<double>(accepted_) / static_cast<double>(proposed_)
                 : 0.0;
   result.network_evals = network_evals_;
+  result.diverged = diverged_;
+  result.rng_state = rng.state_save();
+  result.final_mask = current;
   const bayes::EvalStats& stats = net_.eval_stats();
   result.full_evals = stats.full_evals - stats_base.full_evals;
   result.truncated_evals = stats.truncated_evals - stats_base.truncated_evals;

@@ -24,6 +24,17 @@ struct MhConfig {
   double w_independence = 0.2;
   std::size_t block_size = 8;
   std::uint64_t seed = 1;
+  /// Cooperative wall-clock watchdog: when > 0, the run abandons (result
+  /// flagged timed_out) once this many milliseconds elapse. Checked between
+  /// steps; a single wedged forward pass cannot be preempted.
+  double round_timeout_ms = 0.0;
+  /// Cross-round continuation (set by the campaign runner / checkpoint
+  /// resume): restore the RNG engine from `resume_rng` and continue from
+  /// `resume_mask` instead of seeding fresh and drawing from the prior.
+  /// Burn-in is skipped — the restored state is already warmed up.
+  bool resume = false;
+  std::vector<std::uint64_t> resume_rng;
+  FaultMask resume_mask;
 };
 
 struct ChainResult {
@@ -39,6 +50,14 @@ struct ChainResult {
   std::size_t truncated_evals = 0;
   std::size_t layers_run = 0;
   std::size_t layers_total = 0;
+  // Supervision verdicts, inspected by mcmc::ChainSupervisor.
+  bool timed_out = false;     // watchdog fired; samples are partial
+  bool diverged = false;      // NaN/+Inf posterior density observed
+  bool interrupted = false;   // global interrupt flag seen; samples partial
+  // Continuation cursor: engine state and chain position after the last
+  // retained sample, so the next round resumes the same stream.
+  std::vector<std::uint64_t> rng_state;
+  FaultMask final_mask;
 };
 
 class MhSampler {
@@ -64,6 +83,7 @@ class MhSampler {
   std::size_t accepted_ = 0;
   std::size_t proposed_ = 0;
   std::size_t network_evals_ = 0;
+  bool diverged_ = false;
 };
 
 }  // namespace bdlfi::mcmc

@@ -1,10 +1,14 @@
 #include "mcmc/runner.h"
 
 #include <cmath>
+#include <filesystem>
 #include <limits>
 
+#include "mcmc/checkpoint.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/interrupt.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -14,18 +18,35 @@ namespace bdlfi::mcmc {
 namespace {
 
 std::uint64_t chain_seed(std::uint64_t base, std::uint64_t round,
-                         std::uint64_t chain) {
+                         std::uint64_t chain, std::uint64_t attempt = 0) {
   std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (round * 8191 + chain + 1));
+  // Retries re-derive a fresh stream; attempt 0 matches the historical
+  // derivation exactly so default campaigns stay bit-identical.
+  if (attempt != 0) s ^= 0xda3e39cb94b95bdbULL * attempt;
   return util::splitmix64(s);
 }
 
-CampaignResult pool_chains(std::vector<ChainResult> chains) {
+ChainTargetFactory adapt(const TargetFactory& make_target) {
+  return [&make_target](bayes::BayesianFaultNetwork& net, std::size_t) {
+    return make_target(net);
+  };
+}
+
+CampaignResult pool_chains(const std::vector<ChainResult>& chains,
+                           const std::vector<ChainHealth>& health) {
   CampaignResult result;
   util::SampleSet errors;
   util::RunningStats dev, flips;
   std::vector<std::vector<double>> error_streams;
   double acceptance = 0.0;
-  for (auto& c : chains) {
+  std::size_t surviving = 0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    if (i < health.size() && health[i].status == ChainStatus::quarantined) {
+      ++result.chains_quarantined;
+      continue;  // quarantined: no contribution to pooled statistics
+    }
+    const ChainResult& c = chains[i];
+    ++surviving;
     for (double e : c.error_samples) errors.add(e);
     for (double d : c.deviation_samples) dev.add(d);
     for (double f : c.flips_samples) flips.add(f);
@@ -48,7 +69,7 @@ CampaignResult pool_chains(std::vector<ChainResult> chains) {
   result.mean_deviation = dev.mean();
   result.mean_flips = flips.mean();
   result.mean_acceptance =
-      chains.empty() ? 0.0 : acceptance / static_cast<double>(chains.size());
+      surviving == 0 ? 0.0 : acceptance / static_cast<double>(surviving);
 
   if (error_streams.size() >= 2 && error_streams[0].size() >= 2) {
     result.diagnostics.rhat = util::gelman_rubin(error_streams);
@@ -62,31 +83,89 @@ CampaignResult pool_chains(std::vector<ChainResult> chains) {
   }
   result.diagnostics.ess = ess;
   result.diagnostics.geweke_max = geweke;
-  result.chains = std::move(chains);
+  result.degraded = result.chains_quarantined > 0;
+  // A single-chain campaign is a legitimate (if diagnostics-poor) request;
+  // losing chains until fewer than two survive is not.
+  if (result.degraded && surviving < 2) {
+    result.failed = true;
+    result.fail_reason =
+        std::to_string(result.chains_quarantined) +
+        " chain(s) quarantined, fewer than 2 survivors: pooled diagnostics "
+        "are not trustworthy";
+  }
+  result.health = health;
+  result.chains = chains;
   return result;
 }
 
+/// Runs one round of every non-quarantined chain under supervision. On a
+/// clean finish the chain's cursor is advanced; on a detected failure the
+/// chain restarts fresh (re-derived seed, prior draw + burn-in) up to the
+/// retry budget, then is quarantined. Cursors/health entries are per-chain,
+/// so the parallel workers never touch shared state.
 std::vector<ChainResult> run_round(const bayes::BayesianFaultNetwork& golden,
-                                   const TargetFactory& make_target, double p,
-                                   const RunnerConfig& config,
-                                   std::uint64_t round) {
+                                   const ChainTargetFactory& make_target,
+                                   double p, const RunnerConfig& config,
+                                   std::uint64_t round, ChainSupervisor& sup,
+                                   std::vector<ChainCursor>& cursors) {
   BDLFI_CHECK(config.num_chains >= 1);
   obs::TraceSpan round_span("mcmc.round");
   std::vector<ChainResult> chains(config.num_chains);
   util::parallel_for(0, config.num_chains, [&](std::size_t c) {
+    if (sup.quarantined(c)) return;
     obs::TraceSpan chain_span("mcmc.chain");
-    auto replica = golden.replicate();
-    auto target = make_target(*replica);
-    if (config.use_gibbs) {
-      GibbsConfig gc = config.gibbs;
-      gc.seed = chain_seed(config.seed, round, c);
-      GibbsSampler sampler(*replica, *target, p, gc);
-      chains[c] = sampler.run();
-    } else {
-      MhConfig mc = config.mh;
-      mc.seed = chain_seed(config.seed, round, c);
-      MhSampler sampler(*replica, *target, p, mc);
-      chains[c] = sampler.run();
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (util::interrupt_requested()) {
+        chains[c].interrupted = true;
+        return;
+      }
+      auto replica = golden.replicate();
+      auto target = make_target(*replica, c);
+      ChainResult r;
+      const bool continue_cursor = attempt == 0 && cursors[c].valid;
+      if (config.use_gibbs) {
+        GibbsConfig gc = config.gibbs;
+        gc.seed = chain_seed(config.seed, round, c, attempt);
+        gc.round_timeout_ms = config.supervisor.round_timeout_ms;
+        if (continue_cursor) {
+          gc.resume = true;
+          gc.resume_rng = cursors[c].rng_state;
+          gc.resume_mask = cursors[c].mask;
+        }
+        GibbsSampler sampler(*replica, *target, p, gc);
+        r = sampler.run();
+      } else {
+        MhConfig mc = config.mh;
+        mc.seed = chain_seed(config.seed, round, c, attempt);
+        mc.round_timeout_ms = config.supervisor.round_timeout_ms;
+        if (continue_cursor) {
+          mc.resume = true;
+          mc.resume_rng = cursors[c].rng_state;
+          mc.resume_mask = cursors[c].mask;
+        }
+        MhSampler sampler(*replica, *target, p, mc);
+        r = sampler.run();
+      }
+      if (r.interrupted) {
+        chains[c] = std::move(r);
+        return;
+      }
+      const std::string reason = sup.inspect(r);
+      if (reason.empty()) {
+        cursors[c].valid = true;
+        cursors[c].rng_state = r.rng_state;
+        cursors[c].mask = r.final_mask;
+        chains[c] = std::move(r);
+        return;
+      }
+      // Failed attempt: the cursor is poisoned — any retry (and, if the
+      // chain is quarantined, any later inspection) starts from scratch.
+      cursors[c].valid = false;
+      if (!sup.record_failure(c, round, reason, attempt)) {
+        chains[c] = std::move(r);  // keep the failed partial for post-mortem
+        return;
+      }
+      sup.backoff(attempt);
     }
   });
   return chains;
@@ -119,17 +198,44 @@ obs::RoundEvent make_round_event(const CampaignResult& pooled,
           ? 0.0
           : static_cast<double>(cached) / static_cast<double>(total_evals);
   event.round_seconds = round_seconds;
+  event.chains_quarantined = pooled.chains_quarantined;
+  event.degraded = pooled.degraded;
   return event;
 }
 
-}  // namespace
+/// Fires the health hook for chains quarantined since the last call.
+void report_new_quarantines(const RunnerConfig& config,
+                            const ChainSupervisor& sup,
+                            std::vector<bool>& reported, std::size_t round) {
+  if (!config.health_hook) return;
+  for (const ChainHealth& h : sup.health()) {
+    if (h.status != ChainStatus::quarantined || reported[h.chain]) continue;
+    reported[h.chain] = true;
+    obs::ChainHealthEvent event;
+    event.round = round + 1;
+    event.chain = h.chain;
+    event.status = "quarantined";
+    event.reason = h.last_failure;
+    event.retries = h.retries;
+    config.health_hook(event);
+  }
+}
 
-CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
-                          const TargetFactory& make_target, double p,
-                          const RunnerConfig& config) {
+CampaignResult run_chains_impl(const bayes::BayesianFaultNetwork& golden,
+                               const ChainTargetFactory& make_target, double p,
+                               const RunnerConfig& config) {
   util::Stopwatch timer;
-  CampaignResult pooled = pool_chains(run_round(golden, make_target, p,
-                                                config, 0));
+  ChainSupervisor sup(config.supervisor, config.num_chains);
+  std::vector<ChainCursor> cursors(config.num_chains);
+  std::vector<ChainResult> chains =
+      run_round(golden, make_target, p, config, 0, sup, cursors);
+  CampaignResult pooled = pool_chains(chains, sup.health());
+  for (const ChainResult& c : chains) pooled.interrupted |= c.interrupted;
+  std::vector<bool> reported(config.num_chains, false);
+  report_new_quarantines(config, sup, reported, 0);
+  if (pooled.failed) {
+    BDLFI_LOG_ERROR("campaign failed: %s", pooled.fail_reason.c_str());
+  }
   if (config.round_hook) {
     config.round_hook(make_round_event(pooled, 1, p, pooled.mean_acceptance,
                                        pooled.total_network_evals,
@@ -138,25 +244,115 @@ CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
   return pooled;
 }
 
-CompletenessResult run_until_complete(
+CompletenessResult run_until_complete_impl(
     const bayes::BayesianFaultNetwork& golden,
-    const TargetFactory& make_target, double p, const RunnerConfig& config,
-    const CompletenessCriterion& criterion) {
+    const ChainTargetFactory& make_target, double p,
+    const RunnerConfig& config, const CompletenessCriterion& criterion) {
   CompletenessResult result;
-  // Cumulative per-chain sample streams; each round appends an independent
-  // continuation (fresh seed), so the streams remain valid draws from the
-  // same target and the pooled diagnostics sharpen monotonically.
+  ChainSupervisor sup(config.supervisor, config.num_chains);
+  std::vector<ChainCursor> cursors(config.num_chains);
+  // Cumulative per-chain sample streams. Each round continues the chain's
+  // walk from its cursor (same RNG stream, same mask), so the streams are
+  // single long chains and the pooled diagnostics sharpen monotonically.
   std::vector<ChainResult> cumulative(config.num_chains);
 
   double prev_mean = std::numeric_limits<double>::quiet_NaN();
   std::size_t prev_evals = 0;
-  for (std::size_t round = 0; round < criterion.max_rounds; ++round) {
+  std::size_t start_round = 0;
+
+  const std::uint64_t fingerprint = campaign_fingerprint(golden, config, p);
+  const std::string ckpt_path = config.checkpoint_dir.empty()
+                                    ? std::string{}
+                                    : checkpoint_path(config.checkpoint_dir);
+
+  bool restored_converged = false;
+  if (config.resume && !ckpt_path.empty() &&
+      std::filesystem::exists(ckpt_path)) {
+    std::string error;
+    auto ck = load_checkpoint(ckpt_path, &error);
+    if (!ck.has_value()) {
+      // An existing but unreadable checkpoint is rejected rather than
+      // silently restarted over: the operator asked to continue that run.
+      result.resume_rejected = true;
+      result.final_result.failed = true;
+      result.final_result.fail_reason = "checkpoint unreadable: " + error;
+      BDLFI_LOG_ERROR("resume rejected: %s", error.c_str());
+      return result;
+    }
+    if (ck->fingerprint != fingerprint ||
+        ck->chains.size() != config.num_chains) {
+      result.resume_rejected = true;
+      result.final_result.failed = true;
+      result.final_result.fail_reason =
+          "checkpoint fingerprint mismatch: different config/seed/network";
+      BDLFI_LOG_ERROR("resume rejected: fingerprint mismatch (%s)",
+                      ckpt_path.c_str());
+      return result;
+    }
+    cumulative = std::move(ck->chains);
+    cursors = std::move(ck->cursors);
+    sup.restore(std::move(ck->health));
+    prev_mean = ck->prev_mean;
+    prev_evals = ck->prev_evals;
+    result.trajectory = std::move(ck->trajectory);
+    start_round = ck->rounds_completed;
+    result.rounds = start_round;
+    result.resumed_from_round = start_round;
+    restored_converged = ck->converged;
+    result.final_result = pool_chains(cumulative, sup.health());
+    BDLFI_LOG_INFO("resumed campaign from %s (%zu round(s) done)",
+                   ckpt_path.c_str(), start_round);
+  }
+  if (restored_converged) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<bool> reported(config.num_chains, false);
+  for (const ChainHealth& h : sup.health()) {
+    if (h.status == ChainStatus::quarantined) reported[h.chain] = true;
+  }
+
+  const auto save = [&](std::size_t rounds_done, bool converged) {
+    if (ckpt_path.empty()) return;
+    CampaignCheckpoint ck;
+    ck.fingerprint = fingerprint;
+    ck.p = p;
+    ck.rounds_completed = rounds_done;
+    ck.converged = converged;
+    ck.prev_mean = prev_mean;
+    ck.prev_evals = prev_evals;
+    ck.trajectory = result.trajectory;
+    ck.chains = cumulative;
+    ck.cursors = cursors;
+    ck.health = sup.health();
+    if (save_checkpoint(ckpt_path, ck)) {
+      if (config.checkpoint_hook) config.checkpoint_hook(rounds_done, ckpt_path);
+    }
+  };
+
+  for (std::size_t round = start_round; round < criterion.max_rounds; ++round) {
+    if (util::interrupt_requested()) {
+      result.interrupted = true;
+      result.final_result.interrupted = true;
+      break;
+    }
     util::Stopwatch round_timer;
-    auto fresh = run_round(golden, make_target, p, config, round);
+    auto fresh = run_round(golden, make_target, p, config, round, sup, cursors);
+    bool interrupted = util::interrupt_requested();
+    for (const auto& c : fresh) interrupted |= c.interrupted;
+    if (interrupted) {
+      // The partial round is discarded; the previous round's checkpoint is
+      // the resume point, which keeps resumed streams bit-exact.
+      result.interrupted = true;
+      result.final_result.interrupted = true;
+      break;
+    }
+
     double round_acceptance = 0.0;
-    for (const auto& c : fresh) round_acceptance += c.acceptance_rate;
-    round_acceptance /= static_cast<double>(config.num_chains);
+    std::size_t healthy = 0;
     for (std::size_t c = 0; c < config.num_chains; ++c) {
+      if (sup.quarantined(c)) continue;
       auto& dst = cumulative[c];
       const auto& src = fresh[c];
       dst.error_samples.insert(dst.error_samples.end(),
@@ -174,8 +370,14 @@ CompletenessResult run_until_complete(
       dst.layers_run += src.layers_run;
       dst.layers_total += src.layers_total;
       dst.acceptance_rate = src.acceptance_rate;  // latest round's rate
+      round_acceptance += src.acceptance_rate;
+      ++healthy;
     }
-    CampaignResult pooled = pool_chains(cumulative);
+    round_acceptance /=
+        healthy > 0 ? static_cast<double>(healthy) : 1.0;
+
+    CampaignResult pooled = pool_chains(cumulative, sup.health());
+    report_new_quarantines(config, sup, reported, round);
     result.rounds = round + 1;
     result.trajectory.push_back({pooled.total_samples, pooled.mean_error,
                                  pooled.diagnostics.rhat,
@@ -195,13 +397,51 @@ CompletenessResult run_until_complete(
                criterion.mean_rel_tol;
     }
     prev_mean = pooled.mean_error;
+    const bool converged_now = mixed && stable && !pooled.failed;
+    const bool failed_now = pooled.failed;
+    const std::string fail_reason = pooled.fail_reason;
     result.final_result = std::move(pooled);
-    if (mixed && stable) {
+    save(round + 1, converged_now);
+    if (converged_now) {
       result.converged = true;
+      break;
+    }
+    if (failed_now) {
+      BDLFI_LOG_ERROR("campaign failed at round %zu: %s", round + 1,
+                      fail_reason.c_str());
       break;
     }
   }
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
+                          const TargetFactory& make_target, double p,
+                          const RunnerConfig& config) {
+  return run_chains_impl(golden, adapt(make_target), p, config);
+}
+
+CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
+                          const ChainTargetFactory& make_target, double p,
+                          const RunnerConfig& config) {
+  return run_chains_impl(golden, make_target, p, config);
+}
+
+CompletenessResult run_until_complete(
+    const bayes::BayesianFaultNetwork& golden,
+    const TargetFactory& make_target, double p, const RunnerConfig& config,
+    const CompletenessCriterion& criterion) {
+  return run_until_complete_impl(golden, adapt(make_target), p, config,
+                                 criterion);
+}
+
+CompletenessResult run_until_complete(
+    const bayes::BayesianFaultNetwork& golden,
+    const ChainTargetFactory& make_target, double p, const RunnerConfig& config,
+    const CompletenessCriterion& criterion) {
+  return run_until_complete_impl(golden, make_target, p, config, criterion);
 }
 
 }  // namespace bdlfi::mcmc

@@ -15,6 +15,7 @@
 #include "bayes/targets.h"
 #include "mcmc/gibbs.h"
 #include "mcmc/mh.h"
+#include "mcmc/supervisor.h"
 #include "obs/reporter.h"
 #include "util/stats.h"
 
@@ -23,6 +24,11 @@ namespace bdlfi::mcmc {
 /// Builds the per-chain target distribution bound to that chain's replica.
 using TargetFactory = std::function<std::unique_ptr<bayes::MaskTarget>(
     bayes::BayesianFaultNetwork&)>;
+
+/// Chain-aware variant: also receives the chain index. Enables per-chain
+/// target variation (tempering ladders, supervision fault-injection tests).
+using ChainTargetFactory = std::function<std::unique_ptr<bayes::MaskTarget>(
+    bayes::BayesianFaultNetwork&, std::size_t chain)>;
 
 struct RunnerConfig {
   std::size_t num_chains = 4;
@@ -34,6 +40,22 @@ struct RunnerConfig {
   /// (live observability). Wire an obs::CampaignReporter via reporter.hook(),
   /// or any custom subscriber. Called from the orchestrating thread.
   obs::RoundCallback round_hook;
+  /// Chain supervision policy (watchdog/retry/quarantine). The divergence
+  /// detector is always armed; everything else is opt-in, so the default
+  /// config costs nothing on the hot path.
+  SupervisorConfig supervisor;
+  /// Directory receiving the atomic per-round campaign checkpoint ("" = off).
+  /// Created if missing. Only run_until_complete checkpoints; single-round
+  /// run_chains campaigns are cheap enough to re-run.
+  std::string checkpoint_dir;
+  /// Restore from checkpoint_dir's checkpoint before running. A missing file
+  /// is a fresh start; a config/seed fingerprint mismatch rejects the run.
+  bool resume = false;
+  /// Invoked on every supervision incident (retry, quarantine). Called from
+  /// the orchestrating thread between rounds.
+  obs::ChainHealthCallback health_hook;
+  /// Invoked after each successful checkpoint write with (round, path).
+  std::function<void(std::size_t, const std::string&)> checkpoint_hook;
 };
 
 struct CampaignDiagnostics {
@@ -71,12 +93,27 @@ struct CampaignResult {
                                          total_layers_run) /
                      static_cast<double>(total_layers_total);
   }
+  // Graceful-degradation surface. Pooled statistics and diagnostics above
+  // cover surviving chains only; quarantined chains keep their (partial)
+  // entries in `chains` for post-mortem but contribute nothing.
+  std::size_t chains_quarantined = 0;
+  bool degraded = false;  // chains_quarantined > 0
+  /// Fewer than two chains survived a multi-chain campaign: cross-chain
+  /// diagnostics are meaningless and the result must not be trusted.
+  bool failed = false;
+  std::string fail_reason;
+  /// The global interrupt flag fired mid-campaign (partial round discarded).
+  bool interrupted = false;
+  std::vector<ChainHealth> health;  // one record per chain
 };
 
 /// Runs `config.num_chains` chains at flip probability `p` against targets
 /// made by `make_target`. `golden` itself is never mutated.
 CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
                           const TargetFactory& make_target, double p,
+                          const RunnerConfig& config);
+CampaignResult run_chains(const bayes::BayesianFaultNetwork& golden,
+                          const ChainTargetFactory& make_target, double p,
                           const RunnerConfig& config);
 
 /// The paper's completeness criterion (§I advantage 1).
@@ -100,14 +137,29 @@ struct CompletenessResult {
     double ess;
   };
   std::vector<RoundStats> trajectory;
+  /// SIGINT/SIGTERM observed: stopped after the last complete round, whose
+  /// checkpoint (if enabled) supports a bit-exact --resume.
+  bool interrupted = false;
+  /// RunnerConfig::resume found a checkpoint whose fingerprint does not match
+  /// this campaign's config/seed/network; nothing was run.
+  bool resume_rejected = false;
+  /// Rounds restored from the checkpoint (0 for a fresh start).
+  std::size_t resumed_from_round = 0;
 };
 
 /// Repeatedly extends the campaign in rounds of `config.mh.samples` per chain
 /// until the completeness criterion is met (mixing achieved and the running
-/// hypothesis stable) or `criterion.max_rounds` is exhausted.
+/// hypothesis stable) or `criterion.max_rounds` is exhausted. Rounds after
+/// the first continue each chain's walk from its saved cursor (RNG engine
+/// state + current mask) — no re-burn-in — which is also what makes
+/// checkpoint resume bit-exact.
 CompletenessResult run_until_complete(
     const bayes::BayesianFaultNetwork& golden,
     const TargetFactory& make_target, double p, const RunnerConfig& config,
+    const CompletenessCriterion& criterion);
+CompletenessResult run_until_complete(
+    const bayes::BayesianFaultNetwork& golden,
+    const ChainTargetFactory& make_target, double p, const RunnerConfig& config,
     const CompletenessCriterion& criterion);
 
 }  // namespace bdlfi::mcmc

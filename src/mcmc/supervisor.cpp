@@ -1,0 +1,101 @@
+#include "mcmc/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/check.h"
+
+namespace bdlfi::mcmc {
+
+const char* to_string(ChainStatus status) {
+  return status == ChainStatus::quarantined ? "quarantined" : "healthy";
+}
+
+bool chain_status_from_string(const std::string& text, ChainStatus* out) {
+  if (text == "healthy") {
+    *out = ChainStatus::healthy;
+    return true;
+  }
+  if (text == "quarantined") {
+    *out = ChainStatus::quarantined;
+    return true;
+  }
+  return false;
+}
+
+ChainSupervisor::ChainSupervisor(const SupervisorConfig& config,
+                                 std::size_t num_chains)
+    : config_(config), health_(num_chains) {
+  for (std::size_t c = 0; c < num_chains; ++c) health_[c].chain = c;
+}
+
+bool ChainSupervisor::quarantined(std::size_t chain) const {
+  return health_[chain].status == ChainStatus::quarantined;
+}
+
+std::size_t ChainSupervisor::num_quarantined() const {
+  std::size_t n = 0;
+  for (const ChainHealth& h : health_) {
+    if (h.status == ChainStatus::quarantined) ++n;
+  }
+  return n;
+}
+
+std::size_t ChainSupervisor::num_surviving() const {
+  return health_.size() - num_quarantined();
+}
+
+std::string ChainSupervisor::inspect(const ChainResult& result) const {
+  if (result.diverged) return "nan_divergence";
+  if (result.timed_out) return "timeout";
+  // The samplers flag density pathologies; outcome statistics get a direct
+  // scan so a NaN that slipped through the network eval is caught too.
+  for (const double v : result.error_samples) {
+    if (!std::isfinite(v)) return "nan_divergence";
+  }
+  for (const double v : result.deviation_samples) {
+    if (!std::isfinite(v)) return "nan_divergence";
+  }
+  if (config_.min_acceptance > 0.0 &&
+      result.acceptance_rate < config_.min_acceptance) {
+    return "acceptance_collapse";
+  }
+  if (config_.max_evals_per_round > 0 &&
+      result.network_evals > config_.max_evals_per_round) {
+    return "eval_budget";
+  }
+  return "";
+}
+
+bool ChainSupervisor::record_failure(std::size_t chain, std::size_t round,
+                                     const std::string& reason,
+                                     std::size_t attempt) {
+  BDLFI_CHECK(chain < health_.size());
+  ChainHealth& h = health_[chain];
+  ++h.retries;
+  h.last_failure = reason;
+  if (attempt >= config_.max_retries) {
+    h.status = ChainStatus::quarantined;
+    h.quarantined_round = round + 1;
+    return false;
+  }
+  return true;
+}
+
+void ChainSupervisor::backoff(std::size_t attempt) const {
+  if (config_.backoff_base_ms <= 0.0) return;
+  const double ms = std::min(
+      config_.backoff_base_ms * std::pow(2.0, static_cast<double>(attempt)),
+      config_.backoff_cap_ms);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+}
+
+void ChainSupervisor::restore(std::vector<ChainHealth> health) {
+  BDLFI_CHECK(health.size() == health_.size());
+  health_ = std::move(health);
+}
+
+}  // namespace bdlfi::mcmc

@@ -1,0 +1,92 @@
+// ChainSupervisor: per-chain health tracking and the retry/quarantine policy.
+//
+// A pathological chain (NaN-poisoned posterior, wedged forward pass,
+// collapsed acceptance) used to take the whole campaign with it. The
+// supervisor inspects every finished per-chain round, retries failures with a
+// re-derived seed and bounded exponential backoff, and quarantines a chain
+// that keeps failing. Quarantined chains are excluded from pooling so R-hat /
+// ESS stay honest over the survivors; the campaign only fails outright when
+// fewer than two survivors remain out of a multi-chain run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mcmc/mh.h"
+
+namespace bdlfi::mcmc {
+
+enum class ChainStatus { healthy, quarantined };
+
+const char* to_string(ChainStatus status);
+bool chain_status_from_string(const std::string& text, ChainStatus* out);
+
+/// Health record of one chain across the campaign.
+struct ChainHealth {
+  std::size_t chain = 0;
+  ChainStatus status = ChainStatus::healthy;
+  /// Failed attempts across the whole campaign (retries + the final failure).
+  std::size_t retries = 0;
+  /// Reason of the most recent failure; empty for a chain that never failed.
+  std::string last_failure;
+  /// 1-based round at which the chain was quarantined; 0 = never.
+  std::size_t quarantined_round = 0;
+};
+
+struct SupervisorConfig {
+  /// Cooperative per-round wall-clock watchdog, milliseconds (0 = off).
+  double round_timeout_ms = 0.0;
+  /// Failed attempts tolerated per round before quarantine; the chain runs
+  /// 1 + max_retries times at most.
+  std::size_t max_retries = 2;
+  /// MH acceptance-collapse floor (0 = off). Gibbs chains report 1.0 and are
+  /// never caught by this detector.
+  double min_acceptance = 0.0;
+  /// Per-round forward-pass budget (0 = off).
+  std::size_t max_evals_per_round = 0;
+  /// Exponential backoff before a retry: base * 2^attempt, capped. 0 = none.
+  double backoff_base_ms = 0.0;
+  double backoff_cap_ms = 2000.0;
+};
+
+/// Thread-safety contract: each chain's health entry is touched only by the
+/// worker currently running that chain (the runner's parallel_for assigns
+/// disjoint indices); whole-fleet reads (counts, health()) happen between
+/// rounds on the orchestrating thread.
+class ChainSupervisor {
+ public:
+  ChainSupervisor(const SupervisorConfig& config, std::size_t num_chains);
+
+  bool quarantined(std::size_t chain) const;
+  std::size_t num_quarantined() const;
+  std::size_t num_surviving() const;
+
+  /// Post-round verdict for a finished chain: empty string = healthy,
+  /// otherwise the failure reason ("nan_divergence", "timeout",
+  /// "acceptance_collapse", "eval_budget"). NaN divergence is always
+  /// checked; the other detectors arm only when their config knob is set.
+  std::string inspect(const ChainResult& result) const;
+
+  /// Records a failed attempt (0-based `attempt` within the current round).
+  /// Returns true when the chain may retry, false when it has just been
+  /// quarantined.
+  bool record_failure(std::size_t chain, std::size_t round,
+                      const std::string& reason, std::size_t attempt);
+
+  /// Sleeps the exponential backoff for `attempt`; no-op when disabled.
+  void backoff(std::size_t attempt) const;
+
+  const std::vector<ChainHealth>& health() const { return health_; }
+
+  /// Checkpoint restore: replaces the health table (size must match).
+  void restore(std::vector<ChainHealth> health);
+
+  const SupervisorConfig& config() const { return config_; }
+
+ private:
+  SupervisorConfig config_;
+  std::vector<ChainHealth> health_;
+};
+
+}  // namespace bdlfi::mcmc

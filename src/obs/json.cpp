@@ -375,6 +375,20 @@ JsonWriter& JsonWriter::number(double d) {
   return *this;
 }
 
+JsonWriter& JsonWriter::number_exact(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  // 17 significant digits round-trip any finite double; glibc's strtod is
+  // correctly rounded, so parse(print(d)) == d bit-for-bit.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
 JsonWriter& JsonWriter::number(std::uint64_t u) {
   comma();
   out_ += std::to_string(u);

@@ -81,6 +81,10 @@ class JsonWriter {
   JsonWriter& key(const std::string& k);
   JsonWriter& string(const std::string& s);
   JsonWriter& number(double d);
+  /// Round-trip-exact double (%.17g): a strict re-parse returns the identical
+  /// bit pattern. Checkpoints need this; number(double) keeps the compact
+  /// %.12g for human-facing streams. Non-finite still serializes as null.
+  JsonWriter& number_exact(double d);
   JsonWriter& number(std::uint64_t u);
   JsonWriter& number(std::int64_t i);
   JsonWriter& boolean(bool b);
@@ -93,6 +97,9 @@ class JsonWriter {
     return key(k).string(v);
   }
   JsonWriter& field(const std::string& k, double v) { return key(k).number(v); }
+  JsonWriter& field_exact(const std::string& k, double v) {
+    return key(k).number_exact(v);
+  }
   JsonWriter& field(const std::string& k, bool v) { return key(k).boolean(v); }
   JsonWriter& field(const std::string& k, std::uint64_t v) {
     return key(k).number(v);

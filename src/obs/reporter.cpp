@@ -2,6 +2,10 @@
 
 #include <chrono>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -40,9 +44,17 @@ void CampaignReporter::on_round(RoundCallback cb) {
 
 void CampaignReporter::write_line(const std::string& json) {
   if (sink_ == nullptr) return;
-  std::fwrite(json.data(), 1, json.size(), sink_);
-  std::fputc('\n', sink_);
+  // One fwrite for line + terminator: a crash between separate writes must
+  // not leave a newline-less (and thus unparseable) tail in the JSONL file.
+  std::string line;
+  line.reserve(json.size() + 1);
+  line = json;
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), sink_);
   std::fflush(sink_);  // live consumers tail the file
+#if defined(__unix__) || defined(__APPLE__)
+  if (options_.fsync) ::fsync(fileno(sink_));
+#endif
 }
 
 void CampaignReporter::begin(double p, std::size_t chains,
@@ -85,18 +97,25 @@ void CampaignReporter::round(const RoundEvent& event) {
     w.field("evals_per_sec", event.evals_per_sec);
     w.field("cache_hit_rate", event.cache_hit_rate);
     w.field("seconds", event.round_seconds);
+    w.field("chains_quarantined", event.chains_quarantined);
+    w.field("degraded", event.degraded);
     w.field("ts_ms", wall_ms());
     w.end_object();
     write_line(w.str());
     if (options_.progress) {
+      char degraded_tail[48] = "";
+      if (event.degraded) {
+        std::snprintf(degraded_tail, sizeof(degraded_tail), " quarantined=%zu",
+                      event.chains_quarantined);
+      }
       std::fprintf(stderr,
                    "[%s] round %zu: p=%.3g samples=%zu mean=%.3f%% "
                    "rhat=%.4f ess=%.0f accept=%.2f evals/s=%.0f "
-                   "cache-hit=%.0f%%\n",
+                   "cache-hit=%.0f%%%s\n",
                    options_.label.c_str(), event.round, event.p,
                    event.cumulative_samples, event.mean_error, event.rhat,
                    event.ess, event.acceptance_rate, event.evals_per_sec,
-                   100.0 * event.cache_hit_rate);
+                   100.0 * event.cache_hit_rate, degraded_tail);
     }
     subscribers = subscribers_;
   }
@@ -139,8 +158,51 @@ void CampaignReporter::metrics_event() {
   write_line(line);
 }
 
+void CampaignReporter::chain_health(const ChainHealthEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", "chain_health");
+  w.field("label", options_.label);
+  w.field("round", event.round);
+  w.field("chain", event.chain);
+  w.field("status", event.status);
+  w.field("reason", event.reason);
+  w.field("retries", event.retries);
+  w.field("ts_ms", wall_ms());
+  w.end_object();
+  write_line(w.str());
+  if (options_.progress) {
+    std::fprintf(stderr, "[%s] chain %zu %s at round %zu (%s, %zu retries)\n",
+                 options_.label.c_str(), event.chain, event.status.c_str(),
+                 event.round, event.reason.c_str(), event.retries);
+  }
+}
+
+void CampaignReporter::checkpoint_saved(std::size_t round,
+                                        const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", "checkpoint");
+  w.field("label", options_.label);
+  w.field("round", round);
+  w.field("path", path);
+  w.field("ts_ms", wall_ms());
+  w.end_object();
+  write_line(w.str());
+  if (options_.progress) {
+    std::fprintf(stderr, "[%s] checkpoint saved: %s (round %zu)\n",
+                 options_.label.c_str(), path.c_str(), round);
+  }
+}
+
 RoundCallback CampaignReporter::hook() {
   return [this](const RoundEvent& event) { round(event); };
+}
+
+ChainHealthCallback CampaignReporter::health_hook() {
+  return [this](const ChainHealthEvent& event) { chain_health(event); };
 }
 
 }  // namespace bdlfi::obs

@@ -34,9 +34,25 @@ struct RoundEvent {
   /// truncated / (truncated + full) over the campaign so far.
   double cache_hit_rate = 0.0;
   double round_seconds = 0.0;
+  /// Chains excluded from pooling by the supervisor so far.
+  std::size_t chains_quarantined = 0;
+  /// True once any chain has been quarantined: pooled diagnostics cover the
+  /// survivors only.
+  bool degraded = false;
 };
 
 using RoundCallback = std::function<void(const RoundEvent&)>;
+
+/// A chain-supervision incident: a retry or a quarantine decision.
+struct ChainHealthEvent {
+  std::size_t round = 0;  // 1-based round during which it happened
+  std::size_t chain = 0;
+  std::string status;     // "retrying" | "quarantined"
+  std::string reason;     // "nan_divergence" | "timeout" | ...
+  std::size_t retries = 0;  // failed attempts by this chain so far
+};
+
+using ChainHealthCallback = std::function<void(const ChainHealthEvent&)>;
 
 class CampaignReporter {
  public:
@@ -48,6 +64,10 @@ class CampaignReporter {
     std::string metrics_path;
     /// Tag carried in every event ("sweep", "complete", a bench name, ...).
     std::string label = "campaign";
+    /// fsync the JSONL sink after every event. Events are already written as
+    /// one atomic fwrite + fflush so a killed run leaves whole lines; fsync
+    /// additionally survives power loss, at fdatasync cost per event.
+    bool fsync = false;
   };
 
   explicit CampaignReporter(Options options);
@@ -66,6 +86,12 @@ class CampaignReporter {
   /// Emits a round event (invoke from the runner's round hook).
   void round(const RoundEvent& event);
 
+  /// Emits a chain_health event (retry / quarantine incident).
+  void chain_health(const ChainHealthEvent& event);
+
+  /// Emits a checkpoint event after a successful checkpoint write.
+  void checkpoint_saved(std::size_t round, const std::string& path);
+
   /// Emits a campaign_end event plus a final metrics-registry snapshot.
   void end(bool converged, std::size_t rounds);
 
@@ -75,6 +101,9 @@ class CampaignReporter {
 
   /// Adapter for mcmc::RunnerConfig::round_hook.
   RoundCallback hook();
+
+  /// Adapter for mcmc::RunnerConfig::health_hook.
+  ChainHealthCallback health_hook();
 
   /// Round events seen so far (test/monitoring hook).
   const std::vector<RoundEvent>& events() const { return events_; }

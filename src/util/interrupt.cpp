@@ -1,0 +1,34 @@
+#include "util/interrupt.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace bdlfi::util {
+namespace {
+
+std::atomic<bool> g_interrupt{false};
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void bdlfi_interrupt_handler(int /*signum*/) {
+  // Only async-signal-safe work here: a lock-free atomic store.
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  std::signal(SIGINT, bdlfi_interrupt_handler);
+  std::signal(SIGTERM, bdlfi_interrupt_handler);
+}
+
+bool interrupt_requested() {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void set_interrupt_requested(bool value) {
+  g_interrupt.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace bdlfi::util

@@ -1,0 +1,23 @@
+// Cooperative interruption for long-running campaigns.
+//
+// A single process-wide flag, set from SIGINT/SIGTERM (async-signal-safe) or
+// programmatically, and polled by the MCMC samplers between retained samples
+// and by the campaign runner between rounds. Nothing is torn down forcibly:
+// on interruption each chain winds down at the next poll point, partial
+// rounds are discarded, and the last complete round's checkpoint stands —
+// which is what makes `--resume` after Ctrl-C bit-exact.
+#pragma once
+
+namespace bdlfi::util {
+
+/// Installs SIGINT/SIGTERM handlers that set the interrupt flag. Idempotent;
+/// safe to call from multiple entry points.
+void install_interrupt_handlers();
+
+/// True once an interrupt was requested (signal or set_interrupt_requested).
+bool interrupt_requested();
+
+/// Sets/clears the flag directly — tests and programmatic shutdown.
+void set_interrupt_requested(bool value);
+
+}  // namespace bdlfi::util

@@ -1,6 +1,8 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -48,6 +50,60 @@ std::uint64_t Rng::geometric(double p) {
   // Saturate rather than overflow for absurdly small p.
   if (g > 9.0e18) return static_cast<std::uint64_t>(9.0e18);
   return static_cast<std::uint64_t>(g);
+}
+
+std::vector<std::uint64_t> Rng::state_save() const {
+  std::vector<std::uint64_t> words(kStateWords);
+  for (std::size_t i = 0; i < state_.size(); ++i) words[i] = state_[i];
+  words[4] = std::bit_cast<std::uint64_t>(cached_normal_);
+  words[5] = has_cached_normal_ ? 1u : 0u;
+  return words;
+}
+
+bool Rng::state_load(const std::vector<std::uint64_t>& words) {
+  if (words.size() != kStateWords) return false;
+  if (words[5] > 1) return false;
+  for (std::size_t i = 0; i < state_.size(); ++i) state_[i] = words[i];
+  cached_normal_ = std::bit_cast<double>(words[4]);
+  has_cached_normal_ = words[5] == 1;
+  return true;
+}
+
+std::string Rng::state_to_string() const {
+  const std::vector<std::uint64_t> words = state_save();
+  std::string out;
+  out.reserve(kStateWords * 17);
+  char buf[24];
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(words[i]));
+    if (i != 0) out.push_back(':');
+    out += buf;
+  }
+  return out;
+}
+
+bool Rng::state_from_string(const std::string& text) {
+  std::vector<std::uint64_t> words;
+  words.reserve(kStateWords);
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t sep = text.find(':', pos);
+    if (sep == std::string::npos) sep = text.size();
+    if (sep - pos != 16) return false;
+    std::uint64_t word = 0;
+    for (std::size_t i = pos; i < sep; ++i) {
+      const char h = text[i];
+      word <<= 4;
+      if (h >= '0' && h <= '9') word |= static_cast<std::uint64_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') word |= static_cast<std::uint64_t>(h - 'a' + 10);
+      else return false;
+    }
+    words.push_back(word);
+    pos = sep + 1;
+    if (sep == text.size()) break;
+  }
+  return state_load(words);
 }
 
 }  // namespace bdlfi::util

@@ -13,6 +13,8 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <vector>
 
 namespace bdlfi::util {
 
@@ -92,6 +94,28 @@ class Rng {
   /// probability p in (0,1]. Used by the bit-flip sampler to skip over
   /// non-flipped bits in O(#flips) instead of O(#bits).
   std::uint64_t geometric(double p);
+
+  /// Word count of a serialized engine snapshot: the four xoshiro words,
+  /// the cached Box–Muller draw (bit pattern) and its validity flag.
+  static constexpr std::size_t kStateWords = 6;
+
+  /// Full engine snapshot. `state_load` on the result reproduces the exact
+  /// output stream, including the pending second Box–Muller normal.
+  std::vector<std::uint64_t> state_save() const;
+
+  /// Restores a snapshot produced by `state_save`. Rejects (returns false,
+  /// engine unchanged) inputs with the wrong word count or a validity flag
+  /// that is neither 0 nor 1.
+  bool state_load(const std::vector<std::uint64_t>& words);
+
+  /// Hex form of `state_save` ("w0:w1:...:w5", 16 lowercase hex digits per
+  /// word). u64 values do not survive a double-based JSON round trip, so
+  /// checkpoints embed this string instead of a number array.
+  std::string state_to_string() const;
+
+  /// Parses the `state_to_string` form; false (engine unchanged) on any
+  /// malformed input.
+  bool state_from_string(const std::string& text);
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -123,7 +123,7 @@ TEST(EdgeCases, CompletenessNonConvergenceReported) {
     return std::make_unique<bayes::PriorTarget>(n, 1e-2);
   };
   mcmc::CompletenessCriterion impossible;
-  impossible.rhat_threshold = 1.0;     // exactly 1.0 essentially never holds
+  impossible.rhat_threshold = 0.0;  // rhat >= 1 even for agreeing chains
   impossible.mean_rel_tol = 1e-12;
   impossible.max_rounds = 2;
   const auto result =

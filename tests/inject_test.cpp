@@ -57,6 +57,28 @@ TEST(LogSpace, EndpointsAndMonotonicity) {
   EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
 }
 
+TEST(LogSpace, DegenerateRequestsAreGraceful) {
+  EXPECT_TRUE(log_space(1e-5, 1e-1, 0).empty());
+
+  const auto single = log_space(1e-3, 1e-1, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 1e-3);
+
+  // A collapsed range repeats the point instead of dividing by zero spacing.
+  const auto collapsed = log_space(1e-2, 1e-2, 4);
+  ASSERT_EQ(collapsed.size(), 4u);
+  for (const double v : collapsed) {
+    EXPECT_DOUBLE_EQ(v, 1e-2);
+    EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+TEST(LogSpaceDeathTest, RejectsInvalidBounds) {
+  EXPECT_DEATH(log_space(0.0, 1e-1, 3), "log_space");
+  EXPECT_DEATH(log_space(-1e-3, 1e-1, 3), "log_space");
+  EXPECT_DEATH(log_space(1e-1, 1e-5, 3), "log_space");
+}
+
 TEST_F(InjectTest, SweepErrorGrowsWithP) {
   mcmc::RunnerConfig runner;
   runner.num_chains = 2;

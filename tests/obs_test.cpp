@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -166,6 +167,34 @@ TEST(Json, NonFiniteNumbersSerializeAsNull) {
   EXPECT_TRUE(doc->find("inf")->is_null());
 }
 
+TEST(Json, NumberExactRoundTripsDoubles) {
+  // %.17g + glibc's correctly-rounded strtod round-trips every finite double;
+  // the checkpoint's bit-exact resume depends on it.
+  const double nasty[] = {0.1,   1.0 / 3.0, 5e-324,  // min subnormal
+                          -0.0,  1e308,     123456789.123456789,
+                          3.25,  -2.5e-17};
+  for (const double v : nasty) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("v");
+    w.number_exact(v);
+    w.end_object();
+    const auto doc = json_parse(w.str());
+    ASSERT_TRUE(doc.has_value()) << w.str();
+    const double back = doc->find("v")->as_number();
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << "value " << v << " did not round-trip through " << w.str();
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan");
+  w.number_exact(std::nan(""));
+  w.end_object();
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("nan")->is_null());
+}
+
 TEST(Json, ParserRejectsMalformedInput) {
   for (const char* bad :
        {"", "{", "{\"a\":}", "[1,]", "{\"a\":1,}", "nul", "\"unterminated",
@@ -282,6 +311,44 @@ TEST(Reporter, RoundEventsReachSubscribersAndJsonl) {
   EXPECT_NE(text.find("\"event\":\"campaign_begin\""), std::string::npos);
   EXPECT_NE(text.find("\"event\":\"campaign_end\""), std::string::npos);
   EXPECT_NE(text.find("\"event\":\"metrics\""), std::string::npos);
+}
+
+TEST(Reporter, ChainHealthAndCheckpointEventsAreValidJsonl) {
+  const std::string path = ::testing::TempDir() + "obs_test_health.jsonl";
+  {
+    CampaignReporter::Options options;
+    options.metrics_path = path;
+    options.label = "unit";
+    options.fsync = true;  // exercise the crash-durable path too
+    CampaignReporter reporter(options);
+    ChainHealthEvent event;
+    event.round = 3;
+    event.chain = 1;
+    event.status = "retrying";
+    event.reason = "timeout";
+    event.retries = 1;
+    reporter.health_hook()(event);
+    event.status = "quarantined";
+    event.reason = "nan_divergence";
+    event.retries = 3;
+    reporter.chain_health(event);
+    reporter.checkpoint_saved(3, "/tmp/ck/campaign.ckpt.json");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_TRUE(jsonl_valid(text, &error)) << error;
+  EXPECT_NE(text.find("\"event\":\"chain_health\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"retrying\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"nan_divergence\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"checkpoint\""), std::string::npos);
 }
 
 TEST(Reporter, MirrorsCompletenessTrajectory) {

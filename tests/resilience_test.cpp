@@ -1,0 +1,561 @@
+// Crash-safe campaigns: checkpoint roundtrip fidelity, kill-and-resume
+// bit-exactness, and the supervisor's retry/quarantine/graceful-degradation
+// policy (NaN-poisoned targets, wall-clock timeouts, fingerprint-mismatch
+// resume rejection).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "bayes/targets.h"
+#include "data/toy2d.h"
+#include "mcmc/checkpoint.h"
+#include "mcmc/runner.h"
+#include "mcmc/supervisor.h"
+#include "nn/builders.h"
+#include "train/trainer.h"
+#include "util/interrupt.h"
+#include "util/rng.h"
+
+namespace bdlfi::mcmc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared trained subject (same pattern as inject_test).
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng{1};
+    data_ = new data::Dataset(data::make_two_moons(200, 0.08, rng));
+    util::Rng init{2};
+    net_ = new nn::Network(nn::make_mlp({2, 16, 2}, init));
+    train::TrainConfig config;
+    config.epochs = 30;
+    config.lr = 0.05;
+    config.seed = 3;
+    train::fit(*net_, *data_, *data_, config);
+    bfn_ = new bayes::BayesianFaultNetwork(
+        *net_, bayes::TargetSpec::all_parameters(),
+        bayes::AvfProfile::uniform(), data_->inputs, data_->labels);
+  }
+  static void TearDownTestSuite() {
+    delete bfn_;
+    delete net_;
+    delete data_;
+  }
+  void SetUp() override { util::set_interrupt_requested(false); }
+  void TearDown() override { util::set_interrupt_requested(false); }
+
+  static std::string fresh_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "bdlfi_resilience_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static nn::Network* net_;
+  static data::Dataset* data_;
+  static bayes::BayesianFaultNetwork* bfn_;
+};
+
+nn::Network* ResilienceTest::net_ = nullptr;
+data::Dataset* ResilienceTest::data_ = nullptr;
+bayes::BayesianFaultNetwork* ResilienceTest::bfn_ = nullptr;
+
+/// A target whose density is NaN everywhere: models a chain whose posterior
+/// evaluation is poisoned (wedged numerics, corrupted replica).
+class NanTarget : public bayes::MaskTarget {
+ public:
+  double log_density(const FaultMask&) override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::optional<double> analytic_toggle_delta(const FaultMask&,
+                                              std::int64_t) override {
+    return std::nullopt;
+  }
+  bool requires_network_eval() const override { return false; }
+};
+
+/// A healthy prior target that burns wall-clock on every density evaluation,
+/// to trip the cooperative watchdog.
+class SlowTarget : public bayes::MaskTarget {
+ public:
+  SlowTarget(bayes::BayesianFaultNetwork& net, double p) : prior_(net, p) {}
+  double log_density(const FaultMask& mask) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return prior_.log_density(mask);
+  }
+  std::optional<double> analytic_toggle_delta(const FaultMask&,
+                                              std::int64_t) override {
+    return std::nullopt;  // force every move through the slow path
+  }
+  bool requires_network_eval() const override { return false; }
+
+ private:
+  bayes::PriorTarget prior_;
+};
+
+RunnerConfig small_runner() {
+  RunnerConfig config;
+  config.num_chains = 2;
+  config.mh.samples = 25;
+  config.mh.burn_in = 10;
+  config.mh.thin = 2;
+  config.seed = 9;
+  return config;
+}
+
+CompletenessCriterion never_converge(std::size_t max_rounds) {
+  CompletenessCriterion criterion;
+  criterion.rhat_threshold = 0.0;  // unattainable: run every round
+  criterion.mean_rel_tol = 0.0;
+  criterion.max_rounds = max_rounds;
+  return criterion;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i])) {
+      EXPECT_TRUE(std::isnan(b[i])) << "index " << i;
+    } else {
+      EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+          << "index " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization.
+
+TEST(Checkpoint, RoundtripPreservesEveryFieldBitExactly) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  CampaignCheckpoint ck;
+  ck.fingerprint = 0xdeadbeefcafef00dULL;
+  ck.p = 1e-3;
+  ck.rounds_completed = 3;
+  ck.converged = true;
+  ck.prev_mean = 12.345678901234567;
+  ck.prev_evals = 4242;
+  ck.trajectory = {{100, 5e-324, 1.0000000000000002, 37.5},
+                   {200, -0.0, 1e308, nan}};
+
+  ChainResult healthy;
+  healthy.error_samples = {5e-324, -0.0, 1e308, 0.1, nan};
+  healthy.deviation_samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  healthy.flips_samples = {0.0, 1.0, 2.0, 3.0, 4.0};
+  healthy.acceptance_rate = 0.12345678901234567;
+  healthy.network_evals = 77;
+  healthy.full_evals = 7;
+  healthy.truncated_evals = 70;
+  healthy.layers_run = 123;
+  healthy.layers_total = 456;
+  ChainResult sick;
+  sick.error_samples = {nan};
+  sick.deviation_samples = {nan};
+  sick.flips_samples = {1.0};
+  ck.chains = {healthy, sick};
+
+  util::Rng rng{7};
+  rng.normal();  // leave a cached Box–Muller variate in the engine
+  for (int i = 0; i < 100; ++i) rng();
+  ChainCursor cursor;
+  cursor.valid = true;
+  cursor.rng_state = rng.state_save();
+  cursor.mask = FaultMask({1, 99, 163});
+  ck.cursors = {cursor, ChainCursor{}};
+
+  ChainHealth h0, h1;
+  h0.chain = 0;
+  h1.chain = 1;
+  h1.status = ChainStatus::quarantined;
+  h1.retries = 3;
+  h1.last_failure = "nan_divergence";
+  h1.quarantined_round = 2;
+  ck.health = {h0, h1};
+
+  const std::string path =
+      ::testing::TempDir() + "bdlfi_ckpt_roundtrip/campaign.ckpt.json";
+  std::filesystem::remove_all(::testing::TempDir() + "bdlfi_ckpt_roundtrip");
+  ASSERT_TRUE(save_checkpoint(path, ck));
+
+  std::string error;
+  const auto back = load_checkpoint(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+
+  EXPECT_EQ(back->fingerprint, ck.fingerprint);
+  EXPECT_EQ(std::memcmp(&back->p, &ck.p, sizeof(double)), 0);
+  EXPECT_EQ(back->rounds_completed, 3u);
+  EXPECT_TRUE(back->converged);
+  EXPECT_EQ(std::memcmp(&back->prev_mean, &ck.prev_mean, sizeof(double)), 0);
+  EXPECT_EQ(back->prev_evals, 4242u);
+
+  ASSERT_EQ(back->trajectory.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back->trajectory[i].cumulative_samples,
+              ck.trajectory[i].cumulative_samples);
+    expect_bitwise_equal(
+        {back->trajectory[i].mean_error, back->trajectory[i].rhat,
+         back->trajectory[i].ess},
+        {ck.trajectory[i].mean_error, ck.trajectory[i].rhat,
+         ck.trajectory[i].ess});
+  }
+  // The serialized -0.0 must come back with its sign.
+  EXPECT_TRUE(std::signbit(back->trajectory[1].mean_error));
+
+  ASSERT_EQ(back->chains.size(), 2u);
+  expect_bitwise_equal(back->chains[0].error_samples, healthy.error_samples);
+  expect_bitwise_equal(back->chains[0].deviation_samples,
+                       healthy.deviation_samples);
+  expect_bitwise_equal(back->chains[0].flips_samples, healthy.flips_samples);
+  EXPECT_TRUE(std::signbit(back->chains[0].error_samples[1]));
+  EXPECT_EQ(std::memcmp(&back->chains[0].acceptance_rate,
+                        &healthy.acceptance_rate, sizeof(double)),
+            0);
+  EXPECT_EQ(back->chains[0].network_evals, 77u);
+  EXPECT_EQ(back->chains[0].full_evals, 7u);
+  EXPECT_EQ(back->chains[0].truncated_evals, 70u);
+  EXPECT_EQ(back->chains[0].layers_run, 123u);
+  EXPECT_EQ(back->chains[0].layers_total, 456u);
+  EXPECT_TRUE(std::isnan(back->chains[1].error_samples[0]));
+
+  ASSERT_EQ(back->cursors.size(), 2u);
+  ASSERT_TRUE(back->cursors[0].valid);
+  EXPECT_EQ(back->cursors[0].rng_state, cursor.rng_state);
+  EXPECT_EQ(back->cursors[0].mask, cursor.mask);
+  EXPECT_FALSE(back->cursors[1].valid);
+  // The restored engine must continue the identical stream, cached normal
+  // included.
+  util::Rng restored{0};
+  ASSERT_TRUE(restored.state_load(back->cursors[0].rng_state));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(restored(), rng());
+
+  ASSERT_EQ(back->health.size(), 2u);
+  EXPECT_EQ(back->health[0].status, ChainStatus::healthy);
+  EXPECT_EQ(back->health[1].status, ChainStatus::quarantined);
+  EXPECT_EQ(back->health[1].retries, 3u);
+  EXPECT_EQ(back->health[1].last_failure, "nan_divergence");
+  EXPECT_EQ(back->health[1].quarantined_round, 2u);
+}
+
+TEST(Checkpoint, LoadRejectsMissingAndMalformedFiles) {
+  std::string error;
+  EXPECT_FALSE(load_checkpoint("/nonexistent/campaign.ckpt.json", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+
+  const std::string dir = ::testing::TempDir() + "bdlfi_ckpt_malformed";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& name, const std::string& body) {
+    const std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return path;
+  };
+  EXPECT_FALSE(load_checkpoint(write("garbage.json", "{oops"), &error)
+                   .has_value());
+  EXPECT_FALSE(
+      load_checkpoint(write("wrong_schema.json",
+                            "{\"schema\":\"other\",\"version\":1}"),
+                      &error)
+          .has_value());
+  EXPECT_FALSE(load_checkpoint(
+                   write("wrong_version.json",
+                         "{\"schema\":\"bdlfi_campaign_checkpoint\","
+                         "\"version\":99}"),
+                   &error)
+                   .has_value());
+  EXPECT_EQ(error, "unsupported checkpoint version");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor policy.
+
+TEST(Supervisor, InspectClassifiesFailures) {
+  SupervisorConfig config;
+  config.min_acceptance = 0.01;
+  config.max_evals_per_round = 1000;
+  ChainSupervisor sup(config, 1);
+
+  ChainResult ok;
+  ok.error_samples = {1.0, 2.0};
+  ok.acceptance_rate = 0.4;
+  EXPECT_EQ(sup.inspect(ok), "");
+
+  ChainResult diverged = ok;
+  diverged.diverged = true;
+  EXPECT_EQ(sup.inspect(diverged), "nan_divergence");
+
+  ChainResult nan_sample = ok;
+  nan_sample.error_samples.push_back(
+      std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(sup.inspect(nan_sample), "nan_divergence");
+
+  ChainResult timed_out = ok;
+  timed_out.timed_out = true;
+  EXPECT_EQ(sup.inspect(timed_out), "timeout");
+
+  ChainResult collapsed = ok;
+  collapsed.acceptance_rate = 0.0;
+  EXPECT_EQ(sup.inspect(collapsed), "acceptance_collapse");
+
+  ChainResult blown = ok;
+  blown.network_evals = 5000;
+  EXPECT_EQ(sup.inspect(blown), "eval_budget");
+
+  // Detectors with their knob unset stay disarmed.
+  ChainSupervisor lax(SupervisorConfig{}, 1);
+  EXPECT_EQ(lax.inspect(collapsed), "");
+  EXPECT_EQ(lax.inspect(blown), "");
+  EXPECT_EQ(lax.inspect(diverged), "nan_divergence");  // always armed
+}
+
+TEST(Supervisor, RetriesThenQuarantines) {
+  SupervisorConfig config;
+  config.max_retries = 2;
+  ChainSupervisor sup(config, 3);
+  EXPECT_EQ(sup.num_surviving(), 3u);
+
+  EXPECT_TRUE(sup.record_failure(1, 0, "timeout", 0));   // retry allowed
+  EXPECT_TRUE(sup.record_failure(1, 0, "timeout", 1));   // retry allowed
+  EXPECT_FALSE(sup.record_failure(1, 0, "nan_divergence", 2));  // quarantine
+  EXPECT_TRUE(sup.quarantined(1));
+  EXPECT_EQ(sup.num_quarantined(), 1u);
+  EXPECT_EQ(sup.num_surviving(), 2u);
+  EXPECT_EQ(sup.health()[1].retries, 3u);
+  EXPECT_EQ(sup.health()[1].last_failure, "nan_divergence");
+  EXPECT_EQ(sup.health()[1].quarantined_round, 1u);
+  EXPECT_FALSE(sup.quarantined(0));
+  EXPECT_FALSE(sup.quarantined(2));
+}
+
+TEST(Supervisor, StatusStringsRoundtrip) {
+  ChainStatus status = ChainStatus::quarantined;
+  EXPECT_TRUE(chain_status_from_string("healthy", &status));
+  EXPECT_EQ(status, ChainStatus::healthy);
+  EXPECT_TRUE(chain_status_from_string(to_string(ChainStatus::quarantined),
+                                       &status));
+  EXPECT_EQ(status, ChainStatus::quarantined);
+  EXPECT_FALSE(chain_status_from_string("zombie", &status));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation.
+
+TEST_F(ResilienceTest, NanChainIsQuarantinedAndSurvivorsPooled) {
+  RunnerConfig config = small_runner();
+  config.num_chains = 4;
+  std::vector<obs::ChainHealthEvent> incidents;
+  config.health_hook = [&incidents](const obs::ChainHealthEvent& e) {
+    incidents.push_back(e);
+  };
+  const double p = 1e-3;
+  ChainTargetFactory factory = [p](bayes::BayesianFaultNetwork& net,
+                                   std::size_t chain)
+      -> std::unique_ptr<bayes::MaskTarget> {
+    if (chain == 0) return std::make_unique<NanTarget>();
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+
+  const CampaignResult result = run_chains(*bfn_, factory, p, config);
+
+  EXPECT_EQ(result.chains_quarantined, 1u);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.failed);  // 3 survivors: campaign is still sound
+  ASSERT_EQ(result.health.size(), 4u);
+  EXPECT_EQ(result.health[0].status, ChainStatus::quarantined);
+  EXPECT_EQ(result.health[0].last_failure, "nan_divergence");
+  // Default budget: attempt 0 + max_retries retries, all recorded.
+  EXPECT_EQ(result.health[0].retries, 1u + config.supervisor.max_retries);
+  for (std::size_t c = 1; c < 4; ++c) {
+    EXPECT_EQ(result.health[c].status, ChainStatus::healthy);
+  }
+  // Pooled statistics come from the survivors and are finite.
+  EXPECT_GT(result.total_samples, 0u);
+  EXPECT_TRUE(std::isfinite(result.mean_error));
+  EXPECT_TRUE(std::isfinite(result.diagnostics.rhat));
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].chain, 0u);
+  EXPECT_EQ(incidents[0].status, "quarantined");
+  EXPECT_EQ(incidents[0].reason, "nan_divergence");
+}
+
+TEST_F(ResilienceTest, FewerThanTwoSurvivorsFailsLoudlyWithoutAborting) {
+  RunnerConfig config = small_runner();
+  config.supervisor.max_retries = 0;  // quarantine on first failure
+  ChainTargetFactory factory = [](bayes::BayesianFaultNetwork&, std::size_t)
+      -> std::unique_ptr<bayes::MaskTarget> {
+    return std::make_unique<NanTarget>();
+  };
+
+  const CampaignResult result = run_chains(*bfn_, factory, 1e-3, config);
+
+  EXPECT_EQ(result.chains_quarantined, 2u);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.fail_reason.empty());
+  EXPECT_EQ(result.total_samples, 0u);
+}
+
+TEST_F(ResilienceTest, TimedOutChainIsQuarantined) {
+  RunnerConfig config = small_runner();
+  config.num_chains = 3;
+  config.supervisor.round_timeout_ms = 10.0;
+  config.supervisor.max_retries = 0;
+  const double p = 1e-3;
+  ChainTargetFactory factory = [p](bayes::BayesianFaultNetwork& net,
+                                   std::size_t chain)
+      -> std::unique_ptr<bayes::MaskTarget> {
+    if (chain == 1) return std::make_unique<SlowTarget>(net, p);
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+
+  const CampaignResult result = run_chains(*bfn_, factory, p, config);
+
+  EXPECT_EQ(result.chains_quarantined, 1u);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.health[1].status, ChainStatus::quarantined);
+  EXPECT_EQ(result.health[1].last_failure, "timeout");
+  EXPECT_TRUE(std::isfinite(result.mean_error));
+  EXPECT_GT(result.total_samples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume.
+
+TEST_F(ResilienceTest, ResumeAfterInterruptIsBitExact) {
+  const RunnerConfig base = small_runner();
+  const CompletenessCriterion criterion = never_converge(4);
+  const double p = 1e-3;
+  TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+
+  // Reference: the uninterrupted campaign.
+  const CompletenessResult reference =
+      run_until_complete(*bfn_, factory, p, base, criterion);
+  ASSERT_EQ(reference.rounds, 4u);
+
+  // Same campaign, checkpointed, "killed" after round 2 via the interrupt
+  // flag — exactly what the SIGINT handler sets.
+  const std::string dir = fresh_dir("resume");
+  RunnerConfig interrupted = base;
+  interrupted.checkpoint_dir = dir;
+  interrupted.round_hook = [](const obs::RoundEvent& e) {
+    if (e.round == 2) util::set_interrupt_requested(true);
+  };
+  const CompletenessResult partial =
+      run_until_complete(*bfn_, factory, p, interrupted, criterion);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.rounds, 2u);
+  ASSERT_TRUE(std::filesystem::exists(checkpoint_path(dir)));
+
+  // Relaunch with --resume semantics.
+  util::set_interrupt_requested(false);
+  RunnerConfig resumed_config = base;
+  resumed_config.checkpoint_dir = dir;
+  resumed_config.resume = true;
+  const CompletenessResult resumed =
+      run_until_complete(*bfn_, factory, p, resumed_config, criterion);
+
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_FALSE(resumed.resume_rejected);
+  EXPECT_EQ(resumed.resumed_from_round, 2u);
+  EXPECT_EQ(resumed.rounds, 4u);
+
+  // Bit-exact: the resumed campaign is indistinguishable from the
+  // uninterrupted one — trajectory, pooled diagnostics, and every per-chain
+  // sample stream.
+  ASSERT_EQ(resumed.trajectory.size(), reference.trajectory.size());
+  for (std::size_t i = 0; i < reference.trajectory.size(); ++i) {
+    EXPECT_EQ(resumed.trajectory[i].cumulative_samples,
+              reference.trajectory[i].cumulative_samples);
+    expect_bitwise_equal(
+        {resumed.trajectory[i].mean_error, resumed.trajectory[i].rhat,
+         resumed.trajectory[i].ess},
+        {reference.trajectory[i].mean_error, reference.trajectory[i].rhat,
+         reference.trajectory[i].ess});
+  }
+  const CampaignResult& a = resumed.final_result;
+  const CampaignResult& b = reference.final_result;
+  ASSERT_EQ(a.chains.size(), b.chains.size());
+  for (std::size_t c = 0; c < a.chains.size(); ++c) {
+    expect_bitwise_equal(a.chains[c].error_samples, b.chains[c].error_samples);
+    expect_bitwise_equal(a.chains[c].deviation_samples,
+                         b.chains[c].deviation_samples);
+    expect_bitwise_equal(a.chains[c].flips_samples, b.chains[c].flips_samples);
+    EXPECT_EQ(a.chains[c].network_evals, b.chains[c].network_evals);
+  }
+  expect_bitwise_equal({a.mean_error, a.diagnostics.rhat, a.diagnostics.ess},
+                       {b.mean_error, b.diagnostics.rhat, b.diagnostics.ess});
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ResilienceTest, ResumeRejectsFingerprintMismatch) {
+  const double p = 1e-3;
+  TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  const std::string dir = fresh_dir("mismatch");
+  RunnerConfig config = small_runner();
+  config.checkpoint_dir = dir;
+  const CompletenessResult first =
+      run_until_complete(*bfn_, factory, p, config, never_converge(2));
+  ASSERT_EQ(first.rounds, 2u);
+  ASSERT_TRUE(std::filesystem::exists(checkpoint_path(dir)));
+
+  // Different seed → different fingerprint → rejected, nothing run.
+  RunnerConfig other_seed = config;
+  other_seed.resume = true;
+  other_seed.seed = config.seed + 1;
+  const CompletenessResult rejected =
+      run_until_complete(*bfn_, factory, p, other_seed, never_converge(4));
+  EXPECT_TRUE(rejected.resume_rejected);
+  EXPECT_TRUE(rejected.final_result.failed);
+  EXPECT_EQ(rejected.rounds, 0u);
+
+  // Different flip probability → rejected too.
+  RunnerConfig same = config;
+  same.resume = true;
+  const CompletenessResult wrong_p =
+      run_until_complete(*bfn_, factory, 2e-3, same, never_converge(4));
+  EXPECT_TRUE(wrong_p.resume_rejected);
+
+  // Matching config extends the run past the original budget.
+  const CompletenessResult extended =
+      run_until_complete(*bfn_, factory, p, same, never_converge(3));
+  EXPECT_FALSE(extended.resume_rejected);
+  EXPECT_EQ(extended.resumed_from_round, 2u);
+  EXPECT_EQ(extended.rounds, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ResilienceTest, ResumeWithoutCheckpointIsAFreshStart) {
+  const double p = 1e-3;
+  TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  const std::string dir = fresh_dir("fresh");
+  RunnerConfig config = small_runner();
+  config.checkpoint_dir = dir;
+  config.resume = true;  // nothing there yet: must not reject
+  const CompletenessResult result =
+      run_until_complete(*bfn_, factory, p, config, never_converge(2));
+  EXPECT_FALSE(result.resume_rejected);
+  EXPECT_EQ(result.resumed_from_round, 0u);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(dir)));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bdlfi::mcmc

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <set>
+#include <string>
 #include <vector>
 
 namespace bdlfi::util {
@@ -118,6 +120,82 @@ TEST(Rng, SplitStreamsDecorrelated) {
     if (a() == b()) ++same;
   }
   EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StateRoundtripMidStream) {
+  Rng a{101};
+  for (int i = 0; i < 1000; ++i) a();  // arbitrary mid-stream position
+  const auto words = a.state_save();
+  ASSERT_EQ(words.size(), Rng::kStateWords);
+  Rng b{0};
+  ASSERT_TRUE(b.state_load(words));
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StateRoundtripPreservesCachedNormal) {
+  // normal() caches the second Box-Muller variate; a save between the pair
+  // must carry it so the restored stream emits the identical sequence.
+  Rng a{103};
+  a.normal();  // leaves one cached variate
+  Rng b{0};
+  ASSERT_TRUE(b.state_load(a.state_save()));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StateRoundtripMixedDraws) {
+  Rng a{107};
+  for (int i = 0; i < 50; ++i) {
+    a.uniform();
+    a.normal();
+    a.below(17);
+    a.bernoulli(0.3);
+  }
+  Rng b{0};
+  ASSERT_TRUE(b.state_load(a.state_save()));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+    EXPECT_EQ(a.below(23), b.below(23));
+    EXPECT_EQ(a.geometric(0.05), b.geometric(0.05));
+  }
+}
+
+TEST(Rng, StateStringRoundtrip) {
+  Rng a{109};
+  a.normal();
+  for (int i = 0; i < 77; ++i) a();
+  const std::string text = a.state_to_string();
+  Rng b{0};
+  ASSERT_TRUE(b.state_from_string(text));
+  EXPECT_EQ(a.state_save(), b.state_save());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StateLoadRejectsWrongSize) {
+  Rng rng{1};
+  EXPECT_FALSE(rng.state_load({}));
+  EXPECT_FALSE(rng.state_load({1, 2, 3}));
+  EXPECT_FALSE(rng.state_load({1, 2, 3, 4, 5, 6, 7}));
+  // The cached-normal validity flag must be 0 or 1.
+  EXPECT_FALSE(rng.state_load({1, 2, 3, 4, 5, 2}));
+}
+
+TEST(Rng, StateFromStringRejectsMalformed) {
+  Rng rng{1};
+  EXPECT_FALSE(rng.state_from_string(""));
+  EXPECT_FALSE(rng.state_from_string("deadbeef"));  // too few words
+  EXPECT_FALSE(rng.state_from_string("xyz"));
+  const std::string good = Rng{5}.state_to_string();
+  EXPECT_FALSE(rng.state_from_string(good + ":"));  // trailing separator
+  EXPECT_FALSE(rng.state_from_string(good + ":0000000000000000"));
+  std::string upper = good;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  if (upper != good) EXPECT_FALSE(rng.state_from_string(upper));
+  // A failed parse must leave the engine usable (state unchanged).
+  Rng a{11}, b{11};
+  EXPECT_FALSE(a.state_from_string("not-a-state"));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
 }
 
 TEST(Rng, SplitmixIsConstexprFriendly) {

@@ -16,6 +16,11 @@
 // Observability (any command): --progress streams per-round campaign health
 // to stderr, --metrics=<file.jsonl> writes the machine-readable event stream,
 // --trace=<file.json> records Chrome-trace spans (open in chrome://tracing).
+// Resilience (campaign commands): --checkpoint-dir=<dir> saves an atomic
+// per-round campaign checkpoint (and arms SIGINT/SIGTERM for a graceful
+// stop), --resume continues bit-exactly from it, --round-timeout-ms /
+// --max-chain-retries / --min-acceptance / --max-evals-per-round configure
+// chain supervision (retry, then quarantine, pathological chains).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -34,6 +39,7 @@
 #include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/csv.h"
+#include "util/interrupt.h"
 #include "util/log.h"
 
 using namespace bdlfi;
@@ -89,6 +95,7 @@ void setup_observability(const Args& args, const std::string& label) {
     options.progress = progress;
     options.metrics_path = metrics;
     options.label = label;
+    options.fsync = args.get("fsync-metrics", "0") != "0";
     g_reporter = std::make_unique<obs::CampaignReporter>(options);
   }
   if (!g_trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
@@ -185,8 +192,46 @@ mcmc::RunnerConfig runner_from(const Args& args) {
   runner.mh.burn_in = args.count("burn-in", 30);
   runner.mh.thin = args.count("thin", 5);
   runner.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  if (g_reporter != nullptr) runner.round_hook = g_reporter->hook();
+  runner.supervisor.round_timeout_ms = args.num("round-timeout-ms", 0.0);
+  runner.supervisor.max_retries = args.count("max-chain-retries", 2);
+  runner.supervisor.min_acceptance = args.num("min-acceptance", 0.0);
+  runner.supervisor.max_evals_per_round =
+      args.count("max-evals-per-round", 0);
+  runner.supervisor.backoff_base_ms = args.num("retry-backoff-ms", 0.0);
+  runner.checkpoint_dir = args.get("checkpoint-dir", "");
+  runner.resume = args.get("resume", "0") != "0";
+  // With a checkpoint on disk, Ctrl-C becomes a graceful stop: chains wind
+  // down at the next sample, the partial round is discarded, and the last
+  // complete round's checkpoint supports --resume.
+  if (!runner.checkpoint_dir.empty()) util::install_interrupt_handlers();
+  if (g_reporter != nullptr) {
+    runner.round_hook = g_reporter->hook();
+    runner.health_hook = g_reporter->health_hook();
+    runner.checkpoint_hook = [](std::size_t round, const std::string& path) {
+      g_reporter->checkpoint_saved(round, path);
+    };
+  }
   return runner;
+}
+
+/// Shared degradation epilogue for campaign commands: per-chain incidents on
+/// stderr, non-zero exit when the campaign result cannot be trusted.
+int degradation_exit_code(const mcmc::CampaignResult& result, int ok_code) {
+  if (result.degraded) {
+    std::fprintf(stderr, "DEGRADED: %zu chain(s) quarantined\n",
+                 result.chains_quarantined);
+    for (const auto& h : result.health) {
+      if (h.status != mcmc::ChainStatus::quarantined) continue;
+      std::fprintf(stderr, "  chain %zu: %s at round %zu (%zu retries)\n",
+                   h.chain, h.last_failure.c_str(), h.quarantined_round,
+                   h.retries);
+    }
+  }
+  if (result.failed) {
+    std::fprintf(stderr, "campaign FAILED: %s\n", result.fail_reason.c_str());
+    return 4;
+  }
+  return ok_code;
 }
 
 int cmd_train(const Args& args) {
@@ -217,16 +262,21 @@ int cmd_sweep(const Args& args) {
                                     args.count("points", 9));
   const auto sweep = inject::run_bdlfi_sweep(bfn, ps, runner_from(args));
   util::Table table({"p", "mean_error_%", "q05", "q95", "accept", "rhat",
-                     "ess"});
+                     "ess", "quar"});
   for (const auto& pt : sweep.points) {
     table.row().col(pt.p).col(pt.mean_error).col(pt.q05).col(pt.q95)
-        .col(pt.acceptance_rate).col(pt.rhat).col(pt.ess);
+        .col(pt.acceptance_rate).col(pt.rhat).col(pt.ess)
+        .col(pt.chains_quarantined);
   }
   std::printf("golden error: %.2f%%\n%s", sweep.golden_error,
               table.to_text().c_str());
+  if (sweep.interrupted) {
+    std::fprintf(stderr, "sweep interrupted: %zu/%zu grid points done\n",
+                 sweep.points.size(), ps.size());
+  }
   const std::string out = args.get("out", "");
   if (!out.empty() && !table.write_csv(out)) return 1;
-  return 0;
+  return sweep.interrupted ? 5 : 0;
 }
 
 int cmd_layers(const Args& args) {
@@ -281,6 +331,15 @@ int cmd_complete(const Args& args) {
   const auto result =
       mcmc::run_until_complete(bfn, factory, p, runner, criterion);
   if (g_reporter != nullptr) g_reporter->end(result.converged, result.rounds);
+  if (result.resume_rejected) {
+    std::fprintf(stderr, "resume rejected: %s\n",
+                 result.final_result.fail_reason.c_str());
+    return 4;
+  }
+  if (result.resumed_from_round > 0) {
+    std::printf("resumed from checkpoint: %zu round(s) already done\n",
+                result.resumed_from_round);
+  }
   for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
     const auto& r = result.trajectory[i];
     std::printf("round %zu: samples=%zu mean=%.3f%% rhat=%.4f ess=%.0f\n",
@@ -288,7 +347,15 @@ int cmd_complete(const Args& args) {
   }
   std::printf("campaign %s after %zu rounds\n",
               result.converged ? "COMPLETE" : "NOT CONVERGED", result.rounds);
-  return result.converged ? 0 : 3;
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted after %zu complete round(s); continue with "
+                 "--resume --checkpoint-dir=%s\n",
+                 result.rounds, runner.checkpoint_dir.c_str());
+    return 5;
+  }
+  return degradation_exit_code(result.final_result,
+                               result.converged ? 0 : 3);
 }
 
 void usage() {
@@ -304,7 +371,14 @@ void usage() {
       "exponent|mantissa|sign-exponent --layer=<name>\n"
       "observability: --progress (live per-round health on stderr)\n"
       "               --metrics=<file.jsonl> (machine-readable event stream)\n"
-      "               --trace=<file.json> (Chrome trace; chrome://tracing)\n");
+      "               --fsync-metrics (fsync the event stream per event)\n"
+      "               --trace=<file.json> (Chrome trace; chrome://tracing)\n"
+      "resilience:    --checkpoint-dir=<dir> (atomic per-round checkpoint;\n"
+      "                 SIGINT/SIGTERM stop gracefully) --resume\n"
+      "               --round-timeout-ms=N --max-chain-retries=N\n"
+      "               --min-acceptance=X --max-evals-per-round=N\n"
+      "               --retry-backoff-ms=N\n"
+      "exit codes: 0 ok, 3 not converged, 4 failed/rejected, 5 interrupted\n");
 }
 
 }  // namespace

@@ -4,6 +4,10 @@
 //   check_json --jsonl file.jsonl   one JSON document per non-empty line
 //   check_json --trace file.json    Chrome trace: object with a traceEvents
 //                                   array of {name, ph, ts, pid, tid} events
+//   check_json --checkpoint f.json  bdlfi campaign checkpoint: schema/version
+//                                   header, hex fingerprint, trajectory and
+//                                   per-chain entries (status, sample arrays
+//                                   of equal length, cursor object or null)
 //
 // Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
 // ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
@@ -62,22 +66,144 @@ bool check_trace(const obs::JsonValue& doc, std::string* error) {
   return true;
 }
 
+bool is_hex64(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+bool numeric_array(const obs::JsonValue& obj, const std::string& key,
+                   std::size_t* length) {
+  const obs::JsonValue* arr = obj.find(key);
+  if (arr == nullptr || !arr->is_array()) return false;
+  for (const auto& v : arr->as_array()) {
+    // null is the writer's encoding of a non-finite double: legal.
+    if (!v.is_number() && !v.is_null()) return false;
+  }
+  *length = arr->as_array().size();
+  return true;
+}
+
+bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "checkpoint root is not an object";
+    return false;
+  }
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "bdlfi_campaign_checkpoint") {
+    *error = "missing/unknown schema tag";
+    return false;
+  }
+  const obs::JsonValue* version = doc.find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_number() < 1) {
+    *error = "missing/invalid version";
+    return false;
+  }
+  const obs::JsonValue* fp = doc.find("fingerprint");
+  if (fp == nullptr || !fp->is_string() || !is_hex64(fp->as_string())) {
+    *error = "fingerprint must be 16 lowercase hex digits";
+    return false;
+  }
+  for (const char* key : {"p", "rounds_completed", "prev_evals"}) {
+    const obs::JsonValue* v = doc.find(key);
+    if (v == nullptr || !v->is_number()) {
+      *error = std::string("missing/invalid \"") + key + "\"";
+      return false;
+    }
+  }
+  const obs::JsonValue* converged = doc.find("converged");
+  if (converged == nullptr || !converged->is_bool()) {
+    *error = "missing/invalid \"converged\"";
+    return false;
+  }
+  const obs::JsonValue* trajectory = doc.find("trajectory");
+  if (trajectory == nullptr || !trajectory->is_array()) {
+    *error = "missing trajectory array";
+    return false;
+  }
+  std::size_t index = 0;
+  for (const auto& entry : trajectory->as_array()) {
+    for (const char* key : {"samples", "mean_error", "rhat", "ess"}) {
+      const obs::JsonValue* v = entry.find(key);
+      if (v == nullptr || (!v->is_number() && !v->is_null())) {
+        *error = "trajectory[" + std::to_string(index) +
+                 "]: bad or missing \"" + key + "\"";
+        return false;
+      }
+    }
+    ++index;
+  }
+  const obs::JsonValue* chains = doc.find("chains");
+  if (chains == nullptr || !chains->is_array()) {
+    *error = "missing chains array";
+    return false;
+  }
+  index = 0;
+  for (const auto& chain : chains->as_array()) {
+    const std::string at = "chains[" + std::to_string(index) + "]";
+    const obs::JsonValue* status = chain.find("status");
+    if (status == nullptr || !status->is_string() ||
+        (status->as_string() != "healthy" &&
+         status->as_string() != "quarantined")) {
+      *error = at + ": bad or missing \"status\"";
+      return false;
+    }
+    std::size_t errors = 0, deviations = 0, flips = 0;
+    if (!numeric_array(chain, "error_samples", &errors) ||
+        !numeric_array(chain, "deviation_samples", &deviations) ||
+        !numeric_array(chain, "flips_samples", &flips)) {
+      *error = at + ": bad or missing sample arrays";
+      return false;
+    }
+    if (errors != deviations || errors != flips) {
+      *error = at + ": sample arrays have mismatched lengths";
+      return false;
+    }
+    const obs::JsonValue* cursor = chain.find("cursor");
+    if (cursor == nullptr || (!cursor->is_object() && !cursor->is_null())) {
+      *error = at + ": cursor must be an object or null";
+      return false;
+    }
+    if (cursor->is_object()) {
+      const obs::JsonValue* rng = cursor->find("rng");
+      const obs::JsonValue* mask = cursor->find("mask");
+      if (rng == nullptr || !rng->is_string() || mask == nullptr ||
+          !mask->is_array()) {
+        *error = at + ": cursor needs an rng string and a mask array";
+        return false;
+      }
+    }
+    ++index;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool jsonl = false, trace = false;
+  bool jsonl = false, trace = false, checkpoint = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jsonl") == 0) {
       jsonl = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint = true;
     } else {
       path = argv[i];
     }
   }
-  if (path == nullptr || (jsonl && trace)) {
-    std::fprintf(stderr, "usage: check_json [--jsonl|--trace] <file>\n");
+  if (path == nullptr ||
+      (static_cast<int>(jsonl) + static_cast<int>(trace) +
+           static_cast<int>(checkpoint) >
+       1)) {
+    std::fprintf(stderr,
+                 "usage: check_json [--jsonl|--trace|--checkpoint] <file>\n");
     return 2;
   }
 
@@ -100,6 +226,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (trace && !check_trace(*doc, &error)) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    if (checkpoint && !check_checkpoint(*doc, &error)) {
       std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
       return 1;
     }
