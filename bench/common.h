@@ -22,8 +22,10 @@
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
+#include "tensor/backend/backend.h"
 #include "train/trainer.h"
 #include "util/csv.h"
+#include "util/interrupt.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -76,9 +78,10 @@ class Flags {
 };
 
 /// Shared observability wiring for the benches: honors the --progress,
-/// --metrics=<file.jsonl>, and --trace=<file.json> flags. Attach the round
-/// hook to a RunnerConfig to stream per-round campaign health; finish()
-/// (or destruction) writes the Chrome trace and the final metrics snapshot.
+/// --metrics=<file.jsonl>, --fsync-metrics, and --trace=<file.json> flags.
+/// Attach the round hook to a RunnerConfig to stream per-round campaign
+/// health; finish() (or destruction) writes the Chrome trace and the final
+/// metrics snapshot.
 class ObsSession {
  public:
   ObsSession(const Flags& flags, const std::string& label) {
@@ -90,6 +93,7 @@ class ObsSession {
       options.progress = progress;
       options.metrics_path = metrics;
       options.label = label;
+      options.fsync = flags.get("fsync-metrics", std::int64_t{0}) != 0;
       reporter_ = std::make_unique<obs::CampaignReporter>(options);
     }
     if (!trace_path_.empty()) {
@@ -141,6 +145,70 @@ inline void wire_resilience(const Flags& flags, ObsSession& session,
   if (session.reporter() != nullptr) {
     runner.health_hook = session.reporter()->health_hook();
   }
+}
+
+/// What parse_campaign_flags resolved, for callers that want to print or
+/// record it.
+struct CampaignFlags {
+  std::string backend;  // name of the kernel backend now active
+  std::string checkpoint_dir;
+  bool resume = false;
+};
+
+/// Resolves a `--backend=scalar|avx2|auto` flag: switches the process-wide
+/// kernel backend and returns the resolved name. Exits 2 when the request is
+/// unusable — silently falling back would invalidate a backend comparison.
+inline std::string resolve_backend_flag(const Flags& flags) {
+  const std::string backend = flags.get("backend", "");
+  if (!backend.empty()) {
+    std::string error;
+    if (!tensor::backend::set_active(backend, &error)) {
+      std::fprintf(stderr, "--backend: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
+  return tensor::backend::active_name();
+}
+
+/// One-stop campaign flag wiring, hoisted from the near-identical blocks the
+/// fig benches and bdlfi_cli used to copy-paste:
+///   --backend=scalar|avx2|auto   kernel backend (via resolve_backend_flag)
+///   --round-timeout-ms / --max-chain-retries / --retry-backoff-ms /
+///   --min-acceptance / --max-evals-per-round   chain supervision
+///   --checkpoint-dir=<dir> / --resume          crash-safe campaigns (arms
+///                                              SIGINT/SIGTERM for a
+///                                              graceful stop)
+/// Also attaches the session's round/health/checkpoint hooks and stamps the
+/// active backend into the reporter's JSONL events.
+inline CampaignFlags parse_campaign_flags(const Flags& flags,
+                                          ObsSession& session,
+                                          mcmc::RunnerConfig& runner) {
+  CampaignFlags out;
+  out.backend = resolve_backend_flag(flags);
+
+  runner.round_hook = session.hook();
+  wire_resilience(flags, session, runner);
+  runner.supervisor.min_acceptance = flags.get("min-acceptance", 0.0);
+  runner.supervisor.max_evals_per_round =
+      flags.get("max-evals-per-round", std::size_t{0});
+
+  runner.checkpoint_dir = flags.get("checkpoint-dir", "");
+  runner.resume = flags.get("resume", std::int64_t{0}) != 0;
+  out.checkpoint_dir = runner.checkpoint_dir;
+  out.resume = runner.resume;
+  // With a checkpoint on disk, Ctrl-C becomes a graceful stop: chains wind
+  // down at the next sample, the partial round is discarded, and the last
+  // complete round's checkpoint supports --resume.
+  if (!runner.checkpoint_dir.empty()) util::install_interrupt_handlers();
+
+  if (obs::CampaignReporter* rep = session.reporter(); rep != nullptr) {
+    rep->set_backend(out.backend);
+    runner.checkpoint_hook = [rep](std::size_t round,
+                                   const std::string& path) {
+      rep->checkpoint_saved(round, path);
+    };
+  }
+  return out;
 }
 
 /// Shared JSON sink for bench result documents: writes the document built in

@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
   runner.mh.burn_in = flags.get("burn-in", std::size_t{50});
   runner.mh.thin = flags.get("thin", std::size_t{5});
   runner.seed = 31;
-  runner.round_hook = obs_session.hook();
-  bench::wire_resilience(flags, obs_session, runner);
+  const bench::CampaignFlags campaign =
+      bench::parse_campaign_flags(flags, obs_session, runner);
+  std::printf("[setup] kernel backend: %s\n", campaign.backend.c_str());
 
   const auto ps =
       inject::log_space(1e-5, 1e-1, flags.get("points", std::size_t{9}));
@@ -49,17 +50,17 @@ int main(int argc, char** argv) {
         .col(pt.q95)
         .col(pt.mean_deviation)
         .col(pt.mean_flips)
-        .col(pt.acceptance_rate)
-        .col(pt.rhat)
-        .col(pt.ess)
-        .col(pt.samples)
-        .col(pt.network_evals)
-        .col(pt.truncated_evals)
-        .col(pt.layers_saved_pct)
-        .col(pt.chains_quarantined);
-    evals += pt.network_evals;
-    truncated += pt.truncated_evals;
-    quarantined += pt.chains_quarantined;
+        .col(pt.stats.acceptance_rate)
+        .col(pt.stats.rhat)
+        .col(pt.stats.ess)
+        .col(pt.stats.samples)
+        .col(pt.stats.network_evals)
+        .col(pt.stats.truncated_evals)
+        .col(pt.stats.layers_saved_pct)
+        .col(pt.stats.chains_quarantined);
+    evals += pt.stats.network_evals;
+    truncated += pt.stats.truncated_evals;
+    quarantined += pt.stats.chains_quarantined;
   }
   std::printf("=== Fig. 2: MLP classification error vs flip probability ===\n");
   std::printf("golden run error: %.2f%%\n\n", sweep.golden_error);

@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   runner.mh.burn_in = flags.get("burn-in", std::size_t{5});
   runner.mh.thin = flags.get("thin", std::size_t{5});
   runner.seed = 51;
-  runner.round_hook = obs_session.hook();
-  bench::wire_resilience(flags, obs_session, runner);
+  const bench::CampaignFlags campaign =
+      bench::parse_campaign_flags(flags, obs_session, runner);
+  std::printf("[setup] kernel backend: %s\n", campaign.backend.c_str());
   const double p = flags.get("p", 1e-3);
   const double dose = flags.get("dose", 4.0);
 
@@ -66,18 +67,21 @@ int main(int argc, char** argv) {
         .col(pt.q05)
         .col(pt.q95)
         .col(fixed_rate[i].mean_error)
-        .col(pt.acceptance_rate)
-        .col(pt.network_evals)
-        .col(pt.truncated_evals)
-        .col(pt.layers_saved_pct)
-        .col(pt.chains_quarantined + fixed_rate[i].chains_quarantined);
+        .col(pt.stats.acceptance_rate)
+        .col(pt.stats.network_evals)
+        .col(pt.stats.truncated_evals)
+        .col(pt.stats.layers_saved_pct)
+        .col(pt.stats.chains_quarantined +
+             fixed_rate[i].stats.chains_quarantined);
     depths.push_back(static_cast<double>(pt.layer_index));
     errors_dose.push_back(pt.mean_error);
     errors_rate.push_back(fixed_rate[i].mean_error);
     evals_saved += pt.evals_saved + fixed_rate[i].evals_saved;
-    evals += pt.network_evals + fixed_rate[i].network_evals;
-    truncated += pt.truncated_evals + fixed_rate[i].truncated_evals;
-    quarantined += pt.chains_quarantined + fixed_rate[i].chains_quarantined;
+    evals += pt.stats.network_evals + fixed_rate[i].stats.network_evals;
+    truncated +=
+        pt.stats.truncated_evals + fixed_rate[i].stats.truncated_evals;
+    quarantined += pt.stats.chains_quarantined +
+                   fixed_rate[i].stats.chains_quarantined;
   }
   std::printf("=== Fig. 3: ResNet-18 error vs injected layer "
               "(dose = %.3g flips/injection; rate mode p = %.2g) ===\n\n",

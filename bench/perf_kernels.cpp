@@ -2,11 +2,27 @@
 // campaign: GEMM, conv2d, fault-mask sampling (geometric skipping), mask
 // apply/revert, and a full corrupted-forward evaluation — the §I claim that
 // injection cost reduces to inference cost, with no ptrace-style overhead.
+//
+// Before the google-benchmark suite runs, a hand-timed harness races the
+// scalar reference table against the avx2 table on square GEMMs and writes
+// the comparison to BENCH_kernels.json. Flags (stripped before
+// google-benchmark sees argv):
+//   --backend=scalar|avx2|auto  backend for the google-benchmark section
+//   --smoke                     shrink reps and skip the google-benchmark
+//                               suite so ctest can exercise the path quickly
+// A non-smoke run on an AVX2 machine enforces the acceptance target:
+// avx2 GEMM >= 2x scalar throughput at n=256.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include "bayes/fault_network.h"
+#include "common.h"
 #include "data/toy2d.h"
 #include "nn/builders.h"
+#include "tensor/backend/backend.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -107,6 +123,146 @@ void BM_LogPrior(benchmark::State& state) {
 }
 BENCHMARK(BM_LogPrior);
 
+// ---------------------------------------------------------------------------
+// Hand-timed scalar-vs-avx2 GEMM race (backend tables called directly, no
+// dispatch or row tiling in the way).
+
+struct GemmRace {
+  std::int64_t n = 0;
+  std::size_t reps = 0;
+  double scalar_gflops = 0.0;
+  double avx2_gflops = 0.0;  // 0 when the CPU lacks AVX2
+  double speedup = 0.0;      // avx2 / scalar, 0 when not measured
+};
+
+double time_gemm_gflops(const tensor::backend::KernelBackend& be,
+                        std::int64_t n, std::size_t reps,
+                        const std::vector<float>& a,
+                        const std::vector<float>& b, std::vector<float>& c) {
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  be.gemm_rows(false, false, 0, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+               c.data(), n);  // warm-up: page in code and operands
+  double best = 1e30;
+  for (std::size_t r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    be.gemm_rows(false, false, 0, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                 0.0f, c.data(), n);
+    best = std::min(best, timer.seconds());
+  }
+  return flops / std::max(best, 1e-12) / 1e9;
+}
+
+std::vector<GemmRace> race_backends(bool smoke) {
+  const bool has_avx2 = tensor::backend::avx2_supported();
+  util::Rng rng{9};
+  std::vector<GemmRace> races;
+  for (const std::int64_t n : {std::int64_t{64}, std::int64_t{128},
+                               std::int64_t{256}}) {
+    // Small GEMMs finish in microseconds: repeat more, keep best-of-R so the
+    // single-core CI box's scheduler noise doesn't poison the ratio.
+    const std::size_t reps =
+        smoke ? std::size_t{3}
+              : static_cast<std::size_t>(std::max<std::int64_t>(
+                    4, (256 * 256 * 256) / (n * n * n) * 4));
+    std::vector<float> a(static_cast<std::size_t>(n * n));
+    std::vector<float> b(static_cast<std::size_t>(n * n));
+    std::vector<float> c(static_cast<std::size_t>(n * n));
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+
+    GemmRace race;
+    race.n = n;
+    race.reps = reps;
+    race.scalar_gflops = time_gemm_gflops(tensor::backend::scalar_backend(), n,
+                                          reps, a, b, c);
+    if (has_avx2) {
+      race.avx2_gflops = time_gemm_gflops(tensor::backend::avx2_backend(), n,
+                                          reps, a, b, c);
+      race.speedup = race.avx2_gflops / std::max(race.scalar_gflops, 1e-12);
+    }
+    races.push_back(race);
+  }
+  return races;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool smoke = flags.get("smoke", std::int64_t{0}) != 0;
+  const std::string backend = bench::resolve_backend_flag(flags);
+
+  const bool has_avx2 = tensor::backend::avx2_supported();
+  std::printf("[setup] kernel backend: %s (avx2 %s)%s\n", backend.c_str(),
+              has_avx2 ? "supported" : "unsupported",
+              smoke ? " [smoke]" : "");
+
+  const std::vector<GemmRace> races = race_backends(smoke);
+  util::Table table(
+      {"n", "reps", "scalar_gflops", "avx2_gflops", "speedup"});
+  for (const auto& race : races) {
+    table.row()
+        .col(static_cast<std::size_t>(race.n))
+        .col(race.reps)
+        .col(race.scalar_gflops)
+        .col(race.avx2_gflops)
+        .col(race.speedup);
+  }
+  std::printf("=== perf: scalar vs avx2 GEMM microkernel ===\n\n");
+  bench::emit(table, "perf_kernels");
+
+  const GemmRace& final_race = races.back();
+  const bool target_met = !has_avx2 || final_race.speedup >= 2.0;
+  if (has_avx2) {
+    std::printf("avx2 speedup at n=%lld: %.2fx%s\n",
+                static_cast<long long>(final_race.n), final_race.speedup,
+                target_met ? "  [target >= 2x: PASS]"
+                           : (smoke ? "  [smoke: target not checked]"
+                                    : "  [target >= 2x: FAIL]"));
+  }
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("backend", backend);
+  json.field("avx2_supported", has_avx2);
+  json.field("smoke", smoke);
+  json.end_object();
+  json.key("gemm").begin_array();
+  for (const auto& race : races) {
+    json.begin_object();
+    json.field("n", race.n);
+    json.field("reps", race.reps);
+    json.field("scalar_gflops", race.scalar_gflops);
+    if (has_avx2) {
+      json.field("avx2_gflops", race.avx2_gflops);
+      json.field("speedup", race.speedup);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("summary").begin_object();
+  json.field("speedup_n256", has_avx2 ? final_race.speedup : 0.0);
+  json.field("target_speedup", 2.0);
+  json.field("target_met", target_met);
+  json.end_object();
+  json.end_object();
+  if (!bench::emit_bench_json(json, "kernels")) return 1;
+
+  if (!smoke) {
+    // Forward only google-benchmark's own flags; ours would be rejected.
+    std::vector<char*> gb_argv;
+    gb_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+        gb_argv.push_back(argv[i]);
+      }
+    }
+    int gb_argc = static_cast<int>(gb_argv.size());
+    benchmark::Initialize(&gb_argc, gb_argv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return (!smoke && !target_met) ? 1 : 0;
+}

@@ -39,6 +39,7 @@ struct LayerTiming {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const bool smoke = flags.get("smoke", std::int64_t{0}) != 0;
+  const std::string backend = bench::resolve_backend_flag(flags);
   util::Stopwatch total;
 
   // Subject: the paper's ResNet-18 topology, scaled by the usual flags.
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   const double p = flags.get("p", 1e-3);
 
   const std::size_t depth = net.num_layers();
+  std::printf("[setup] kernel backend: %s\n", backend.c_str());
   std::printf("[setup] ResNet-18 (width %.3g, %lldx%lld), %zu layers, "
               "eval batch %zu, %zu masks x %zu reps per layer, p=%.2g%s\n",
               net_config.width_multiplier,
@@ -172,6 +174,7 @@ int main(int argc, char** argv) {
   obs::JsonWriter json;
   json.begin_object();
   json.key("config").begin_object();
+  json.field("backend", backend);
   json.field("width", net_config.width_multiplier);
   json.field("image_size",
              static_cast<std::int64_t>(data_config.image_size));

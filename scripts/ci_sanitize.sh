@@ -20,4 +20,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# The suite runs once per kernel backend: the scalar reference always, and
+# the avx2 table when the CI box supports it (the sanitizers instrument the
+# intrinsics paths like any other code). BDLFI_BACKEND is read at startup by
+# every test binary.
+echo "=== test suite under BDLFI_BACKEND=scalar ==="
+BDLFI_BACKEND=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)"
+
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  echo "=== test suite under BDLFI_BACKEND=avx2 ==="
+  BDLFI_BACKEND=avx2 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)"
+else
+  echo "=== avx2 not supported on this host: skipping the avx2 pass ==="
+fi

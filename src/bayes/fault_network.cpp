@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "tensor/backend/backend.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -194,18 +195,16 @@ MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
   MaskOutcome outcome;
   outcome.flipped_bits = mask.num_flips();
   const std::int64_t classes = logits.shape()[1];
+  const auto scan = tensor::backend::active().argmax_finite_row;
   std::size_t miss = 0, dev = 0, detected = 0, sdc = 0;
   for (std::size_t i = 0; i < eval_labels_.size(); ++i) {
     const float* row = logits.data() + static_cast<std::int64_t>(i) * classes;
-    // One fused pass per row: argmax and NaN/Inf finiteness together. The
-    // argmax matches tensor::argmax_rows — a NaN compare is false, so a NaN
-    // never displaces the incumbent.
+    // One fused pass per row: argmax and NaN/Inf finiteness together, via
+    // the active kernel backend. The argmax matches tensor::argmax_rows — a
+    // NaN compare is false, so a NaN never displaces the incumbent.
     std::int64_t best = 0;
-    bool finite = std::isfinite(row[0]);
-    for (std::int64_t c = 1; c < classes; ++c) {
-      if (row[c] > row[best]) best = c;
-      finite = finite && std::isfinite(row[c]);
-    }
+    bool finite = false;
+    scan(row, classes, &best, &finite);
     const bool deviated = best != golden_preds_[i];
     if (best != eval_labels_[i]) ++miss;
     if (deviated) ++dev;

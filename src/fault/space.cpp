@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/backend/backend.h"
 #include "util/check.h"
 
 namespace bdlfi::fault {
@@ -124,11 +125,24 @@ void InjectionSpace::apply(const FaultMask& mask) const {
 
 void InjectionSpace::apply_bits(
     std::span<const std::int64_t> flat_bits) const {
+  // Resolve sites into (pointer, xor-word) batches and hand them to the
+  // active kernel backend; the stack buffer keeps typical masks (a handful
+  // of flips) allocation-free.
+  constexpr std::size_t kBatch = 128;
+  float* ptrs[kBatch];
+  std::uint32_t words[kBatch];
+  std::size_t count = 0;
+  const auto& be = tensor::backend::active();
   for (std::int64_t flat : flat_bits) {
     const FaultSite site = FaultSite::from_flat(flat);
-    float* p = element_ptr(site.element);
-    *p = flip_bit(*p, site.bit);
+    ptrs[count] = element_ptr(site.element);
+    words[count] = std::uint32_t{1} << site.bit;
+    if (++count == kBatch) {
+      be.mask_xor(ptrs, words, count);
+      count = 0;
+    }
   }
+  if (count > 0) be.mask_xor(ptrs, words, count);
 }
 
 float* InjectionSpace::element_ptr(std::int64_t element) const {

@@ -8,6 +8,19 @@
 
 namespace bdlfi::inject {
 
+void PointStats::from_campaign(const mcmc::CampaignResult& result) {
+  acceptance_rate = result.mean_acceptance;
+  rhat = result.diagnostics.rhat;
+  ess = result.diagnostics.ess;
+  samples = result.total_samples;
+  network_evals = result.total_network_evals;
+  full_evals = result.total_full_evals;
+  truncated_evals = result.total_truncated_evals;
+  layers_saved_pct = result.layers_saved_pct();
+  chains_quarantined = result.chains_quarantined;
+  degraded = result.degraded;
+}
+
 std::vector<double> log_space(double lo, double hi, std::size_t count) {
   BDLFI_CHECK_MSG(lo > 0.0 && hi >= lo,
                   "log_space requires 0 < lo <= hi");
@@ -45,16 +58,7 @@ SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
     point.q95 = campaign.q95;
     point.mean_deviation = campaign.mean_deviation;
     point.mean_flips = campaign.mean_flips;
-    point.acceptance_rate = campaign.mean_acceptance;
-    point.rhat = campaign.diagnostics.rhat;
-    point.ess = campaign.diagnostics.ess;
-    point.samples = campaign.total_samples;
-    point.network_evals = campaign.total_network_evals;
-    point.full_evals = campaign.total_full_evals;
-    point.truncated_evals = campaign.total_truncated_evals;
-    point.layers_saved_pct = campaign.layers_saved_pct();
-    point.chains_quarantined = campaign.chains_quarantined;
-    point.degraded = campaign.degraded;
+    point.stats.from_campaign(campaign);
     result.points.push_back(point);
     if (campaign.degraded) {
       BDLFI_LOG_WARN("sweep p=%.2e degraded: %zu chain(s) quarantined", p,
@@ -67,7 +71,8 @@ SweepResult run_bdlfi_sweep(const BayesianFaultNetwork& golden,
       break;
     }
     BDLFI_LOG_DEBUG("sweep p=%.2e: error=%.2f%% (golden %.2f%%), rhat=%.3f",
-                    p, point.mean_error, result.golden_error, point.rhat);
+                    p, point.mean_error, result.golden_error,
+                    point.stats.rhat);
   }
   return result;
 }
@@ -114,14 +119,7 @@ std::vector<LayerPoint> run_layer_campaign(
     point.q05 = campaign.q05;
     point.q95 = campaign.q95;
     point.mean_deviation = campaign.mean_deviation;
-    point.acceptance_rate = campaign.mean_acceptance;
-    point.samples = campaign.total_samples;
-    point.network_evals = campaign.total_network_evals;
-    point.full_evals = campaign.total_full_evals;
-    point.truncated_evals = campaign.total_truncated_evals;
-    point.layers_saved_pct = campaign.layers_saved_pct();
-    point.chains_quarantined = campaign.chains_quarantined;
-    point.degraded = campaign.degraded;
+    point.stats.from_campaign(campaign);
     // Layer executions skipped, expressed in whole-network forward passes:
     // the currency the Fig. 3 benches budget in.
     const double depth = static_cast<double>(net.num_layers());
@@ -142,9 +140,9 @@ std::vector<LayerPoint> run_layer_campaign(
     BDLFI_LOG_INFO(
         "layer %zu (%s) stats: %zu evals (%zu truncated, %zu full), "
         "%.1f%% layer executions skipped, ~%.1f network evals saved",
-        i, point.layer_name.c_str(), point.network_evals,
-        point.truncated_evals, point.full_evals, point.layers_saved_pct,
-        point.evals_saved);
+        i, point.layer_name.c_str(), point.stats.network_evals,
+        point.stats.truncated_evals, point.stats.full_evals,
+        point.stats.layers_saved_pct, point.evals_saved);
   }
   return points;
 }

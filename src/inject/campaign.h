@@ -15,14 +15,10 @@ using bayes::AvfProfile;
 using bayes::BayesianFaultNetwork;
 using bayes::TargetSpec;
 
-/// One point of a Fig. 2 / Fig. 4 style sweep.
-struct SweepPoint {
-  double p = 0.0;
-  double mean_error = 0.0;    // %
-  double stddev_error = 0.0;
-  double q05 = 0.0, q50 = 0.0, q95 = 0.0;
-  double mean_deviation = 0.0;
-  double mean_flips = 0.0;
+/// Mixing/eval statistics shared by every campaign point kind. Extracted
+/// from the previously duplicated SweepPoint/LayerPoint fields so the fig
+/// printers and check_json see one schema.
+struct PointStats {
   /// Mean MH acceptance rate across the point's chains — the mixing health
   /// the paper's completeness argument rests on.
   double acceptance_rate = 0.0;
@@ -36,9 +32,23 @@ struct SweepPoint {
   std::size_t truncated_evals = 0;
   double layers_saved_pct = 0.0;
   /// Graceful degradation: chains the supervisor quarantined at this point;
-  /// statistics above cover the survivors only.
+  /// the point's statistics cover the survivors only.
   std::size_t chains_quarantined = 0;
   bool degraded = false;
+
+  /// Fills every field from the pooled campaign result.
+  void from_campaign(const mcmc::CampaignResult& result);
+};
+
+/// One point of a Fig. 2 / Fig. 4 style sweep.
+struct SweepPoint {
+  double p = 0.0;
+  double mean_error = 0.0;    // %
+  double stddev_error = 0.0;
+  double q05 = 0.0, q50 = 0.0, q95 = 0.0;
+  double mean_deviation = 0.0;
+  double mean_flips = 0.0;
+  PointStats stats;
 };
 
 struct SweepResult {
@@ -68,19 +78,11 @@ struct LayerPoint {
   double mean_error = 0.0;
   double q05 = 0.0, q95 = 0.0;
   double mean_deviation = 0.0;
-  double acceptance_rate = 0.0;  // mean across chains
-  std::size_t samples = 0;
-  std::size_t network_evals = 0;
-  std::size_t full_evals = 0;
-  std::size_t truncated_evals = 0;
-  /// % of layer executions skipped by truncated replay for this layer's
-  /// campaign (≈ the depth fraction above the injected layer).
-  double layers_saved_pct = 0.0;
+  /// Shared mixing/eval statistics; layers_saved_pct here is ≈ the depth
+  /// fraction above the injected layer that truncated replay skipped.
+  PointStats stats;
   /// Equivalent full-network evaluations saved by the activation cache.
   double evals_saved = 0.0;
-  /// Graceful degradation (see SweepPoint).
-  std::size_t chains_quarantined = 0;
-  bool degraded = false;
 };
 
 /// Injects faults into exactly one layer's parameters at a time and measures

@@ -13,6 +13,7 @@
 #endif
 
 #include "obs/json.h"
+#include "tensor/backend/backend.h"
 #include "util/log.h"
 
 namespace bdlfi::mcmc {
@@ -136,14 +137,15 @@ std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
       buf, sizeof(buf),
       "v1|seed=%llu|chains=%zu|gibbs=%d|"
       "mh=%zu,%zu,%zu,%.17g,%.17g,%.17g,%zu|"
-      "gb=%zu,%zu,%zu|p=%.17g|net=%lld,%zu,%s",
+      "gb=%zu,%zu,%zu|p=%.17g|net=%lld,%zu,%s|backend=%s",
       static_cast<unsigned long long>(config.seed), config.num_chains,
       config.use_gibbs ? 1 : 0, config.mh.samples, config.mh.burn_in,
       config.mh.thin, config.mh.w_single_toggle, config.mh.w_block_resample,
       config.mh.w_independence, config.mh.block_size, config.gibbs.samples,
       config.gibbs.burn_in, config.gibbs.coordinates_per_sweep, p,
       static_cast<long long>(golden.space().total_bits()), golden.eval_size(),
-      hex64(std::bit_cast<std::uint64_t>(golden.golden_error())).c_str());
+      hex64(std::bit_cast<std::uint64_t>(golden.golden_error())).c_str(),
+      tensor::backend::active_name());
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
   fnv1a_mix(h, buf);
   return h;
@@ -159,6 +161,7 @@ bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
   w.field("schema", kCheckpointSchema);
   w.field("version", kCheckpointVersion);
   w.field("fingerprint", hex64(ck.fingerprint));
+  w.field("backend", ck.backend);
   w.field_exact("p", ck.p);
   w.field("rounds_completed", static_cast<std::uint64_t>(ck.rounds_completed));
   w.field("converged", ck.converged);
@@ -276,6 +279,12 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
   if (fp == nullptr || !fp->is_string() ||
       !parse_hex64(fp->as_string(), &ck.fingerprint)) {
     return fail("missing/invalid fingerprint");
+  }
+  // Optional for back-compat: pre-backend checkpoints were always scalar.
+  const obs::JsonValue* backend = doc->find("backend");
+  if (backend != nullptr) {
+    if (!backend->is_string()) return fail("invalid backend field");
+    ck.backend = backend->as_string();
   }
   if (!read_double(*doc, "p", &ck.p) ||
       !read_size(*doc, "rounds_completed", &ck.rounds_completed) ||

@@ -40,6 +40,11 @@ struct ChainCursor {
 /// Full campaign state after `rounds_completed` pooled rounds.
 struct CampaignCheckpoint {
   std::uint64_t fingerprint = 0;
+  /// Kernel backend the campaign ran on. Resume refuses to continue under a
+  /// different backend: bit-exactness of the restored walk only holds on the
+  /// arithmetic that produced it (FMA contraction changes gemm rounding).
+  /// Checkpoints written before this field default to "scalar".
+  std::string backend = "scalar";
   double p = 0.0;
   std::size_t rounds_completed = 0;
   bool converged = false;

@@ -6,6 +6,7 @@
 
 #include "mcmc/checkpoint.h"
 #include "obs/trace.h"
+#include "tensor/backend/backend.h"
 #include "util/check.h"
 #include "util/interrupt.h"
 #include "util/log.h"
@@ -279,6 +280,23 @@ CompletenessResult run_until_complete_impl(
       BDLFI_LOG_ERROR("resume rejected: %s", error.c_str());
       return result;
     }
+    // Backend first: it is the one mismatch with an actionable fix (rerun
+    // with --backend=<checkpoint's>), so it gets its own flag and message
+    // rather than drowning in the generic fingerprint rejection.
+    const std::string active_backend = tensor::backend::active_name();
+    if (ck->backend != active_backend) {
+      result.resume_rejected = true;
+      result.backend_mismatch = true;
+      result.final_result.failed = true;
+      result.final_result.fail_reason =
+          "checkpoint backend mismatch: checkpoint was produced with '" +
+          ck->backend + "', this run uses '" + active_backend +
+          "' (rerun with --backend=" + ck->backend +
+          " to continue bit-exactly)";
+      BDLFI_LOG_ERROR("resume rejected: backend mismatch (%s vs %s)",
+                      ck->backend.c_str(), active_backend.c_str());
+      return result;
+    }
     if (ck->fingerprint != fingerprint ||
         ck->chains.size() != config.num_chains) {
       result.resume_rejected = true;
@@ -317,6 +335,7 @@ CompletenessResult run_until_complete_impl(
     if (ckpt_path.empty()) return;
     CampaignCheckpoint ck;
     ck.fingerprint = fingerprint;
+    ck.backend = tensor::backend::active_name();
     ck.p = p;
     ck.rounds_completed = rounds_done;
     ck.converged = converged;

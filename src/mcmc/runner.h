@@ -143,6 +143,10 @@ struct CompletenessResult {
   /// RunnerConfig::resume found a checkpoint whose fingerprint does not match
   /// this campaign's config/seed/network; nothing was run.
   bool resume_rejected = false;
+  /// The rejection was specifically a kernel-backend mismatch (the checkpoint
+  /// was produced under different arithmetic). Subset of resume_rejected;
+  /// callers can map it to a distinct exit code.
+  bool backend_mismatch = false;
   /// Rounds restored from the checkpoint (0 for a fresh start).
   std::size_t resumed_from_round = 0;
 };

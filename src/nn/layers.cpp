@@ -54,12 +54,7 @@ Tensor Dense::forward(const Tensor& x, bool training) {
   // y = x [n,in] * W^T [in,out]
   tensor::gemm(false, true, n, out_, in_, 1.0f, x.data(), in_, weight_.data(),
                in_, 0.0f, y.data(), out_);
-  if (has_bias_) {
-    for (std::int64_t r = 0; r < n; ++r) {
-      float* row = y.data() + r * out_;
-      for (std::int64_t c = 0; c < out_; ++c) row[c] += bias_[c];
-    }
-  }
+  if (has_bias_) tensor::bias_add_rows(y, bias_);
   return y;
 }
 

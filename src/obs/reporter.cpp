@@ -42,6 +42,11 @@ void CampaignReporter::on_round(RoundCallback cb) {
   subscribers_.push_back(std::move(cb));
 }
 
+void CampaignReporter::set_backend(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.backend = backend;
+}
+
 void CampaignReporter::write_line(const std::string& json) {
   if (sink_ == nullptr) return;
   // One fwrite for line + terminator: a crash between separate writes must
@@ -64,6 +69,7 @@ void CampaignReporter::begin(double p, std::size_t chains,
   w.begin_object();
   w.field("event", "campaign_begin");
   w.field("label", options_.label);
+  if (!options_.backend.empty()) w.field("backend", options_.backend);
   w.field("p", p);
   w.field("chains", chains);
   w.field("samples_per_round", samples_per_round);
@@ -150,6 +156,7 @@ void CampaignReporter::metrics_event() {
   w.begin_object();
   w.field("event", "metrics");
   w.field("label", options_.label);
+  if (!options_.backend.empty()) w.field("backend", options_.backend);
   w.key("registry");
   // Splice the registry's own JSON object in as the value.
   std::string line = w.str();

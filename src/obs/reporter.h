@@ -68,6 +68,10 @@ class CampaignReporter {
     /// one atomic fwrite + fflush so a killed run leaves whole lines; fsync
     /// additionally survives power loss, at fdatasync cost per event.
     bool fsync = false;
+    /// Active kernel backend name ("" omits the field). obs sits below
+    /// tensor in the dependency stack, so callers pass the name in rather
+    /// than the reporter querying the backend registry.
+    std::string backend;
   };
 
   explicit CampaignReporter(Options options);
@@ -79,6 +83,11 @@ class CampaignReporter {
   /// Additional subscriber invoked on every round event (after the built-in
   /// progress/JSONL handling). Used by examples and tests.
   void on_round(RoundCallback cb);
+
+  /// Records the kernel backend name stamped into campaign_begin / metrics
+  /// events. Call before begin(); flag parsing resolves the backend after
+  /// the reporter is constructed, hence a setter rather than an Option only.
+  void set_backend(const std::string& backend);
 
   /// Emits a campaign_begin event.
   void begin(double p, std::size_t chains, std::size_t samples_per_round);

@@ -79,12 +79,7 @@ Tensor QuantDense::forward(const Tensor& x, bool /*training*/) {
   Tensor y{Shape{n, out_}};
   tensor::gemm(false, true, n, out_, in_, 1.0f, x.data(), in_, w.data(), in_,
                0.0f, y.data(), out_);
-  if (!bias_.empty()) {
-    for (std::int64_t r = 0; r < n; ++r) {
-      float* row = y.data() + r * out_;
-      for (std::int64_t c = 0; c < out_; ++c) row[c] += bias_[c];
-    }
-  }
+  if (!bias_.empty()) tensor::bias_add_rows(y, bias_);
   return y;
 }
 

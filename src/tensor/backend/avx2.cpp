@@ -1,0 +1,359 @@
+// AVX2+FMA backend. This translation unit is the only one compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt), so no AVX instruction can
+// leak into code that runs before the CPUID check in backend.cpp.
+//
+// Semantics contract vs the scalar reference (DESIGN.md §8):
+//  - relu / relu_backward / add / bias_add / add_const / softmax_row /
+//    argmax_finite_row are element-for-element identical to scalar,
+//    including the NaN policies (NaN relu input clamps to 0, NaN
+//    pre-activation passes gradient through, NaN logits never win argmax).
+//  - gemm_rows and axpy use FMA, so results differ from scalar by rounding
+//    (one rounding per multiply-add instead of two); the parity suite bounds
+//    the divergence against a double-precision reference. gemm also does not
+//    replicate the scalar kernel's exact-zero skip, so corrupted weights
+//    holding ±inf can surface 0 × inf NaNs that scalar suppresses — one more
+//    reason the scalar table remains the reference for campaigns.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/backend/backend.h"
+
+namespace bdlfi::tensor::backend {
+
+namespace {
+
+inline float elem(const float* p, std::int64_t ld, bool trans, std::int64_t r,
+                  std::int64_t c) {
+  return trans ? p[c * ld + r] : p[r * ld + c];
+}
+
+inline float hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+  return _mm_cvtss_f32(lo);
+}
+
+inline float hmax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_max_ps(lo, hi);
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+  return _mm_cvtss_f32(lo);
+}
+
+// One IB-row stripe of the !trans_b kernel: IB (1..4) rows of C, all columns,
+// the full k loop. The 16-wide column tiles keep IB*2 accumulators plus two B
+// vectors and one broadcast in registers (11 ymm at IB=4).
+template <int IB>
+void gemm_block(bool trans_a, std::int64_t i0, std::int64_t n, std::int64_t k,
+                float alpha, const float* a, std::int64_t lda, const float* b,
+                std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc[IB][2];
+    for (int ii = 0; ii < IB; ++ii) {
+      const float* crow = c + (i0 + ii) * ldc + j;
+      if (beta == 0.0f) {
+        acc[ii][0] = _mm256_setzero_ps();
+        acc[ii][1] = _mm256_setzero_ps();
+      } else {
+        const __m256 vb = _mm256_set1_ps(beta);
+        acc[ii][0] = _mm256_mul_ps(vb, _mm256_loadu_ps(crow));
+        acc[ii][1] = _mm256_mul_ps(vb, _mm256_loadu_ps(crow + 8));
+      }
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * ldb + j;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      for (int ii = 0; ii < IB; ++ii) {
+        const __m256 va =
+            _mm256_set1_ps(alpha * elem(a, lda, trans_a, i0 + ii, kk));
+        acc[ii][0] = _mm256_fmadd_ps(va, b0, acc[ii][0]);
+        acc[ii][1] = _mm256_fmadd_ps(va, b1, acc[ii][1]);
+      }
+    }
+    for (int ii = 0; ii < IB; ++ii) {
+      float* crow = c + (i0 + ii) * ldc + j;
+      _mm256_storeu_ps(crow, acc[ii][0]);
+      _mm256_storeu_ps(crow + 8, acc[ii][1]);
+    }
+  }
+  // Column remainder (< 16): one scalar FMA chain per element, same k order.
+  for (; j < n; ++j) {
+    for (int ii = 0; ii < IB; ++ii) {
+      float* cp = c + (i0 + ii) * ldc + j;
+      float acc = beta == 0.0f ? 0.0f : beta * *cp;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc = std::fma(alpha * elem(a, lda, trans_a, i0 + ii, kk),
+                       b[kk * ldb + j], acc);
+      }
+      *cp = acc;
+    }
+  }
+}
+
+void avx2_gemm_rows(bool trans_a, bool trans_b, std::int64_t r0,
+                    std::int64_t r1, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc) {
+  if (trans_a && trans_b) {
+    // Rare combination (no caller uses it); not worth a vector path.
+    scalar_backend().gemm_rows(trans_a, trans_b, r0, r1, n, k, alpha, a, lda,
+                               b, ldb, beta, c, ldc);
+    return;
+  }
+  if (trans_b) {
+    // B^T makes row j of B contiguous over kk, and !trans_a makes row i of A
+    // contiguous too: each C element is one long dot product.
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        std::int64_t kk = 0;
+        for (; kk + 16 <= k; kk += 16) {
+          acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                                 _mm256_loadu_ps(brow + kk), acc0);
+          acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk + 8),
+                                 _mm256_loadu_ps(brow + kk + 8), acc1);
+        }
+        for (; kk + 8 <= k; kk += 8) {
+          acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                                 _mm256_loadu_ps(brow + kk), acc0);
+        }
+        float dot = hsum(_mm256_add_ps(acc0, acc1));
+        for (; kk < k; ++kk) dot += arow[kk] * brow[kk];
+        const float base = beta == 0.0f ? 0.0f : beta * crow[j];
+        crow[j] = base + alpha * dot;
+      }
+    }
+    return;
+  }
+
+  // !trans_b: register-blocked 4x16 microkernel. C accumulators live in ymm
+  // registers across the entire k loop (loaded and stored exactly once), and
+  // every B vector feeds four output rows, so B traffic drops 4x versus a
+  // row-at-a-time saxpy — the difference between compute-bound and
+  // L2-bandwidth-bound once B outgrows L1 (n >= 256).
+  std::int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    gemm_block<4>(trans_a, i, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
+  switch (r1 - i) {
+    case 3:
+      gemm_block<3>(trans_a, i, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    case 2:
+      gemm_block<2>(trans_a, i, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    case 1:
+      gemm_block<1>(trans_a, i, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    default:
+      break;
+  }
+}
+
+void avx2_add(float* out, const float* x, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) out[i] += x[i];
+}
+
+void avx2_axpy(float* out, float alpha, const float* x, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                                              _mm256_loadu_ps(out + i)));
+  }
+  for (; i < n; ++i) out[i] += alpha * x[i];
+}
+
+void avx2_relu(float* x, std::int64_t n) {
+  const __m256 vz = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  // Operand order matters: maxps returns the second source when the compare
+  // is unordered, so max(x, 0) clamps NaN inputs to 0 exactly like
+  // std::max(0.0f, x).
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), vz));
+  }
+  for (; i < n; ++i) x[i] = std::max(0.0f, x[i]);
+}
+
+void avx2_relu_backward(float* grad, const float* z, std::int64_t n) {
+  const __m256 vz = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  // Scalar zeroes the gradient when z <= 0 and keeps it when z is NaN, so
+  // the keep-mask is !(z <= 0): NLE with unordered = true.
+  for (; i + 8 <= n; i += 8) {
+    const __m256 keep =
+        _mm256_cmp_ps(_mm256_loadu_ps(z + i), vz, _CMP_NLE_UQ);
+    _mm256_storeu_ps(grad + i, _mm256_and_ps(_mm256_loadu_ps(grad + i), keep));
+  }
+  for (; i < n; ++i) {
+    if (z[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+void avx2_bias_add_rows(float* out, const float* bias, std::int64_t rows,
+                        std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out + r * cols;
+    std::int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(row + c, _mm256_add_ps(_mm256_loadu_ps(row + c),
+                                              _mm256_loadu_ps(bias + c)));
+    }
+    for (; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void avx2_add_const(float* x, float value, std::int64_t n) {
+  const __m256 vv = _mm256_set1_ps(value);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_add_ps(_mm256_loadu_ps(x + i), vv));
+  }
+  for (; i < n; ++i) x[i] += value;
+}
+
+void avx2_softmax_row(const float* in, float* o, std::int64_t cols) {
+  float mx = -std::numeric_limits<float>::infinity();
+  std::int64_t c = 0;
+  if (cols >= 8) {
+    // max(x, acc) keeps the accumulator when x is NaN — the same
+    // NaN-skipping scan as std::max(mx, in[c]).
+    __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+    for (; c + 8 <= cols; c += 8) {
+      vmax = _mm256_max_ps(_mm256_loadu_ps(in + c), vmax);
+    }
+    mx = hmax(vmax);
+  }
+  for (; c < cols; ++c) mx = std::max(mx, in[c]);
+  if (!std::isfinite(mx)) {
+    // Corrupted row (+inf ties / all-NaN): take the reference path wholesale
+    // so the limiting-distribution policy has exactly one definition.
+    scalar_backend().softmax_row(in, o, cols);
+    return;
+  }
+  float sum = 0.0f;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const float e = std::exp(in[j] - mx);
+    o[j] = std::isfinite(e) ? e : 0.0f;
+    sum += o[j];
+  }
+  if (sum <= 0.0f || !std::isfinite(sum)) {
+    const float u = 1.0f / static_cast<float>(cols);
+    for (std::int64_t j = 0; j < cols; ++j) o[j] = u;
+    return;
+  }
+  const __m256 vsum = _mm256_set1_ps(sum);
+  std::int64_t j = 0;
+  for (; j + 8 <= cols; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_div_ps(_mm256_loadu_ps(o + j), vsum));
+  }
+  for (; j < cols; ++j) o[j] /= sum;
+}
+
+void avx2_argmax_finite_row(const float* row, std::int64_t cols,
+                            std::int64_t* best, bool* all_finite) {
+  if (cols < 16) {
+    // Logits rows are usually 2-10 classes wide; the vector setup would cost
+    // more than the scan.
+    scalar_backend().argmax_finite_row(row, cols, best, all_finite);
+    return;
+  }
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 vinf =
+      _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  __m256 finite_lanes = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+  std::int64_t c = 0;
+  for (; c + 8 <= cols; c += 8) {
+    const __m256 mag = _mm256_and_ps(_mm256_loadu_ps(row + c), abs_mask);
+    // |x| < inf is false for NaN and ±inf, exactly std::isfinite.
+    finite_lanes = _mm256_and_ps(finite_lanes,
+                                 _mm256_cmp_ps(mag, vinf, _CMP_LT_OQ));
+  }
+  bool finite = _mm256_movemask_ps(finite_lanes) == 0xff;
+  for (; finite && c < cols; ++c) finite = std::isfinite(row[c]);
+  if (!finite) {
+    // The sequential NaN-insensitive argmax (a NaN incumbent at index 0 is
+    // never displaced) is order-dependent; only the scalar loop gets it right.
+    scalar_backend().argmax_finite_row(row, cols, best, all_finite);
+    *all_finite = false;
+    return;
+  }
+  // All finite: the max is well-defined, and the first index holding it is
+  // exactly what the strict-greater sequential scan returns on ties.
+  __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  std::int64_t j = 0;
+  for (; j + 8 <= cols; j += 8) {
+    vmax = _mm256_max_ps(_mm256_loadu_ps(row + j), vmax);
+  }
+  float m = hmax(vmax);
+  for (; j < cols; ++j) m = std::max(m, row[j]);
+  const __m256 vm = _mm256_set1_ps(m);
+  for (std::int64_t p = 0;; p += 8) {
+    if (p + 8 <= cols) {
+      const int hits = _mm256_movemask_ps(
+          _mm256_cmp_ps(_mm256_loadu_ps(row + p), vm, _CMP_EQ_OQ));
+      if (hits != 0) {
+        *best = p + __builtin_ctz(static_cast<unsigned>(hits));
+        break;
+      }
+    } else {
+      for (std::int64_t q = p; q < cols; ++q) {
+        if (row[q] == m) {
+          *best = q;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  *all_finite = true;
+}
+
+}  // namespace
+
+const KernelBackend& avx2_backend() {
+  static const KernelBackend table = [] {
+    KernelBackend t = scalar_backend();  // mask_xor stays scalar: the
+                                         // pointer-chasing XOR has no lanes
+    t.name = "avx2";
+    t.gemm_rows = avx2_gemm_rows;
+    t.add = avx2_add;
+    t.axpy = avx2_axpy;
+    t.relu = avx2_relu;
+    t.relu_backward = avx2_relu_backward;
+    t.bias_add_rows = avx2_bias_add_rows;
+    t.add_const = avx2_add_const;
+    t.softmax_row = avx2_softmax_row;
+    t.argmax_finite_row = avx2_argmax_finite_row;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace bdlfi::tensor::backend
+
+#endif  // x86-64

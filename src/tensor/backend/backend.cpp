@@ -1,0 +1,108 @@
+// Backend registry and dispatch: resolves BDLFI_BACKEND on first use,
+// publishes the choice as obs gauges, and lets tools switch tables at
+// startup (--backend=...). Switching mid-campaign is not supported — the
+// checkpoint fingerprint pins the backend for the life of a campaign.
+#include "tensor/backend/backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace bdlfi::tensor::backend {
+
+namespace {
+
+std::atomic<const KernelBackend*> g_active{nullptr};
+
+void publish(const KernelBackend& b) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("backend.avx2_supported").set(avx2_supported() ? 1.0 : 0.0);
+  reg.gauge("backend.avx2_active")
+      .set(std::string(b.name) == "avx2" ? 1.0 : 0.0);
+}
+
+/// Maps a backend name to its table; nullptr + *error on failure.
+const KernelBackend* resolve(const std::string& name, std::string* error) {
+  if (name == "scalar") return &scalar_backend();
+  if (name == "auto") {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (avx2_supported()) return &avx2_backend();
+#endif
+    return &scalar_backend();
+  }
+  if (name == "avx2") {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (avx2_supported()) return &avx2_backend();
+    if (error != nullptr) {
+      *error = "backend 'avx2' requested but this CPU lacks AVX2+FMA";
+    }
+    return nullptr;
+#else
+    if (error != nullptr) {
+      *error = "backend 'avx2' is not compiled into this (non-x86-64) build";
+    }
+    return nullptr;
+#endif
+  }
+  if (error != nullptr) *error = "unknown backend '" + name + "'";
+  return nullptr;
+}
+
+const KernelBackend* resolve_env() {
+  const char* env = std::getenv("BDLFI_BACKEND");
+  const std::string name = env != nullptr ? env : "";
+  if (name.empty()) return &scalar_backend();
+  std::string error;
+  const KernelBackend* b = resolve(name, &error);
+  if (b == nullptr) {
+    std::fprintf(stderr, "[backend] BDLFI_BACKEND: %s; using scalar\n",
+                 error.c_str());
+    return &scalar_backend();
+  }
+  return b;
+}
+
+}  // namespace
+
+bool avx2_supported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelBackend& active() {
+  const KernelBackend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    // Magic static: the env var is consulted exactly once even under races.
+    static const KernelBackend* from_env = resolve_env();
+    const KernelBackend* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, from_env,
+                                         std::memory_order_acq_rel)) {
+      publish(*from_env);
+    }
+    b = g_active.load(std::memory_order_acquire);
+  }
+  return *b;
+}
+
+const char* active_name() { return active().name; }
+
+std::vector<std::string> available() {
+  std::vector<std::string> names{"scalar"};
+  if (avx2_supported()) names.emplace_back("avx2");
+  return names;
+}
+
+bool set_active(const std::string& name, std::string* error) {
+  const KernelBackend* b = resolve(name, error);
+  if (b == nullptr) return false;
+  g_active.store(b, std::memory_order_release);
+  publish(*b);
+  return true;
+}
+
+}  // namespace bdlfi::tensor::backend

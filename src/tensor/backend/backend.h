@@ -1,0 +1,91 @@
+// Runtime-dispatched kernel backends. Every hot numeric primitive the
+// campaign loop touches — the GEMM microkernel, elementwise ops, softmax,
+// the fused argmax+finiteness logits scan, and the fault-mask XOR — goes
+// through one table of function pointers so a SIMD implementation can be
+// swapped in per process without recompiling callers.
+//
+// Policy (DESIGN.md §8): the `scalar` table is the reference semantics and
+// the default — checkpoints, tests, and resume all assume it. Vectorized
+// backends are opt-in via BDLFI_BACKEND=avx2 (or `auto` for CPUID-best) and
+// may differ from scalar by rounding (FMA contraction) but never by shape,
+// NaN policy, or argmax tie-breaking.
+//
+// Threading stays ABOVE this table: tensor::gemm keeps its
+// util::parallel_for row tiling and hands each backend a serial row range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdlfi::tensor::backend {
+
+struct KernelBackend {
+  const char* name;
+
+  /// Serial GEMM microkernel over row range [r0, r1) of C:
+  /// C = alpha * op(A) * op(B) + beta * C, row-major.
+  void (*gemm_rows)(bool trans_a, bool trans_b, std::int64_t r0,
+                    std::int64_t r1, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc);
+
+  /// out[i] += x[i].
+  void (*add)(float* out, const float* x, std::int64_t n);
+  /// out[i] += alpha * x[i].
+  void (*axpy)(float* out, float alpha, const float* x, std::int64_t n);
+  /// x[i] = max(0, x[i]).
+  void (*relu)(float* x, std::int64_t n);
+  /// grad[i] = 0 where z[i] <= 0.
+  void (*relu_backward)(float* grad, const float* z, std::int64_t n);
+  /// out[r*cols + c] += bias[c] for every row r.
+  void (*bias_add_rows)(float* out, const float* bias, std::int64_t rows,
+                        std::int64_t cols);
+  /// x[i] += value (conv per-plane bias).
+  void (*add_const)(float* x, float value, std::int64_t n);
+
+  /// One numerically hardened softmax row (the scalar reference defines the
+  /// +inf mass-split / all-NaN-uniform policy; see tensor::softmax_rows).
+  void (*softmax_row)(const float* in, float* out, std::int64_t cols);
+
+  /// Fused argmax + finiteness scan of one logits row. Argmax semantics are
+  /// sequential and NaN-insensitive: a candidate displaces the incumbent only
+  /// when strictly greater, so NaNs never win and ties keep the first index.
+  void (*argmax_finite_row)(const float* row, std::int64_t cols,
+                            std::int64_t* best, bool* all_finite);
+
+  /// Fault-mask XOR apply/revert: *ptrs[i] ^= xor_masks[i] on the binary32
+  /// encoding. Self-inverse; pointers may repeat.
+  void (*mask_xor)(float* const* ptrs, const std::uint32_t* xor_masks,
+                   std::size_t count);
+};
+
+/// The scalar reference table (always available, always the default).
+const KernelBackend& scalar_backend();
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// AVX2+FMA table; compiled on x86-64 only. Callers must gate on
+/// avx2_supported() before activating it.
+const KernelBackend& avx2_backend();
+#endif
+
+/// True when this build has an AVX2 table AND the CPU reports AVX2+FMA.
+bool avx2_supported();
+
+/// The currently active table. Resolved on first use from BDLFI_BACKEND
+/// ("scalar", "avx2", or "auto" = best supported); unset/empty means scalar.
+const KernelBackend& active();
+/// Name of the active table ("scalar" or "avx2").
+const char* active_name();
+
+/// Backend names this process can activate (scalar first).
+std::vector<std::string> available();
+
+/// Activates a backend by name ("scalar", "avx2", "auto"). Returns false and
+/// fills *error (if non-null) when the name is unknown or unsupported on
+/// this CPU — the active backend is left unchanged in that case.
+bool set_active(const std::string& name, std::string* error = nullptr);
+
+}  // namespace bdlfi::tensor::backend

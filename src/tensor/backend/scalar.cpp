@@ -1,0 +1,163 @@
+// The scalar reference backend: the kernels extracted verbatim from the
+// original tensor/ops.cpp. This table defines the semantics every other
+// backend is tested against, and is the only one checkpoints may assume
+// (bit-exact resume depends on it — see DESIGN.md §8).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "tensor/backend/backend.h"
+
+namespace bdlfi::tensor::backend {
+
+namespace {
+
+// Accessor folding the transpose flag into the index math.
+inline float elem(const float* p, std::int64_t ld, bool trans, std::int64_t r,
+                  std::int64_t c) {
+  return trans ? p[c * ld + r] : p[r * ld + c];
+}
+
+void scalar_gemm_rows(bool trans_a, bool trans_b, std::int64_t r0,
+                      std::int64_t r1, std::int64_t n, std::int64_t k,
+                      float alpha, const float* a, std::int64_t lda,
+                      const float* b, std::int64_t ldb, float beta, float* c,
+                      std::int64_t ldc) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i = r0; i < r1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  // ikj ordering with k-blocking: the B row (or column gather) stays hot and
+  // the innermost loop is a contiguous saxpy over C.
+  for (std::int64_t kb = 0; kb < k; kb += kBlock) {
+    const std::int64_t ke = std::min(k, kb + kBlock);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t kk = kb; kk < ke; ++kk) {
+        const float aik = alpha * elem(a, lda, trans_a, i, kk);
+        // Skipping exact zeros is a real win on sparse gradients, and keeps
+        // 0 × inf from manufacturing NaNs out of corrupted weights.
+        if (aik == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = b + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += aik * b[j * ldb + kk];
+          }
+        }
+      }
+    }
+  }
+}
+
+void scalar_add(float* out, const float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] += x[i];
+}
+
+void scalar_axpy(float* out, float alpha, const float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] += alpha * x[i];
+}
+
+void scalar_relu(float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] = std::max(0.0f, x[i]);
+}
+
+void scalar_relu_backward(float* grad, const float* z, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (z[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+void scalar_bias_add_rows(float* out, const float* bias, std::int64_t rows,
+                          std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void scalar_add_const(float* x, float value, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] += value;
+}
+
+void scalar_softmax_row(const float* in, float* o, std::int64_t cols) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+  // Fault-corrupted rows can contain +inf or be all-NaN; map them to the
+  // limiting distributions instead of poisoning downstream statistics.
+  if (!std::isfinite(mx)) {
+    if (mx == std::numeric_limits<float>::infinity()) {
+      // Mass splits evenly over the +inf entries.
+      std::int64_t ties = 0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (in[c] == mx) ++ties;
+      }
+      for (std::int64_t c = 0; c < cols; ++c) {
+        o[c] = in[c] == mx ? 1.0f / static_cast<float>(ties) : 0.0f;
+      }
+      return;
+    }
+    // All-NaN (or all -inf) row: uniform.
+    const float u = 1.0f / static_cast<float>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
+    return;
+  }
+  float sum = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float e = std::exp(in[c] - mx);
+    o[c] = std::isfinite(e) ? e : 0.0f;
+    sum += o[c];
+  }
+  if (sum <= 0.0f || !std::isfinite(sum)) {
+    const float u = 1.0f / static_cast<float>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
+  } else {
+    for (std::int64_t c = 0; c < cols; ++c) o[c] /= sum;
+  }
+}
+
+void scalar_argmax_finite_row(const float* row, std::int64_t cols,
+                              std::int64_t* best, bool* all_finite) {
+  std::int64_t b = 0;
+  bool finite = std::isfinite(row[0]);
+  for (std::int64_t c = 1; c < cols; ++c) {
+    // NaN-insensitive: comparisons with NaN are false, so a NaN never
+    // displaces the incumbent — faulty logits still yield a deterministic
+    // (if arbitrary) class, mirroring what argmax on real hardware returns.
+    if (row[c] > row[b]) b = c;
+    finite = finite && std::isfinite(row[c]);
+  }
+  *best = b;
+  *all_finite = finite;
+}
+
+void scalar_mask_xor(float* const* ptrs, const std::uint32_t* xor_masks,
+                     std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    *ptrs[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(*ptrs[i]) ^
+                                    xor_masks[i]);
+  }
+}
+
+}  // namespace
+
+const KernelBackend& scalar_backend() {
+  static const KernelBackend table{
+      "scalar",          scalar_gemm_rows,
+      scalar_add,        scalar_axpy,
+      scalar_relu,       scalar_relu_backward,
+      scalar_bias_add_rows, scalar_add_const,
+      scalar_softmax_row, scalar_argmax_finite_row,
+      scalar_mask_xor,
+  };
+  return table;
+}
+
+}  // namespace bdlfi::tensor::backend

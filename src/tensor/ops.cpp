@@ -4,56 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/backend/backend.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace bdlfi::tensor {
 
-namespace {
-
-// Accessors folding the transpose flag into the index math.
-inline float elem(const float* p, std::int64_t ld, bool trans, std::int64_t r,
-                  std::int64_t c) {
-  return trans ? p[c * ld + r] : p[r * ld + c];
-}
-
-// Serial inner GEMM over a row range [r0, r1) of C.
-void gemm_rows(bool trans_a, bool trans_b, std::int64_t r0, std::int64_t r1,
-               std::int64_t n, std::int64_t k, float alpha, const float* a,
-               std::int64_t lda, const float* b, std::int64_t ldb, float beta,
-               float* c, std::int64_t ldc) {
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i = r0; i < r1; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-  // ikj ordering with k-blocking: the B row (or column gather) stays hot and
-  // the innermost loop is a contiguous saxpy over C.
-  for (std::int64_t kb = 0; kb < k; kb += kBlock) {
-    const std::int64_t ke = std::min(k, kb + kBlock);
-    for (std::int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * ldc;
-      for (std::int64_t kk = kb; kk < ke; ++kk) {
-        const float aik = alpha * elem(a, lda, trans_a, i, kk);
-        if (aik == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = b + kk * ldb;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        } else {
-          for (std::int64_t j = 0; j < n; ++j) {
-            crow[j] += aik * b[j * ldb + kk];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// The per-element kernels live in the active backend::KernelBackend table
+// (scalar reference or AVX2; see backend/backend.h). This file keeps the
+// shape checking, threading, and the loop nests whose cost is index math
+// rather than arithmetic (im2col, pooling).
 
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
@@ -61,18 +21,19 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t ldc) {
   BDLFI_CHECK(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
+  const backend::KernelBackend& be = backend::active();
   const std::int64_t flops = m * n * k;
   if (flops < (1 << 18) || m < 4) {
-    gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
-              ldc);
+    be.gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                 ldc);
     return;
   }
   util::parallel_for_chunked(
       0, static_cast<std::size_t>(m), util::ThreadPool::global().size(),
       [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
-        gemm_rows(trans_a, trans_b, static_cast<std::int64_t>(lo),
-                  static_cast<std::int64_t>(hi), n, k, alpha, a, lda, b, ldb,
-                  beta, c, ldc);
+        be.gemm_rows(trans_a, trans_b, static_cast<std::int64_t>(lo),
+                     static_cast<std::int64_t>(hi), n, k, alpha, a, lda, b,
+                     ldb, beta, c, ldc);
       });
 }
 
@@ -89,72 +50,39 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 void add_inplace(Tensor& out, const Tensor& x) {
   BDLFI_CHECK(out.shape() == x.shape());
-  float* o = out.data();
-  const float* p = x.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] += p[i];
+  backend::active().add(out.data(), x.data(), out.numel());
 }
 
 void axpy_inplace(Tensor& out, float alpha, const Tensor& x) {
   BDLFI_CHECK(out.shape() == x.shape());
-  float* o = out.data();
-  const float* p = x.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] += alpha * p[i];
+  backend::active().axpy(out.data(), alpha, x.data(), out.numel());
 }
 
 void relu_inplace(Tensor& x) {
-  float* p = x.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) p[i] = std::max(0.0f, p[i]);
+  backend::active().relu(x.data(), x.numel());
 }
 
 void relu_backward_inplace(Tensor& grad, const Tensor& pre_activation) {
   BDLFI_CHECK(grad.shape() == pre_activation.shape());
-  float* g = grad.data();
-  const float* z = pre_activation.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i) {
-    if (z[i] <= 0.0f) g[i] = 0.0f;
-  }
+  backend::active().relu_backward(grad.data(), pre_activation.data(),
+                                  grad.numel());
+}
+
+void bias_add_rows(Tensor& out, const Tensor& bias) {
+  BDLFI_CHECK(out.shape().rank() == 2);
+  BDLFI_CHECK_MSG(bias.numel() == out.shape()[1],
+                  "bias length must match row width");
+  backend::active().bias_add_rows(out.data(), bias.data(), out.shape()[0],
+                                  out.shape()[1]);
 }
 
 Tensor softmax_rows(const Tensor& logits) {
   BDLFI_CHECK(logits.shape().rank() == 2);
   const std::int64_t rows = logits.shape()[0], cols = logits.shape()[1];
   Tensor out{logits.shape()};
+  const backend::KernelBackend& be = backend::active();
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = logits.data() + r * cols;
-    float* o = out.data() + r * cols;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
-    // Fault-corrupted rows can contain +inf or be all-NaN; map them to the
-    // limiting distributions instead of poisoning downstream statistics.
-    if (!std::isfinite(mx)) {
-      if (mx == std::numeric_limits<float>::infinity()) {
-        // Mass splits evenly over the +inf entries.
-        std::int64_t ties = 0;
-        for (std::int64_t c = 0; c < cols; ++c) {
-          if (in[c] == mx) ++ties;
-        }
-        for (std::int64_t c = 0; c < cols; ++c) {
-          o[c] = in[c] == mx ? 1.0f / static_cast<float>(ties) : 0.0f;
-        }
-        continue;
-      }
-      // All-NaN (or all -inf) row: uniform.
-      const float u = 1.0f / static_cast<float>(cols);
-      for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
-      continue;
-    }
-    float sum = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(in[c] - mx);
-      o[c] = std::isfinite(e) ? e : 0.0f;
-      sum += o[c];
-    }
-    if (sum <= 0.0f || !std::isfinite(sum)) {
-      const float u = 1.0f / static_cast<float>(cols);
-      for (std::int64_t c = 0; c < cols; ++c) o[c] = u;
-    } else {
-      for (std::int64_t c = 0; c < cols; ++c) o[c] /= sum;
-    }
+    be.softmax_row(logits.data() + r * cols, out.data() + r * cols, cols);
   }
   return out;
 }
@@ -180,15 +108,11 @@ std::vector<std::int64_t> argmax_rows(const Tensor& m) {
   BDLFI_CHECK(m.shape().rank() == 2);
   const std::int64_t rows = m.shape()[0], cols = m.shape()[1];
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const backend::KernelBackend& be = backend::active();
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = m.data() + r * cols;
     std::int64_t best = 0;
-    for (std::int64_t c = 1; c < cols; ++c) {
-      // NaN-insensitive: comparisons with NaN are false, so a NaN never
-      // displaces the incumbent — faulty logits still yield a deterministic
-      // (if arbitrary) class, mirroring what argmax on real hardware returns.
-      if (row[c] > row[best]) best = c;
-    }
+    bool finite = false;
+    be.argmax_finite_row(m.data() + r * cols, cols, &best, &finite);
     out[static_cast<std::size_t>(r)] = best;
   }
   return out;
@@ -267,10 +191,9 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
     gemm(false, false, o, oh * ow, patch, 1.0f, weight.data(), patch,
          cols.data(), oh * ow, 0.0f, out, oh * ow);
     if (!bias.empty()) {
+      const backend::KernelBackend& be = backend::active();
       for (std::int64_t oc = 0; oc < o; ++oc) {
-        const float b = bias[oc];
-        float* plane = out + oc * oh * ow;
-        for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+        be.add_const(out + oc * oh * ow, bias[oc], oh * ow);
       }
     }
   });
@@ -320,8 +243,11 @@ Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
   BDLFI_CHECK(input.shape().rank() == 4);
   const std::int64_t n = input.shape()[0], c = input.shape()[1],
                      h = input.shape()[2], w = input.shape()[3];
-  BDLFI_CHECK_MSG(h % kernel == 0 && w % kernel == 0,
-                  "maxpool2d requires divisible spatial dims");
+  // Floor division: a trailing remainder of rows/columns narrower than the
+  // window is dropped, matching the common framework default for this
+  // stride-=-kernel pooling. Previously non-divisible dims hard-failed.
+  BDLFI_CHECK_MSG(kernel > 0 && h >= kernel && w >= kernel,
+                  "maxpool2d input smaller than the pooling window");
   const std::int64_t oh = h / kernel, ow = w / kernel;
   Tensor out{Shape{n, c, oh, ow}};
   argmax.assign(static_cast<std::size_t>(out.numel()), 0);

@@ -35,6 +35,8 @@ void axpy_inplace(Tensor& out, float alpha, const Tensor& x);
 void relu_inplace(Tensor& x);
 /// grad_in = grad_out where pre_activation > 0 else 0 (in place on grad).
 void relu_backward_inplace(Tensor& grad, const Tensor& pre_activation);
+/// out[r][c] += bias[c] for a [rows, cols] matrix (dense-layer bias).
+void bias_add_rows(Tensor& out, const Tensor& bias);
 
 // --- Softmax / classification ----------------------------------------------
 
@@ -83,8 +85,9 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 
 // --- Pooling -----------------------------------------------------------------
 
-/// 2×2 (or k×k) max pooling with stride = kernel; returns output and records
-/// the linear index of each selected element for the backward pass.
+/// 2×2 (or k×k) max pooling with stride = kernel; non-divisible spatial dims
+/// floor-divide (the trailing remainder is dropped). Returns output and
+/// records the linear index of each selected element for the backward pass.
 Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
                          std::vector<std::int64_t>& argmax);
 Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,

@@ -110,7 +110,7 @@ TEST_F(InjectTest, LayerCampaignCoversParamLayersOnly) {
   for (const auto& pt : points) {
     EXPECT_GE(pt.mean_error, 0.0);
     EXPECT_LE(pt.mean_error, 100.0);
-    EXPECT_GT(pt.samples, 0u);
+    EXPECT_GT(pt.stats.samples, 0u);
   }
 }
 
@@ -156,7 +156,7 @@ TEST_F(InjectTest, BdlfiAgreesWithRandomFiBaseline) {
   const double joint_noise =
       3.0 * (fi.ci95_halfwidth +
              sweep.points[0].stddev_error /
-                 std::sqrt(std::max(1.0, sweep.points[0].ess)));
+                 std::sqrt(std::max(1.0, sweep.points[0].stats.ess)));
   EXPECT_NEAR(sweep.points[0].mean_error, fi.mean_error,
               std::max(2.0, joint_noise));
 }

@@ -18,6 +18,7 @@
 #include "mcmc/runner.h"
 #include "mcmc/supervisor.h"
 #include "nn/builders.h"
+#include "tensor/backend/backend.h"
 #include "train/trainer.h"
 #include "util/interrupt.h"
 #include "util/rng.h"
@@ -138,6 +139,7 @@ TEST(Checkpoint, RoundtripPreservesEveryFieldBitExactly) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   CampaignCheckpoint ck;
   ck.fingerprint = 0xdeadbeefcafef00dULL;
+  ck.backend = "avx2";
   ck.p = 1e-3;
   ck.rounds_completed = 3;
   ck.converged = true;
@@ -190,6 +192,7 @@ TEST(Checkpoint, RoundtripPreservesEveryFieldBitExactly) {
   ASSERT_TRUE(back.has_value()) << error;
 
   EXPECT_EQ(back->fingerprint, ck.fingerprint);
+  EXPECT_EQ(back->backend, "avx2");
   EXPECT_EQ(std::memcmp(&back->p, &ck.p, sizeof(double)), 0);
   EXPECT_EQ(back->rounds_completed, 3u);
   EXPECT_TRUE(back->converged);
@@ -536,6 +539,53 @@ TEST_F(ResilienceTest, ResumeRejectsFingerprintMismatch) {
   EXPECT_FALSE(extended.resume_rejected);
   EXPECT_EQ(extended.resumed_from_round, 2u);
   EXPECT_EQ(extended.rounds, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ResilienceTest, ResumeRejectsKernelBackendMismatch) {
+  const double p = 1e-3;
+  TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  const std::string dir = fresh_dir("backend_mismatch");
+  RunnerConfig config = small_runner();
+  config.checkpoint_dir = dir;
+  const CompletenessResult first =
+      run_until_complete(*bfn_, factory, p, config, never_converge(2));
+  ASSERT_EQ(first.rounds, 2u);
+
+  // The checkpoint records the backend it ran on (scalar in the test
+  // environment: BDLFI_BACKEND is unset).
+  std::string error;
+  auto ck = load_checkpoint(checkpoint_path(dir), &error);
+  ASSERT_TRUE(ck.has_value()) << error;
+  EXPECT_EQ(ck->backend, tensor::backend::active_name());
+
+  // Rewrite it as if a vectorized backend had produced it; resuming under
+  // the current (different) backend must be rejected with the dedicated
+  // backend_mismatch flag, before the fingerprint even gets compared.
+  ck->backend = "avx2-imaginary";
+  ASSERT_TRUE(save_checkpoint(checkpoint_path(dir), *ck));
+  RunnerConfig resume_config = config;
+  resume_config.resume = true;
+  const CompletenessResult rejected =
+      run_until_complete(*bfn_, factory, p, resume_config, never_converge(4));
+  EXPECT_TRUE(rejected.resume_rejected);
+  EXPECT_TRUE(rejected.backend_mismatch);
+  EXPECT_TRUE(rejected.final_result.failed);
+  EXPECT_NE(rejected.final_result.fail_reason.find("backend"),
+            std::string::npos);
+  EXPECT_EQ(rejected.rounds, 0u);
+
+  // A fingerprint mismatch alone is NOT flagged as a backend mismatch.
+  RunnerConfig other_seed = resume_config;
+  other_seed.seed = config.seed + 1;
+  ck->backend = tensor::backend::active_name();
+  ASSERT_TRUE(save_checkpoint(checkpoint_path(dir), *ck));
+  const CompletenessResult fp_only =
+      run_until_complete(*bfn_, factory, p, other_seed, never_converge(4));
+  EXPECT_TRUE(fp_only.resume_rejected);
+  EXPECT_FALSE(fp_only.backend_mismatch);
   std::filesystem::remove_all(dir);
 }
 

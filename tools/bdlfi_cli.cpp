@@ -16,6 +16,9 @@
 // Observability (any command): --progress streams per-round campaign health
 // to stderr, --metrics=<file.jsonl> writes the machine-readable event stream,
 // --trace=<file.json> records Chrome-trace spans (open in chrome://tracing).
+// Kernels: --backend=scalar|avx2|auto selects the SIMD backend (default:
+// BDLFI_BACKEND env, else scalar). Campaign checkpoints record the backend
+// and --resume refuses to continue under a different one (exit 6).
 // Resilience (campaign commands): --checkpoint-dir=<dir> saves an atomic
 // per-round campaign checkpoint (and arms SIGINT/SIGTERM for a graceful
 // stop), --resume continues bit-exactly from it, --round-timeout-ms /
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "bayes/targets.h"
+#include "bench/common.h"
 #include "data/cifar_like.h"
 #include "data/toy2d.h"
 #include "inject/campaign.h"
@@ -34,85 +38,18 @@
 #include "mcmc/runner.h"
 #include "nn/builders.h"
 #include "nn/checkpoint.h"
-#include "obs/metrics.h"
-#include "obs/reporter.h"
-#include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/csv.h"
-#include "util/interrupt.h"
 #include "util/log.h"
 
 using namespace bdlfi;
 
 namespace {
 
-// Minimal --key=value parser (same convention as the benches).
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) continue;
-      arg = arg.substr(2);
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        kv_.emplace_back(arg, "1");
-      } else {
-        kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
-      }
-    }
-  }
-  std::string get(const std::string& key, const std::string& fallback) const {
-    for (const auto& [k, v] : kv_) {
-      if (k == key) return v;
-    }
-    return fallback;
-  }
-  double num(const std::string& key, double fallback) const {
-    for (const auto& [k, v] : kv_) {
-      if (k == key) return std::atof(v.c_str());
-    }
-    return fallback;
-  }
-  std::size_t count(const std::string& key, std::size_t fallback) const {
-    return static_cast<std::size_t>(num(key, static_cast<double>(fallback)));
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> kv_;
-};
-
-// Live reporter wired from --progress/--metrics; null when neither is given.
-std::unique_ptr<obs::CampaignReporter> g_reporter;
-std::string g_trace_path;
-
-void setup_observability(const Args& args, const std::string& label) {
-  g_trace_path = args.get("trace", "");
-  const std::string metrics = args.get("metrics", "");
-  const bool progress = args.get("progress", "0") != "0";
-  if (progress || !metrics.empty()) {
-    obs::CampaignReporter::Options options;
-    options.progress = progress;
-    options.metrics_path = metrics;
-    options.label = label;
-    options.fsync = args.get("fsync-metrics", "0") != "0";
-    g_reporter = std::make_unique<obs::CampaignReporter>(options);
-  }
-  if (!g_trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
-  if (g_reporter != nullptr || !g_trace_path.empty()) obs::set_enabled(true);
-}
-
-void finish_observability() {
-  if (g_reporter != nullptr) g_reporter->metrics_event();
-  if (!g_trace_path.empty()) {
-    if (obs::TraceRecorder::global().write(g_trace_path)) {
-      std::printf("[trace written to %s]\n", g_trace_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write trace to %s\n", g_trace_path.c_str());
-    }
-  }
-  g_reporter.reset();
-}
+// Flag parsing and observability wiring are shared with the benches
+// (bench::Flags / bench::ObsSession / bench::parse_campaign_flags); the
+// subcommand at argv[1] carries no "--" prefix so the parser skips it.
+using bench::Flags;
 
 struct Subject {
   nn::Network net;
@@ -120,28 +57,30 @@ struct Subject {
   data::Dataset test;
 };
 
-Subject build_subject(const Args& args) {
+Subject build_subject(const Flags& args) {
   const std::string model = args.get("model", "mlp");
-  const auto data_seed = static_cast<std::uint64_t>(args.num("data-seed", 11));
-  const auto init_seed = static_cast<std::uint64_t>(args.num("init-seed", 12));
+  const auto data_seed = static_cast<std::uint64_t>(
+      args.get("data-seed", std::int64_t{11}));
+  const auto init_seed = static_cast<std::uint64_t>(
+      args.get("init-seed", std::int64_t{12}));
   util::Rng data_rng{data_seed};
   util::Rng init_rng{init_seed};
   Subject subject;
   if (model == "mlp") {
-    data::Dataset all =
-        data::make_two_moons(args.count("samples", 800), 0.08, data_rng);
+    data::Dataset all = data::make_two_moons(
+        args.get("samples", std::size_t{800}), 0.08, data_rng);
     data::Split split = data::split_dataset(all, 0.75, data_rng);
     subject.net = nn::make_mlp({2, 16, 32, 2}, init_rng);
     subject.train = std::move(split.train);
     subject.test = std::move(split.test);
   } else if (model == "resnet") {
     data::CifarLikeConfig dc;
-    dc.samples_per_class = args.count("samples-per-class", 60);
-    dc.image_size = static_cast<std::int64_t>(args.num("image-size", 16));
+    dc.samples_per_class = args.get("samples-per-class", std::size_t{60});
+    dc.image_size = args.get("image-size", std::int64_t{16});
     data::Dataset all = data::make_cifar_like(dc, data_rng);
     data::Split split = data::split_dataset(all, 0.8, data_rng);
     nn::ResNetConfig nc;
-    nc.width_multiplier = args.num("width", 0.125);
+    nc.width_multiplier = args.get("width", 0.125);
     subject.net = nn::make_resnet18(nc, init_rng);
     subject.train = std::move(split.train);
     subject.test = std::move(split.test);
@@ -152,7 +91,7 @@ Subject build_subject(const Args& args) {
   return subject;
 }
 
-Subject load_subject(const Args& args) {
+Subject load_subject(const Flags& args) {
   Subject subject = build_subject(args);
   const std::string ckpt = args.get("ckpt", "");
   if (ckpt.empty()) {
@@ -169,7 +108,7 @@ Subject load_subject(const Args& args) {
   return subject;
 }
 
-bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Args& args) {
+bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Flags& args) {
   fault::AvfProfile profile = fault::AvfProfile::uniform();
   const std::string avf = args.get("avf", "uniform");
   if (avf == "exponent") profile = fault::AvfProfile::exponent_weighted(4.0);
@@ -185,32 +124,14 @@ bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Args& args) {
                                      subject.test.labels);
 }
 
-mcmc::RunnerConfig runner_from(const Args& args) {
+mcmc::RunnerConfig runner_from(const Flags& args, bench::ObsSession& session) {
   mcmc::RunnerConfig runner;
-  runner.num_chains = args.count("chains", 4);
-  runner.mh.samples = args.count("samples-per-chain", 100);
-  runner.mh.burn_in = args.count("burn-in", 30);
-  runner.mh.thin = args.count("thin", 5);
-  runner.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  runner.supervisor.round_timeout_ms = args.num("round-timeout-ms", 0.0);
-  runner.supervisor.max_retries = args.count("max-chain-retries", 2);
-  runner.supervisor.min_acceptance = args.num("min-acceptance", 0.0);
-  runner.supervisor.max_evals_per_round =
-      args.count("max-evals-per-round", 0);
-  runner.supervisor.backoff_base_ms = args.num("retry-backoff-ms", 0.0);
-  runner.checkpoint_dir = args.get("checkpoint-dir", "");
-  runner.resume = args.get("resume", "0") != "0";
-  // With a checkpoint on disk, Ctrl-C becomes a graceful stop: chains wind
-  // down at the next sample, the partial round is discarded, and the last
-  // complete round's checkpoint supports --resume.
-  if (!runner.checkpoint_dir.empty()) util::install_interrupt_handlers();
-  if (g_reporter != nullptr) {
-    runner.round_hook = g_reporter->hook();
-    runner.health_hook = g_reporter->health_hook();
-    runner.checkpoint_hook = [](std::size_t round, const std::string& path) {
-      g_reporter->checkpoint_saved(round, path);
-    };
-  }
+  runner.num_chains = args.get("chains", std::size_t{4});
+  runner.mh.samples = args.get("samples-per-chain", std::size_t{100});
+  runner.mh.burn_in = args.get("burn-in", std::size_t{30});
+  runner.mh.thin = args.get("thin", std::size_t{5});
+  runner.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  bench::parse_campaign_flags(args, session, runner);
   return runner;
 }
 
@@ -234,15 +155,15 @@ int degradation_exit_code(const mcmc::CampaignResult& result, int ok_code) {
   return ok_code;
 }
 
-int cmd_train(const Args& args) {
+int cmd_train(const Flags& args) {
   Subject subject = build_subject(args);
   train::TrainConfig config;
-  config.epochs = args.count("epochs", args.get("model", "mlp") == "mlp"
-                                           ? std::size_t{40}
-                                           : std::size_t{5});
-  config.batch_size = args.count("batch", 32);
-  config.lr = args.num("lr", args.get("model", "mlp") == "mlp" ? 0.05 : 0.02);
-  config.seed = static_cast<std::uint64_t>(args.num("seed", 13));
+  config.epochs = args.get("epochs", args.get("model", "mlp") == "mlp"
+                                         ? std::size_t{40}
+                                         : std::size_t{5});
+  config.batch_size = args.get("batch", std::size_t{32});
+  config.lr = args.get("lr", args.get("model", "mlp") == "mlp" ? 0.05 : 0.02);
+  config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{13}));
   config.verbose = true;
   const auto result =
       train::fit(subject.net, subject.train, subject.test, config);
@@ -254,19 +175,20 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
-int cmd_sweep(const Args& args) {
+int cmd_sweep(const Flags& args, bench::ObsSession& session) {
   Subject subject = load_subject(args);
   auto bfn = make_bfn(subject, args);
-  const auto ps = inject::log_space(args.num("p-lo", 1e-5),
-                                    args.num("p-hi", 1e-1),
-                                    args.count("points", 9));
-  const auto sweep = inject::run_bdlfi_sweep(bfn, ps, runner_from(args));
+  const auto ps = inject::log_space(args.get("p-lo", 1e-5),
+                                    args.get("p-hi", 1e-1),
+                                    args.get("points", std::size_t{9}));
+  const auto sweep =
+      inject::run_bdlfi_sweep(bfn, ps, runner_from(args, session));
   util::Table table({"p", "mean_error_%", "q05", "q95", "accept", "rhat",
                      "ess", "quar"});
   for (const auto& pt : sweep.points) {
     table.row().col(pt.p).col(pt.mean_error).col(pt.q05).col(pt.q95)
-        .col(pt.acceptance_rate).col(pt.rhat).col(pt.ess)
-        .col(pt.chains_quarantined);
+        .col(pt.stats.acceptance_rate).col(pt.stats.rhat).col(pt.stats.ess)
+        .col(pt.stats.chains_quarantined);
   }
   std::printf("golden error: %.2f%%\n%s", sweep.golden_error,
               table.to_text().c_str());
@@ -279,12 +201,12 @@ int cmd_sweep(const Args& args) {
   return sweep.interrupted ? 5 : 0;
 }
 
-int cmd_layers(const Args& args) {
+int cmd_layers(const Flags& args, bench::ObsSession& session) {
   Subject subject = load_subject(args);
   const auto points = inject::run_layer_campaign(
       subject.net, subject.test.inputs, subject.test.labels,
-      fault::AvfProfile::uniform(), args.num("p", 1e-3), runner_from(args),
-      args.num("dose", 0.0));
+      fault::AvfProfile::uniform(), args.get("p", 1e-3),
+      runner_from(args, session), args.get("dose", 0.0));
   util::Table table({"idx", "layer", "kind", "params", "mean_error_%",
                      "deviation_%"});
   for (const auto& pt : points) {
@@ -296,45 +218,47 @@ int cmd_layers(const Args& args) {
   return 0;
 }
 
-int cmd_random(const Args& args) {
+int cmd_random(const Flags& args) {
   Subject subject = load_subject(args);
   auto bfn = make_bfn(subject, args);
   inject::RandomFiConfig config;
-  config.injections = args.count("injections", 1000);
-  config.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  config.injections = args.get("injections", std::size_t{1000});
+  config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
   const auto result =
-      inject::run_random_fi(bfn, args.num("p", 1e-3), config);
+      inject::run_random_fi(bfn, args.get("p", 1e-3), config);
   std::printf("random FI @ p=%.3g over %zu injections:\n"
               "  mean error %.3f%% (golden %.3f%%), ci95 ±%.3f\n"
               "  deviation %.3f%%  SDC %.3f%%  detected %.3f%%\n",
-              args.num("p", 1e-3), result.injections, result.mean_error,
+              args.get("p", 1e-3), result.injections, result.mean_error,
               bfn.golden_error(), result.ci95_halfwidth,
               result.mean_deviation, result.mean_sdc, result.mean_detected);
   return 0;
 }
 
-int cmd_complete(const Args& args) {
+int cmd_complete(const Flags& args, bench::ObsSession& session) {
   Subject subject = load_subject(args);
   auto bfn = make_bfn(subject, args);
-  const double p = args.num("p", 1e-3);
+  const double p = args.get("p", 1e-3);
   mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
     return std::make_unique<bayes::PriorTarget>(net, p);
   };
   mcmc::CompletenessCriterion criterion;
-  criterion.rhat_threshold = args.num("rhat", 1.05);
-  criterion.mean_rel_tol = args.num("tol", 0.05);
-  criterion.max_rounds = args.count("max-rounds", 8);
-  const mcmc::RunnerConfig runner = runner_from(args);
-  if (g_reporter != nullptr) {
-    g_reporter->begin(p, runner.num_chains, runner.mh.samples);
+  criterion.rhat_threshold = args.get("rhat", 1.05);
+  criterion.mean_rel_tol = args.get("tol", 0.05);
+  criterion.max_rounds = args.get("max-rounds", std::size_t{8});
+  const mcmc::RunnerConfig runner = runner_from(args, session);
+  if (session.reporter() != nullptr) {
+    session.reporter()->begin(p, runner.num_chains, runner.mh.samples);
   }
   const auto result =
       mcmc::run_until_complete(bfn, factory, p, runner, criterion);
-  if (g_reporter != nullptr) g_reporter->end(result.converged, result.rounds);
+  if (session.reporter() != nullptr) {
+    session.reporter()->end(result.converged, result.rounds);
+  }
   if (result.resume_rejected) {
     std::fprintf(stderr, "resume rejected: %s\n",
                  result.final_result.fail_reason.c_str());
-    return 4;
+    return result.backend_mismatch ? 6 : 4;
   }
   if (result.resumed_from_round > 0) {
     std::printf("resumed from checkpoint: %zu round(s) already done\n",
@@ -369,6 +293,8 @@ void usage() {
       "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
       "common: --model --width --image-size --data-seed --avf=uniform|"
       "exponent|mantissa|sign-exponent --layer=<name>\n"
+      "kernels:       --backend=scalar|avx2|auto (SIMD kernel backend;\n"
+      "                 default: BDLFI_BACKEND env, else scalar)\n"
       "observability: --progress (live per-round health on stderr)\n"
       "               --metrics=<file.jsonl> (machine-readable event stream)\n"
       "               --fsync-metrics (fsync the event stream per event)\n"
@@ -378,7 +304,9 @@ void usage() {
       "               --round-timeout-ms=N --max-chain-retries=N\n"
       "               --min-acceptance=X --max-evals-per-round=N\n"
       "               --retry-backoff-ms=N\n"
-      "exit codes: 0 ok, 3 not converged, 4 failed/rejected, 5 interrupted\n");
+      "exit codes: 0 ok, 2 bad usage/backend, 3 not converged, "
+      "4 failed/rejected,\n"
+      "            5 interrupted, 6 resume/backend mismatch\n");
 }
 
 }  // namespace
@@ -388,18 +316,18 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const Args args(argc, argv);
+  const Flags args(argc, argv);
   const std::string cmd = argv[1];
   int rc = 2;
   if (cmd == "train" || cmd == "sweep" || cmd == "layers" || cmd == "random" ||
       cmd == "complete") {
-    setup_observability(args, "bdlfi " + cmd);
+    bench::ObsSession session(args, "bdlfi " + cmd);
     if (cmd == "train") rc = cmd_train(args);
-    if (cmd == "sweep") rc = cmd_sweep(args);
-    if (cmd == "layers") rc = cmd_layers(args);
+    if (cmd == "sweep") rc = cmd_sweep(args, session);
+    if (cmd == "layers") rc = cmd_layers(args, session);
     if (cmd == "random") rc = cmd_random(args);
-    if (cmd == "complete") rc = cmd_complete(args);
-    finish_observability();
+    if (cmd == "complete") rc = cmd_complete(args, session);
+    session.finish();
     return rc;
   }
   usage();

@@ -108,6 +108,14 @@ bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
     *error = "fingerprint must be 16 lowercase hex digits";
     return false;
   }
+  // Optional (absent in pre-backend checkpoints, which were always scalar);
+  // when present it must be a non-empty backend name.
+  const obs::JsonValue* backend = doc.find("backend");
+  if (backend != nullptr &&
+      (!backend->is_string() || backend->as_string().empty())) {
+    *error = "\"backend\" must be a non-empty string";
+    return false;
+  }
   for (const char* key : {"p", "rounds_completed", "prev_evals"}) {
     const obs::JsonValue* v = doc.find(key);
     if (v == nullptr || !v->is_number()) {
