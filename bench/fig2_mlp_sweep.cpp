@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
   const inject::SweepResult sweep = inject::run_bdlfi_sweep(bfn, ps, runner);
 
   util::Table table({"p", "mean_error_%", "q05", "q50", "q95", "deviation_%",
-                     "mean_flips", "accept", "rhat", "ess", "samples", "evals",
-                     "truncated", "layers_saved_%", "quar"});
+                     "mean_flips", "det_cov_%", "sdc_%", "accept", "rhat",
+                     "ess", "samples", "evals", "truncated", "layers_saved_%",
+                     "quar"});
   std::size_t evals = 0, truncated = 0, quarantined = 0;
   for (const auto& pt : sweep.points) {
     table.row()
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
         .col(pt.q95)
         .col(pt.mean_deviation)
         .col(pt.mean_flips)
+        .col(100.0 * pt.stats.detection_coverage)
+        .col(100.0 * pt.stats.sdc_rate)
         .col(pt.stats.acceptance_rate)
         .col(pt.stats.rhat)
         .col(pt.stats.ess)

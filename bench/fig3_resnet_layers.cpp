@@ -51,8 +51,8 @@ int main(int argc, char** argv) {
   const std::size_t rows = std::min(fixed_dose.size(), fixed_rate.size());
   util::Table table({"layer_idx", "name", "kind", "params",
                      "err_fixed_dose_%", "q05", "q95", "err_fixed_rate_%",
-                     "accept", "evals", "truncated", "layers_saved_%",
-                     "quar"});
+                     "det_cov_%", "sdc_%", "accept", "evals", "truncated",
+                     "layers_saved_%", "quar"});
   std::vector<double> depths, errors_dose, errors_rate;
   double evals_saved = 0.0;
   std::size_t evals = 0, truncated = 0, quarantined = 0;
@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
         .col(pt.q05)
         .col(pt.q95)
         .col(fixed_rate[i].mean_error)
+        .col(100.0 * pt.stats.detection_coverage)
+        .col(100.0 * pt.stats.sdc_rate)
         .col(pt.stats.acceptance_rate)
         .col(pt.stats.network_evals)
         .col(pt.stats.truncated_evals)

@@ -35,3 +35,17 @@ if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
 else
   echo "=== avx2 not supported on this host: skipping the avx2 pass ==="
 fi
+
+# Targeted ABFT / compute-fault pass: the checksum verification and the
+# mid-kernel flip injection are the newest pointer-arithmetic-heavy paths
+# (row-window selection from elem_base, in-place row recompute), so they get
+# an explicit sanitized run per backend — including the protection-table
+# smoke that drives compute faults through the whole random-FI pipeline.
+for backend in scalar avx2; do
+  if [ "$backend" = avx2 ] && ! grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    continue
+  fi
+  echo "=== ABFT + compute-fault suite under BDLFI_BACKEND=$backend ==="
+  BDLFI_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R 'abft|tab_protection_smoke|perf_abft_smoke'
+done

@@ -5,12 +5,23 @@
 #include <map>
 #include <utility>
 
+#include "nn/range_guard.h"
 #include "obs/metrics.h"
 #include "tensor/backend/backend.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace bdlfi::bayes {
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kMasked: return "masked";
+    case FaultOutcome::kSdc: return "sdc";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kCorrected: return "corrected";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -40,6 +51,10 @@ struct SplitMask {
   std::vector<std::int64_t> param_bits;  // flat space addressing
   std::vector<std::pair<std::int64_t, int>> input_flips;
   std::map<std::int64_t, std::vector<std::pair<std::int64_t, int>>> act_flips;
+  /// Per-layer mid-kernel flips, installed on the network for the forward.
+  /// Per-layer lists are sorted by element (mask bits are sorted and each
+  /// layer's compute range is one contiguous entry), as gemm_checked needs.
+  nn::ComputeFaultPlan compute_flips;
 };
 
 SplitMask split_mask(const InjectionSpace& space, const FaultMask& mask) {
@@ -57,6 +72,10 @@ SplitMask split_mask(const InjectionSpace& space, const FaultMask& mask) {
         break;
       case InjectionSpace::SiteKind::kActivation:
         split.act_flips[entry.layer].emplace_back(elem, site.bit);
+        break;
+      case InjectionSpace::SiteKind::kCompute:
+        split.compute_flips[static_cast<std::size_t>(entry.layer)]
+            .emplace_back(elem, site.bit);
         break;
     }
   }
@@ -104,12 +123,19 @@ BayesianFaultNetwork::BayesianFaultNetwork(
   for (std::size_t i = 0; i < cache_.num_layers(); ++i) {
     geometry_.layer_numel[i] = cache_.layer_numel(i);
   }
+  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+    if (dynamic_cast<nn::RangeGuard*>(&net_.layer(i)) != nullptr) {
+      has_guards_ = true;
+      break;
+    }
+  }
   rebuild_space();
 }
 
 BayesianFaultNetwork::BayesianFaultNetwork(const BayesianFaultNetwork& other,
                                            ReplicaTag)
     : net_(other.net_.clone()),
+      has_guards_(other.has_guards_),
       target_(other.target_),
       profile_(other.profile_),
       eval_inputs_(other.eval_inputs_),
@@ -136,6 +162,11 @@ std::unique_ptr<BayesianFaultNetwork> BayesianFaultNetwork::replicate() const {
 
 tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
   const SplitMask split = split_mask(*space_, mask);
+  // Transient compute faults ride on the network for the duration of this
+  // forward only; `split` outlives both forward paths below.
+  if (!split.compute_flips.empty()) {
+    net_.set_compute_fault_plan(&split.compute_flips);
+  }
   const std::size_t depth = net_.num_layers();
   // First layer whose execution can differ from golden; replay can begin no
   // later than the cached-prefix length (a replay at B needs act[B-1]).
@@ -186,14 +217,35 @@ tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
     m.layers_total.add(depth);
   }
   space_->apply_bits(split.param_bits);  // XOR self-inverse: golden restored
+  if (!split.compute_flips.empty()) net_.set_compute_fault_plan(nullptr);
   return logits;
 }
 
 MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
+  // Snapshot the network's cumulative self-checking counters so this
+  // evaluation's ABFT/guard activity can be read back as deltas.
+  const tensor::abft::Stats& abft = net_.abft_stats();
+  const std::uint64_t det0 =
+      abft.detected_rows.load(std::memory_order_relaxed);
+  const std::uint64_t cor0 =
+      abft.corrected_rows.load(std::memory_order_relaxed);
+  const std::uint64_t inj0 =
+      abft.faults_injected.load(std::memory_order_relaxed);
+  const std::uint64_t guard0 =
+      has_guards_ ? nn::total_guard_corrections(net_) : 0;
+
   const tensor::Tensor logits = logits_under_mask(mask);
 
   MaskOutcome outcome;
   outcome.flipped_bits = mask.num_flips();
+  outcome.abft_detected_rows =
+      abft.detected_rows.load(std::memory_order_relaxed) - det0;
+  outcome.abft_corrected_rows =
+      abft.corrected_rows.load(std::memory_order_relaxed) - cor0;
+  outcome.abft_faults_injected =
+      abft.faults_injected.load(std::memory_order_relaxed) - inj0;
+  outcome.guard_corrections =
+      has_guards_ ? nn::total_guard_corrections(net_) - guard0 : 0;
   const std::int64_t classes = logits.shape()[1];
   const auto scan = tensor::backend::active().argmax_finite_row;
   std::size_t miss = 0, dev = 0, detected = 0, sdc = 0;
@@ -219,6 +271,21 @@ MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
   outcome.deviation = 100.0 * static_cast<double>(dev) / n;
   outcome.detected = 100.0 * static_cast<double>(detected) / n;
   outcome.sdc = 100.0 * static_cast<double>(sdc) / n;
+
+  // Whole-evaluation taxonomy. Only real detection signals classify: ABFT
+  // rows flagged without recovery, or non-finite output logits. RangeGuard
+  // clamps are silent (telemetry above) and sub-tolerance compute flips that
+  // change nothing land in kMasked by construction.
+  const bool detector_fired = outcome.abft_detected_rows > 0 || detected > 0;
+  if (detector_fired) {
+    outcome.outcome = FaultOutcome::kDetected;
+  } else if (dev > 0) {
+    outcome.outcome = FaultOutcome::kSdc;
+  } else if (outcome.abft_corrected_rows > 0) {
+    outcome.outcome = FaultOutcome::kCorrected;
+  } else {
+    outcome.outcome = FaultOutcome::kMasked;
+  }
   return outcome;
 }
 

@@ -34,6 +34,20 @@ using fault::FaultMask;
 using fault::InjectionSpace;
 using fault::TargetSpec;
 
+/// Whole-evaluation outcome class of one fault pattern — the classic FI
+/// taxonomy, driven only by *actual detection signals* (ABFT checksum
+/// mismatches and non-finite output logits; RangeGuard clamps are silent and
+/// never count):
+///   kMasked    — no detector fired and every prediction matched golden;
+///   kSdc       — no detector fired but some prediction silently changed;
+///   kDetected  — a detector fired and the corruption was not (fully)
+///                repaired: an unrecoverable DUE the system can flag;
+///   kCorrected — ABFT recovery repaired every corrupted row and the final
+///                predictions match golden exactly.
+enum class FaultOutcome { kMasked, kSdc, kDetected, kCorrected };
+
+const char* fault_outcome_name(FaultOutcome outcome);
+
 /// Outcome of evaluating one concrete fault pattern, including the classic
 /// fault-injection outcome taxonomy per evaluation sample:
 ///   benign   — prediction unchanged from the golden run;
@@ -51,6 +65,18 @@ struct MaskOutcome {
   /// % of samples with a silently changed, finite-logit prediction.
   double sdc = 0.0;
   std::size_t flipped_bits = 0;
+
+  /// Whole-evaluation outcome class (see FaultOutcome above).
+  FaultOutcome outcome = FaultOutcome::kMasked;
+  /// ABFT activity during this evaluation (deltas of the network's counters):
+  /// rows flagged-but-left-corrupted, rows recomputed, compute-fault flips
+  /// actually applied mid-kernel.
+  std::uint64_t abft_detected_rows = 0;
+  std::uint64_t abft_corrected_rows = 0;
+  std::uint64_t abft_faults_injected = 0;
+  /// RangeGuard clamp firings during this evaluation. Telemetry only — the
+  /// clamp is silent, so this never drives the outcome classification.
+  std::uint64_t guard_corrections = 0;
 };
 
 /// Configuration of the golden-activation cache behind truncated evaluation.
@@ -96,6 +122,11 @@ class BayesianFaultNetwork {
   /// Copies the golden predictions and activation cache instead of re-running
   /// the golden forward pass — replication is O(memcpy), not O(inference).
   std::unique_ptr<BayesianFaultNetwork> replicate() const;
+
+  /// The owned network replica (read-only): deployment properties such as
+  /// the ABFT checking mode live on the network and feed e.g. the campaign
+  /// checkpoint fingerprint.
+  const nn::Network& network() const { return net_; }
 
   const InjectionSpace& space() const { return *space_; }
   /// Mutable access for campaign-level configuration (selective hardening via
@@ -161,6 +192,7 @@ class BayesianFaultNetwork {
 
   nn::Network net_;
   std::unique_ptr<InjectionSpace> space_;
+  bool has_guards_ = false;  // cached: avoids a dynamic_cast scan per eval
   TargetSpec target_;
   AvfProfile profile_;
   tensor::Tensor eval_inputs_;

@@ -73,6 +73,26 @@ FaultMask RandomWordSampler::sample(const InjectionSpace& space,
   return FaultMask{std::move(flips)};
 }
 
+FaultMask ComputeFaultSampler::sample(const InjectionSpace& space,
+                                      util::Rng& rng) const {
+  BDLFI_CHECK(p_ > 0.0 && p_ < 1.0);
+  std::vector<std::int64_t> flips;
+  // Geometric skipping restricted to the kCompute entry ranges: one pass per
+  // entry over its flat bit window. Non-compute entries of a mixed space are
+  // untouched — this sampler models upsets in the datapath only.
+  for (const InjectionSpace::Entry& e : space.entries()) {
+    if (e.site != InjectionSpace::SiteKind::kCompute) continue;
+    const std::int64_t bits = e.numel * kBitsPerWord;
+    const std::int64_t base = e.offset * kBitsPerWord;
+    std::int64_t bit = static_cast<std::int64_t>(rng.geometric(p_));
+    while (bit < bits) {
+      flips.push_back(base + bit);
+      bit += 1 + static_cast<std::int64_t>(rng.geometric(p_));
+    }
+  }
+  return FaultMask{std::move(flips)};
+}
+
 FaultMask ZeroWordSampler::sample(const InjectionSpace& space,
                                   util::Rng& rng) const {
   BDLFI_CHECK(word_rate_ > 0.0 && word_rate_ < 1.0);

@@ -128,4 +128,24 @@ class ZeroWordSampler : public MaskSampler {
   double word_rate_;
 };
 
+/// Transient compute faults: independent Bernoulli(p) flips over the output
+/// bits of every kCompute site in the space (MRFI-style operation-granularity
+/// injection — the upset strikes the MAC result during one forward, not any
+/// stored tensor). Spaces without compute sites yield empty masks; mixed
+/// spaces restrict injection to their compute ranges.
+class ComputeFaultSampler : public MaskSampler {
+ public:
+  explicit ComputeFaultSampler(double p) : p_(p) {}
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override { return "compute"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<ComputeFaultSampler>(p_);
+  }
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
 }  // namespace bdlfi::fault

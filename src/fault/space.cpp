@@ -82,6 +82,27 @@ InjectionSpace::InjectionSpace(nn::Network& net, const TargetSpec& spec,
       total_elements_ += n;
     }
   }
+  if (spec.include_compute) {
+    BDLFI_CHECK_MSG(geometry != nullptr &&
+                        geometry->layer_numel.size() == net.num_layers(),
+                    "compute fault sites need an ActivationGeometry");
+    // One site range per top-level GEMM-bearing layer, addressing its raw
+    // MAC output (same geometry as the layer's activation, but struck before
+    // bias/BN/activation, mid-kernel). Blocks are excluded: their output is
+    // a residual sum, not a GEMM result.
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      if (!spec.matches_layer(net.layer_name(i))) continue;
+      const std::string kind = net.layer_kind(i);
+      if (kind != "dense" && kind != "conv") continue;
+      const std::int64_t n = geometry->layer_numel[i];
+      if (n <= 0) continue;
+      entries_.push_back({net.layer_name(i) + ".mac",
+                          nn::ParamRole::kWeight, nullptr, total_elements_,
+                          SiteKind::kCompute, static_cast<std::int64_t>(i),
+                          n});
+      total_elements_ += n;
+    }
+  }
   BDLFI_CHECK_MSG(total_elements_ > 0,
                   "TargetSpec selects no fault targets");
 }
@@ -100,6 +121,11 @@ std::int64_t InjectionSpace::first_replay_layer(const FaultMask& mask) const {
         break;
       case SiteKind::kActivation:
         layer = e.layer + 1;
+        break;
+      case SiteKind::kCompute:
+        // The fault strikes inside layer e.layer's own GEMM: that layer must
+        // re-run (on its golden input, so the cached prefix still applies).
+        layer = e.layer;
         break;
     }
     first = std::min(first, layer);
@@ -148,8 +174,8 @@ void InjectionSpace::apply_bits(
 float* InjectionSpace::element_ptr(std::int64_t element) const {
   const Entry& entry = entry_of(element);
   BDLFI_CHECK_MSG(entry.site == SiteKind::kParam,
-                  "input/activation sites are transient: apply them via the "
-                  "mask-evaluation pipeline, not by persistent XOR");
+                  "input/activation/compute sites are transient: apply them "
+                  "via the mask-evaluation pipeline, not by persistent XOR");
   return entry.value->data() + (element - entry.offset);
 }
 

@@ -36,6 +36,11 @@ struct TargetSpec {
   /// Expose per-layer output activations (in-flight corruption, applied via
   /// the forward hook during evaluation rather than by persistent XOR).
   bool include_activations = false;
+  /// Expose transient compute faults — upsets striking the MAC/accumulator
+  /// results of GEMM-bearing layers (dense/conv) *during* the multiply,
+  /// before any bias/BN/activation. Applied mid-kernel via the network's
+  /// ComputeFaultPlan; this is the fault class ABFT checksums can see.
+  bool include_compute = false;
 
   static TargetSpec all_parameters() { return {}; }
   static TargetSpec single_layer(std::string name) {
@@ -60,6 +65,12 @@ struct TargetSpec {
     spec.include_activations = true;
     return spec;
   }
+  static TargetSpec compute_only() {
+    TargetSpec spec;
+    spec.include_params = false;
+    spec.include_compute = true;
+    return spec;
+  }
 
   bool matches(const std::string& param_name, nn::ParamRole role) const;
   bool matches_layer(const std::string& layer_name) const;
@@ -77,8 +88,11 @@ class InjectionSpace {
  public:
   /// What kind of memory a fault site lives in. kParam sites are persistent
   /// tensors XOR-able in place; kInput/kActivation sites are transient — the
-  /// evaluation pipeline applies them to in-flight tensors instead.
-  enum class SiteKind { kParam, kInput, kActivation };
+  /// evaluation pipeline applies them to in-flight tensors instead. kCompute
+  /// sites are transient upsets of a layer's raw GEMM output, applied
+  /// mid-kernel (between the multiply and the ABFT check) via the network's
+  /// ComputeFaultPlan.
+  enum class SiteKind { kParam, kInput, kActivation, kCompute };
 
   struct Entry {
     std::string name;

@@ -17,6 +17,12 @@ void PointStats::from_campaign(const mcmc::CampaignResult& result) {
   full_evals = result.total_full_evals;
   truncated_evals = result.total_truncated_evals;
   layers_saved_pct = result.layers_saved_pct();
+  outcome_masked = result.total_outcome_masked;
+  outcome_sdc = result.total_outcome_sdc;
+  outcome_detected = result.total_outcome_detected;
+  outcome_corrected = result.total_outcome_corrected;
+  detection_coverage = result.detection_coverage();
+  sdc_rate = result.sdc_rate();
   chains_quarantined = result.chains_quarantined;
   degraded = result.degraded;
 }

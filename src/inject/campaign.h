@@ -31,6 +31,16 @@ struct PointStats {
   std::size_t full_evals = 0;
   std::size_t truncated_evals = 0;
   double layers_saved_pct = 0.0;
+  // Fault-outcome taxonomy pooled over the point's retained samples
+  // (see bayes::FaultOutcome): how often the fault was masked, silently
+  // corrupted the output, was flagged as an unrecoverable DUE, or was
+  // repaired by ABFT recovery — plus the two derived headline rates.
+  std::size_t outcome_masked = 0;
+  std::size_t outcome_sdc = 0;
+  std::size_t outcome_detected = 0;
+  std::size_t outcome_corrected = 0;
+  double detection_coverage = 0.0;
+  double sdc_rate = 0.0;
   /// Graceful degradation: chains the supervisor quarantined at this point;
   /// the point's statistics cover the survivors only.
   std::size_t chains_quarantined = 0;

@@ -20,6 +20,8 @@ RandomFiResult run_random_fi(const bayes::BayesianFaultNetwork& golden,
 
   struct WorkerOut {
     std::vector<double> errors, deviations, flips, detected, sdc;
+    std::size_t outcome_masked = 0, outcome_sdc = 0, outcome_detected = 0,
+                outcome_corrected = 0;
   };
   std::vector<WorkerOut> out(workers);
 
@@ -43,6 +45,20 @@ RandomFiResult run_random_fi(const bayes::BayesianFaultNetwork& golden,
               static_cast<double>(outcome.flipped_bits));
           out[worker].detected.push_back(outcome.detected);
           out[worker].sdc.push_back(outcome.sdc);
+          switch (outcome.outcome) {
+            case bayes::FaultOutcome::kMasked:
+              ++out[worker].outcome_masked;
+              break;
+            case bayes::FaultOutcome::kSdc:
+              ++out[worker].outcome_sdc;
+              break;
+            case bayes::FaultOutcome::kDetected:
+              ++out[worker].outcome_detected;
+              break;
+            case bayes::FaultOutcome::kCorrected:
+              ++out[worker].outcome_corrected;
+              break;
+          }
         }
       });
 
@@ -58,6 +74,10 @@ RandomFiResult run_random_fi(const bayes::BayesianFaultNetwork& golden,
     for (double f : out[w].flips) fl.add(f);
     for (double d : out[w].detected) det.add(d);
     for (double s : out[w].sdc) sdc.add(s);
+    result.outcome_masked += out[w].outcome_masked;
+    result.outcome_sdc += out[w].outcome_sdc;
+    result.outcome_detected += out[w].outcome_detected;
+    result.outcome_corrected += out[w].outcome_corrected;
   }
   result.injections = err_set.count();
   result.mean_error = err_set.mean();
@@ -69,6 +89,15 @@ RandomFiResult run_random_fi(const bayes::BayesianFaultNetwork& golden,
   result.mean_flips = fl.mean();
   result.mean_detected = det.mean();
   result.mean_sdc = sdc.mean();
+  const std::size_t caught = result.outcome_detected + result.outcome_corrected;
+  const std::size_t mattered = caught + result.outcome_sdc;
+  result.detection_coverage =
+      mattered == 0 ? 0.0
+                    : static_cast<double>(caught) / static_cast<double>(mattered);
+  result.sdc_rate = result.injections == 0
+                        ? 0.0
+                        : static_cast<double>(result.outcome_sdc) /
+                              static_cast<double>(result.injections);
   result.ci95_halfwidth =
       1.96 * result.stddev_error /
       std::sqrt(static_cast<double>(std::max<std::size_t>(1, result.injections)));

@@ -32,6 +32,18 @@ struct RandomFiResult {
   double mean_detected = 0.0;  // % outputs with NaN/Inf (detectable faults)
   double mean_sdc = 0.0;       // % silently corrupted predictions
   std::size_t injections = 0;
+  /// Fault-outcome taxonomy over the injections (see bayes::FaultOutcome):
+  /// one whole-evaluation class per injection; the four counters sum to
+  /// `injections`.
+  std::size_t outcome_masked = 0;
+  std::size_t outcome_sdc = 0;
+  std::size_t outcome_detected = 0;
+  std::size_t outcome_corrected = 0;
+  /// (detected+corrected) / (detected+corrected+sdc); 0 when nothing
+  /// mattered. The headline protection-efficacy number of tab_protection.
+  double detection_coverage = 0.0;
+  /// outcome_sdc / injections.
+  double sdc_rate = 0.0;
   /// 95% normal-approximation confidence half-width of mean_error.
   double ci95_halfwidth = 0.0;
   /// error_samples[i] = classification error of injection i (chronological

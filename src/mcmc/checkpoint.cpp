@@ -133,11 +133,14 @@ std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
   // Canonical config string; %.17g keeps double identity exact. Field order
   // is part of the format — extend by appending only.
   char buf[512];
+  // |abft=<mode> appended in v2: ABFT changes what the retained samples mean
+  // (detected/corrected outcomes exist only under checking), so streams from
+  // different checking modes must never be mixed by a resume.
   std::snprintf(
       buf, sizeof(buf),
       "v1|seed=%llu|chains=%zu|gibbs=%d|"
       "mh=%zu,%zu,%zu,%.17g,%.17g,%.17g,%zu|"
-      "gb=%zu,%zu,%zu|p=%.17g|net=%lld,%zu,%s|backend=%s",
+      "gb=%zu,%zu,%zu|p=%.17g|net=%lld,%zu,%s|backend=%s|abft=%d",
       static_cast<unsigned long long>(config.seed), config.num_chains,
       config.use_gibbs ? 1 : 0, config.mh.samples, config.mh.burn_in,
       config.mh.thin, config.mh.w_single_toggle, config.mh.w_block_resample,
@@ -145,7 +148,8 @@ std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
       config.gibbs.burn_in, config.gibbs.coordinates_per_sweep, p,
       static_cast<long long>(golden.space().total_bits()), golden.eval_size(),
       hex64(std::bit_cast<std::uint64_t>(golden.golden_error())).c_str(),
-      tensor::backend::active_name());
+      tensor::backend::active_name(),
+      static_cast<int>(golden.network().abft().mode));
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
   fnv1a_mix(h, buf);
   return h;
@@ -203,6 +207,12 @@ bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
     }
     w.field_exact("acceptance_rate", chain.acceptance_rate);
     w.field("network_evals", static_cast<std::uint64_t>(chain.network_evals));
+    w.field("outcome_masked", static_cast<std::uint64_t>(chain.outcome_masked));
+    w.field("outcome_sdc", static_cast<std::uint64_t>(chain.outcome_sdc));
+    w.field("outcome_detected",
+            static_cast<std::uint64_t>(chain.outcome_detected));
+    w.field("outcome_corrected",
+            static_cast<std::uint64_t>(chain.outcome_corrected));
     w.field("full_evals", static_cast<std::uint64_t>(chain.full_evals));
     w.field("truncated_evals",
             static_cast<std::uint64_t>(chain.truncated_evals));
@@ -269,8 +279,11 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
     return fail("not a campaign checkpoint");
   }
   const obs::JsonValue* version = doc->find("version");
-  if (version == nullptr || !version->is_number() ||
-      static_cast<std::uint64_t>(version->as_number()) != kCheckpointVersion) {
+  if (version == nullptr || !version->is_number()) {
+    return fail("unsupported checkpoint version");
+  }
+  const auto ver = static_cast<std::uint64_t>(version->as_number());
+  if (ver < kCheckpointMinVersion || ver > kCheckpointVersion) {
     return fail("unsupported checkpoint version");
   }
 
@@ -327,6 +340,14 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
         !read_double(entry, "acceptance_rate", &chain.acceptance_rate) ||
         !read_size(entry, "network_evals", &chain.network_evals) ||
         !read_size(entry, "full_evals", &chain.full_evals) ||
+        // v2 taxonomy counters: required at v2, absent at v1 (stay zero —
+        // the taxonomy starts tallying from the resume point).
+        (ver >= 2 &&
+         (!read_size(entry, "outcome_masked", &chain.outcome_masked) ||
+          !read_size(entry, "outcome_sdc", &chain.outcome_sdc) ||
+          !read_size(entry, "outcome_detected", &chain.outcome_detected) ||
+          !read_size(entry, "outcome_corrected",
+                     &chain.outcome_corrected))) ||
         !read_size(entry, "truncated_evals", &chain.truncated_evals) ||
         !read_size(entry, "layers_run", &chain.layers_run) ||
         !read_size(entry, "layers_total", &chain.layers_total) ||

@@ -26,7 +26,14 @@
 namespace bdlfi::mcmc {
 
 inline constexpr const char* kCheckpointSchema = "bdlfi_campaign_checkpoint";
-inline constexpr std::uint64_t kCheckpointVersion = 1;
+/// v2 adds the per-chain fault-outcome taxonomy counters (masked/SDC/
+/// detected/corrected) and folds the deployment's ABFT mode into the
+/// fingerprint. The loader still accepts v1 documents (their counters
+/// restore as zero — the taxonomy simply starts tallying from the resume
+/// point), but a v1 checkpoint can never fingerprint-match an ABFT-enabled
+/// campaign, so streams with different checking semantics cannot mix.
+inline constexpr std::uint64_t kCheckpointVersion = 2;
+inline constexpr std::uint64_t kCheckpointMinVersion = 1;
 
 /// Continuation cursor of one chain: everything needed to extend its walk
 /// bit-exactly. Invalid before the chain's first completed round and after a

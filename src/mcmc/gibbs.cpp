@@ -103,6 +103,12 @@ ChainResult GibbsSampler::run() {
     result.error_samples.push_back(outcome.classification_error);
     result.deviation_samples.push_back(outcome.deviation);
     result.flips_samples.push_back(static_cast<double>(outcome.flipped_bits));
+    switch (outcome.outcome) {
+      case bayes::FaultOutcome::kMasked: ++result.outcome_masked; break;
+      case bayes::FaultOutcome::kSdc: ++result.outcome_sdc; break;
+      case bayes::FaultOutcome::kDetected: ++result.outcome_detected; break;
+      case bayes::FaultOutcome::kCorrected: ++result.outcome_corrected; break;
+    }
   }
   result.acceptance_rate = 1.0;  // Gibbs always moves per-coordinate
   result.network_evals = network_evals_;

@@ -43,6 +43,13 @@ struct ChainResult {
   std::vector<double> flips_samples;      // #flipped bits per retained sample
   double acceptance_rate = 0.0;
   std::size_t network_evals = 0;  // forward passes spent
+  // Fault-outcome taxonomy tallies over the retained samples (masked / SDC /
+  // detected-DUE / corrected; see bayes::FaultOutcome). The four counters sum
+  // to error_samples.size().
+  std::size_t outcome_masked = 0;
+  std::size_t outcome_sdc = 0;
+  std::size_t outcome_detected = 0;
+  std::size_t outcome_corrected = 0;
   // Truncated-replay observability (from the replica's EvalStats): how many
   // of the network evals resumed from the golden activation cache, and the
   // layer executions actually run vs what a full-forward policy would cost.

@@ -53,6 +53,10 @@ CampaignResult pool_chains(const std::vector<ChainResult>& chains,
     for (double f : c.flips_samples) flips.add(f);
     acceptance += c.acceptance_rate;
     result.total_network_evals += c.network_evals;
+    result.total_outcome_masked += c.outcome_masked;
+    result.total_outcome_sdc += c.outcome_sdc;
+    result.total_outcome_detected += c.outcome_detected;
+    result.total_outcome_corrected += c.outcome_corrected;
     result.total_full_evals += c.full_evals;
     result.total_truncated_evals += c.truncated_evals;
     result.total_layers_run += c.layers_run;
@@ -199,6 +203,8 @@ obs::RoundEvent make_round_event(const CampaignResult& pooled,
           ? 0.0
           : static_cast<double>(cached) / static_cast<double>(total_evals);
   event.round_seconds = round_seconds;
+  event.detection_coverage = pooled.detection_coverage();
+  event.sdc_rate = pooled.sdc_rate();
   event.chains_quarantined = pooled.chains_quarantined;
   event.degraded = pooled.degraded;
   return event;
@@ -384,6 +390,10 @@ CompletenessResult run_until_complete_impl(
                                src.flips_samples.begin(),
                                src.flips_samples.end());
       dst.network_evals += src.network_evals;
+      dst.outcome_masked += src.outcome_masked;
+      dst.outcome_sdc += src.outcome_sdc;
+      dst.outcome_detected += src.outcome_detected;
+      dst.outcome_corrected += src.outcome_corrected;
       dst.full_evals += src.full_evals;
       dst.truncated_evals += src.truncated_evals;
       dst.layers_run += src.layers_run;

@@ -77,6 +77,29 @@ struct CampaignResult {
   CampaignDiagnostics diagnostics;
   std::size_t total_samples = 0;
   std::size_t total_network_evals = 0;
+  // Fault-outcome taxonomy pooled over surviving chains' retained samples.
+  std::size_t total_outcome_masked = 0;
+  std::size_t total_outcome_sdc = 0;
+  std::size_t total_outcome_detected = 0;
+  std::size_t total_outcome_corrected = 0;
+  /// Detection coverage: of the samples where the fault mattered (detected,
+  /// corrected, or silently corrupting), the fraction the deployment caught.
+  /// 0 when no sample mattered (nothing to cover).
+  double detection_coverage() const {
+    const std::size_t caught = total_outcome_detected + total_outcome_corrected;
+    const std::size_t mattered = caught + total_outcome_sdc;
+    return mattered == 0
+               ? 0.0
+               : static_cast<double>(caught) / static_cast<double>(mattered);
+  }
+  /// Fraction of all retained samples that ended in silent data corruption.
+  double sdc_rate() const {
+    const std::size_t total = total_outcome_masked + total_outcome_sdc +
+                              total_outcome_detected + total_outcome_corrected;
+    return total == 0 ? 0.0
+                      : static_cast<double>(total_outcome_sdc) /
+                            static_cast<double>(total);
+  }
   // Truncated-replay observability pooled across chains.
   std::size_t total_full_evals = 0;
   std::size_t total_truncated_evals = 0;

@@ -43,6 +43,9 @@ void Conv2d::init_he(util::Rng& rng) {
 Tensor Conv2d::forward(const Tensor& x, bool training) {
   BDLFI_CHECK(x.shape().rank() == 4 && x.shape()[1] == in_channels_);
   if (training) cached_input_ = x;
+  if (compute_ctx_ != nullptr) {
+    return tensor::conv2d_forward(x, weight_, bias_, spec_, *compute_ctx_);
+  }
   return tensor::conv2d_forward(x, weight_, bias_, spec_);
 }
 

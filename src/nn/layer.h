@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/abft.h"
 #include "tensor/tensor.h"
 
 namespace bdlfi::nn {
@@ -87,6 +88,18 @@ class Layer {
 
   /// Number of trainable scalars (0 for stateless layers).
   std::int64_t num_params();
+
+  /// Installs (or clears, with nullptr) the per-op self-checking context for
+  /// the next forward: ABFT checksum config plus this layer's transient
+  /// compute-fault flips. Set by Network::forward_from around each layer call;
+  /// layers whose forward runs a GEMM (dense, conv, block) honour it, all
+  /// others ignore it. Not owned; must outlive the forward.
+  void set_compute_context(const tensor::abft::OpContext* ctx) {
+    compute_ctx_ = ctx;
+  }
+
+ protected:
+  const tensor::abft::OpContext* compute_ctx_ = nullptr;
 };
 
 }  // namespace bdlfi::nn

@@ -51,9 +51,17 @@ Tensor Dense::forward(const Tensor& x, bool training) {
   if (training) cached_input_ = x;
   const std::int64_t n = x.shape()[0];
   Tensor y{Shape{n, out_}};
-  // y = x [n,in] * W^T [in,out]
-  tensor::gemm(false, true, n, out_, in_, 1.0f, x.data(), in_, weight_.data(),
-               in_, 0.0f, y.data(), out_);
+  // y = x [n,in] * W^T [in,out]. Under a compute context the GEMM is checked
+  // pre-bias: compute faults strike the raw MAC results, and the checksum
+  // invariant only covers the multiply itself.
+  if (compute_ctx_ != nullptr) {
+    tensor::abft::gemm_checked(false, true, n, out_, in_, 1.0f, x.data(), in_,
+                               weight_.data(), in_, y.data(), out_,
+                               *compute_ctx_, /*elem_base=*/0);
+  } else {
+    tensor::gemm(false, true, n, out_, in_, 1.0f, x.data(), in_,
+                 weight_.data(), in_, 0.0f, y.data(), out_);
+  }
   if (has_bias_) tensor::bias_add_rows(y, bias_);
   return y;
 }

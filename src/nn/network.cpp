@@ -26,12 +26,38 @@ Tensor Network::forward_from(std::size_t first_layer, Tensor act,
                              bool training, const ActivationHook& hook) {
   BDLFI_CHECK_MSG(first_layer <= layers_.size(),
                   "forward_from past the end of the network");
+  // Self-checking forward only when something asks for it (ABFT on, or a
+  // compute-fault plan installed); otherwise the loops below are exactly the
+  // unchecked forward — the bit-exact-parity guarantee of abft.h.
+  const bool checked =
+      abft_.mode != tensor::abft::Mode::kOff ||
+      (compute_plan_ != nullptr && !compute_plan_->empty());
+  const auto run_checked = [&](std::size_t i) {
+    tensor::abft::OpContext ctx;
+    ctx.config = abft_;
+    ctx.stats = &abft_stats();
+    if (compute_plan_ != nullptr) {
+      const auto it = compute_plan_->find(i);
+      if (it != compute_plan_->end()) ctx.flips = &it->second;
+    }
+    layers_[i].entry->set_compute_context(&ctx);
+    Tensor out = layers_[i].entry->forward(act, training);
+    layers_[i].entry->set_compute_context(nullptr);
+    return out;
+  };
   if (profile_) {
     for (std::size_t i = first_layer; i < layers_.size(); ++i) {
       const util::Stopwatch timer;
-      act = layers_[i].entry->forward(act, training);
+      act = checked ? run_checked(i) : layers_[i].entry->forward(act, training);
       layer_seconds_[i] += timer.seconds();
       ++layer_calls_[i];
+      if (hook) hook(i, act);
+    }
+    return act;
+  }
+  if (checked) {
+    for (std::size_t i = first_layer; i < layers_.size(); ++i) {
+      act = run_checked(i);
       if (hook) hook(i, act);
     }
     return act;
@@ -41,6 +67,13 @@ Tensor Network::forward_from(std::size_t first_layer, Tensor act,
     if (hook) hook(i, act);
   }
   return act;
+}
+
+tensor::abft::Stats& Network::abft_stats() const {
+  if (abft_stats_ == nullptr) {
+    abft_stats_ = std::make_unique<tensor::abft::Stats>();
+  }
+  return *abft_stats_;
 }
 
 void Network::set_layer_profiling(bool on) {
@@ -118,6 +151,10 @@ Network Network::clone() const {
   for (const auto& e : layers_) {
     copy.layers_.push_back({e.name, e.entry->clone()});
   }
+  // ABFT is a deployment property of the network, so replicas keep it; the
+  // counters and any installed compute-fault plan are per-instance state and
+  // start fresh (stats at zero, no plan).
+  copy.abft_ = abft_;
   return copy;
 }
 

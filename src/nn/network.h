@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,11 @@
 #include "nn/layer.h"
 
 namespace bdlfi::nn {
+
+/// Transient compute faults for one forward pass: layer index → sorted
+/// (output element, bit) flips applied to that layer's raw GEMM results
+/// mid-compute. Non-owning; installed per evaluation, never cloned.
+using ComputeFaultPlan = std::map<std::size_t, tensor::abft::FlipList>;
 
 class Network {
  public:
@@ -101,6 +107,26 @@ class Network {
   std::vector<LayerTiming> layer_profile() const;
   void reset_layer_profile();
 
+  /// ABFT self-checking deployment for this network's GEMM-bearing layers
+  /// (DESIGN.md §9). A *deployment property*: clone() copies it, so every
+  /// MCMC replica of a protected network is protected the same way. With
+  /// mode == kOff and no compute-fault plan, forward takes exactly today's
+  /// code path (bit-exact parity).
+  void set_abft(tensor::abft::Config config) { abft_ = config; }
+  const tensor::abft::Config& abft() const { return abft_; }
+
+  /// Cumulative ABFT/compute-fault counters for this network instance.
+  /// Lazily created (atomics are not copyable; the network stays movable);
+  /// clone() starts the copy at zero.
+  tensor::abft::Stats& abft_stats() const;
+
+  /// Installs (nullptr clears) the transient compute faults for subsequent
+  /// forwards. Flips apply whether or not ABFT checking is on — an
+  /// unprotected deployment still suffers the fault, it just never notices.
+  void set_compute_fault_plan(const ComputeFaultPlan* plan) {
+    compute_plan_ = plan;
+  }
+
  private:
   struct Entry {
     std::string name;
@@ -110,6 +136,9 @@ class Network {
   bool profile_ = false;
   std::vector<double> layer_seconds_;
   std::vector<std::size_t> layer_calls_;
+  tensor::abft::Config abft_;
+  mutable std::unique_ptr<tensor::abft::Stats> abft_stats_;
+  const ComputeFaultPlan* compute_plan_ = nullptr;
 };
 
 }  // namespace bdlfi::nn

@@ -33,19 +33,23 @@ Tensor RangeGuard::forward(const Tensor& x, bool /*training*/) {
   const float hi = hi_ + widen;
   const float mid = 0.5f * (lo + hi);
   Tensor y = x;
+  std::size_t fired = 0;
   for (std::int64_t i = 0; i < y.numel(); ++i) {
     const float v = y[i];
     if (std::isnan(v)) {
       y[i] = mid;
-      ++corrections_;
+      ++fired;
     } else if (v < lo) {
       y[i] = lo;
-      ++corrections_;
+      ++fired;
     } else if (v > hi) {
       y[i] = hi;
-      ++corrections_;
+      ++fired;
     }
   }
+  // One relaxed RMW per forward, not per element: this layer may be shared
+  // across parallel chain evaluations.
+  if (fired > 0) corrections_.fetch_add(fired, std::memory_order_relaxed);
   return y;
 }
 
@@ -55,11 +59,20 @@ std::unique_ptr<Layer> RangeGuard::clone() const {
   copy->calibrated_ = calibrated_;
   copy->lo_ = lo_;
   copy->hi_ = hi_;
+  // Deliberately NOT copied: corrections_. A clone is a fresh deployment of
+  // the same calibrated guard; per-chain replicas each tally their own
+  // firings and campaign totals sum over replicas (see header).
   return copy;
 }
 
 Network add_range_guards(const Network& net, const Tensor& calibration_inputs,
                          double margin) {
+  // Fail loudly, before any forward: an empty calibration batch would leave
+  // every guard's range frozen at the empty (+inf, -inf) state, tripping the
+  // per-guard check below with a far less actionable message.
+  BDLFI_CHECK_MSG(
+      calibration_inputs.numel() > 0 && calibration_inputs.shape()[0] > 0,
+      "add_range_guards: calibration input batch is empty");
   Network guarded;
   {
     Network scratch = net.clone();

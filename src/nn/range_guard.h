@@ -12,6 +12,8 @@
 // run calibrate-mode forwards on clean data, then freeze.
 #pragma once
 
+#include <atomic>
+
 #include "nn/layer.h"
 #include "nn/network.h"
 
@@ -35,15 +37,23 @@ class RangeGuard : public Layer {
   float lo() const { return lo_; }
   float hi() const { return hi_; }
   /// Number of values clamped/squashed since construction (telemetry — the
-  /// detector signal a deployed system would act on).
-  std::size_t corrections() const { return corrections_; }
+  /// clamp is *silent* at inference; a deployed system would have to poll
+  /// this to notice anything, so it does NOT count as fault detection in the
+  /// outcome taxonomy). Atomic: MCMC chains evaluate a guarded network under
+  /// util::parallel_for, and a shared network must tally safely.
+  std::size_t corrections() const {
+    return corrections_.load(std::memory_order_relaxed);
+  }
 
  private:
   double margin_;
   bool calibrating_ = false;
   bool calibrated_ = false;
   float lo_ = 0.0f, hi_ = 0.0f;
-  std::size_t corrections_ = 0;
+  // Clone semantics (explicit): clone() copies the calibrated range but
+  // starts the copy's counter at ZERO — each per-chain replica counts its own
+  // firings, and a campaign-wide total is the sum over replicas.
+  std::atomic<std::size_t> corrections_{0};
 };
 
 /// Builds a guarded twin of `net`: a RangeGuard is inserted after every

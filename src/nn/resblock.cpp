@@ -25,6 +25,20 @@ void BasicBlock::init_he(util::Rng& rng) {
 }
 
 Tensor BasicBlock::forward(const Tensor& x, bool training) {
+  // The inner convs inherit the ABFT deployment (checksum coverage and its
+  // counters) but not the flip list: compute-fault sites address top-level
+  // layer outputs, and the block's output geometry is not its convs'.
+  tensor::abft::OpContext inner;
+  const tensor::abft::OpContext* sub = nullptr;
+  if (compute_ctx_ != nullptr) {
+    inner = *compute_ctx_;
+    inner.flips = nullptr;
+    sub = &inner;
+  }
+  conv1_->set_compute_context(sub);
+  conv2_->set_compute_context(sub);
+  if (proj_conv_) proj_conv_->set_compute_context(sub);
+
   Tensor mid = bn1_->forward(conv1_->forward(x, training), training);
   if (training) cached_mid_pre_ = mid;
   tensor::relu_inplace(mid);
@@ -36,6 +50,10 @@ Tensor BasicBlock::forward(const Tensor& x, bool training) {
   tensor::add_inplace(out, shortcut);
   if (training) cached_sum_pre_ = out;
   tensor::relu_inplace(out);
+
+  conv1_->set_compute_context(nullptr);
+  conv2_->set_compute_context(nullptr);
+  if (proj_conv_) proj_conv_->set_compute_context(nullptr);
   return out;
 }
 

@@ -102,6 +102,8 @@ void CampaignReporter::round(const RoundEvent& event) {
     w.field("network_evals", event.network_evals);
     w.field("evals_per_sec", event.evals_per_sec);
     w.field("cache_hit_rate", event.cache_hit_rate);
+    w.field("detection_coverage", event.detection_coverage);
+    w.field("sdc_rate", event.sdc_rate);
     w.field("seconds", event.round_seconds);
     w.field("chains_quarantined", event.chains_quarantined);
     w.field("degraded", event.degraded);
@@ -117,11 +119,13 @@ void CampaignReporter::round(const RoundEvent& event) {
       std::fprintf(stderr,
                    "[%s] round %zu: p=%.3g samples=%zu mean=%.3f%% "
                    "rhat=%.4f ess=%.0f accept=%.2f evals/s=%.0f "
-                   "cache-hit=%.0f%%%s\n",
+                   "cache-hit=%.0f%% det-cov=%.0f%% sdc=%.0f%%%s\n",
                    options_.label.c_str(), event.round, event.p,
                    event.cumulative_samples, event.mean_error, event.rhat,
                    event.ess, event.acceptance_rate, event.evals_per_sec,
-                   100.0 * event.cache_hit_rate, degraded_tail);
+                   100.0 * event.cache_hit_rate,
+                   100.0 * event.detection_coverage, 100.0 * event.sdc_rate,
+                   degraded_tail);
     }
     subscribers = subscribers_;
   }

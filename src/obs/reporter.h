@@ -34,6 +34,12 @@ struct RoundEvent {
   /// truncated / (truncated + full) over the campaign so far.
   double cache_hit_rate = 0.0;
   double round_seconds = 0.0;
+  /// Fault-outcome taxonomy over the campaign so far: of the retained samples
+  /// where the fault mattered, the fraction a detector caught (ABFT checksum
+  /// or non-finite logits), and the fraction of all samples ending in silent
+  /// data corruption.
+  double detection_coverage = 0.0;
+  double sdc_rate = 0.0;
   /// Chains excluded from pooling by the supervisor so far.
   std::size_t chains_quarantined = 0;
   /// True once any chain has been quarantined: pooled diagnostics cover the

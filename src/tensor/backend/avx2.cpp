@@ -333,6 +333,102 @@ void avx2_argmax_finite_row(const float* row, std::int64_t cols,
   *all_finite = true;
 }
 
+inline double hsum_pd(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  lo = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+// 4 floats -> 4 doubles (the ABFT reductions accumulate in double).
+inline __m256d load4_pd(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+
+void avx2_abft_col_sums(bool trans_b, std::int64_t n, std::int64_t k,
+                        const float* b, std::int64_t ldb, double* w,
+                        double* wabs) {
+  if (trans_b) {
+    // Each B row is a contiguous k-vector accumulating elementwise into
+    // w/wabs — a 4-wide double add against the resident checksum arrays.
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* row = b + j * ldb;
+      std::int64_t l = 0;
+      for (; l + 4 <= k; l += 4) {
+        const __m256d v = load4_pd(row + l);
+        _mm256_storeu_pd(w + l, _mm256_add_pd(_mm256_loadu_pd(w + l), v));
+        _mm256_storeu_pd(
+            wabs + l, _mm256_add_pd(_mm256_loadu_pd(wabs + l), abs_pd(v)));
+      }
+      for (; l < k; ++l) {
+        const auto v = static_cast<double>(row[l]);
+        w[l] += v;
+        wabs[l] += std::fabs(v);
+      }
+    }
+  } else {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float* row = b + l * ldb;
+      __m256d s = _mm256_setzero_pd(), sa = _mm256_setzero_pd();
+      std::int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m256d v = load4_pd(row + j);
+        s = _mm256_add_pd(s, v);
+        sa = _mm256_add_pd(sa, abs_pd(v));
+      }
+      double st = hsum_pd(s), sat = hsum_pd(sa);
+      for (; j < n; ++j) {
+        const auto v = static_cast<double>(row[j]);
+        st += v;
+        sat += std::fabs(v);
+      }
+      w[l] = st;
+      wabs[l] = sat;
+    }
+  }
+}
+
+void avx2_abft_row_dot(const float* x, std::int64_t stride, const double* w,
+                       const double* wabs, std::int64_t k, double* dot,
+                       double* mag) {
+  if (stride != 1) {  // transposed-A rows gather; no lanes to win there
+    scalar_backend().abft_row_dot(x, stride, w, wabs, k, dot, mag);
+    return;
+  }
+  __m256d d = _mm256_setzero_pd(), m = _mm256_setzero_pd();
+  std::int64_t l = 0;
+  for (; l + 4 <= k; l += 4) {
+    const __m256d v = load4_pd(x + l);
+    d = _mm256_fmadd_pd(v, _mm256_loadu_pd(w + l), d);
+    m = _mm256_fmadd_pd(abs_pd(v), _mm256_loadu_pd(wabs + l), m);
+  }
+  double dt = hsum_pd(d), mt = hsum_pd(m);
+  for (; l < k; ++l) {
+    const auto v = static_cast<double>(x[l]);
+    dt += v * w[l];
+    mt += std::fabs(v) * wabs[l];
+  }
+  *dot = dt;
+  *mag = mt;
+}
+
+double avx2_abft_row_sum(const float* row, std::int64_t n) {
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    s0 = _mm256_add_pd(s0, load4_pd(row + j));
+    s1 = _mm256_add_pd(s1, load4_pd(row + j + 4));
+  }
+  double s = hsum_pd(_mm256_add_pd(s0, s1));
+  for (; j < n; ++j) s += static_cast<double>(row[j]);
+  return s;
+}
+
 }  // namespace
 
 const KernelBackend& avx2_backend() {
@@ -349,6 +445,9 @@ const KernelBackend& avx2_backend() {
     t.add_const = avx2_add_const;
     t.softmax_row = avx2_softmax_row;
     t.argmax_finite_row = avx2_argmax_finite_row;
+    t.abft_col_sums = avx2_abft_col_sums;
+    t.abft_row_dot = avx2_abft_row_dot;
+    t.abft_row_sum = avx2_abft_row_sum;
     return t;
   }();
   return table;

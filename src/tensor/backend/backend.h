@@ -60,6 +60,25 @@ struct KernelBackend {
   /// encoding. Self-inverse; pointers may repeat.
   void (*mask_xor)(float* const* ptrs, const std::uint32_t* xor_masks,
                    std::size_t count);
+
+  /// ABFT checksum reductions (tensor/abft.cpp). All accumulate in double;
+  /// backends may differ from scalar by summation order (and thus rounding)
+  /// — the checksum tolerance absorbs that, like GEMM's FMA contraction.
+  ///
+  /// Input checksums of op(B) [k x n]: w[l] += sum_j op(B)[l,j] and
+  /// wabs[l] += sum_j |op(B)[l,j]| (callers pass zeroed w/wabs).
+  void (*abft_col_sums)(bool trans_b, std::int64_t n, std::int64_t k,
+                        const float* b, std::int64_t ldb, double* w,
+                        double* wabs);
+  /// Checksum dot of one op(A) row (elements x[0], x[stride], ...):
+  /// *dot = sum_l x[l*stride] * w[l], *mag = sum_l |x[l*stride]| * wabs[l].
+  void (*abft_row_dot)(const float* x, std::int64_t stride, const double* w,
+                       const double* wabs, std::int64_t k, double* dot,
+                       double* mag);
+  /// Returns sum_j row[j] in double. Because double accumulation of binary32
+  /// values cannot overflow, the result is non-finite iff the row holds a
+  /// non-finite element — callers use std::isfinite(sum) as the row scan.
+  double (*abft_row_sum)(const float* row, std::int64_t n);
 };
 
 /// The scalar reference table (always available, always the default).

@@ -146,6 +146,83 @@ void scalar_mask_xor(float* const* ptrs, const std::uint32_t* xor_masks,
   }
 }
 
+// The ABFT reductions run on every checked GEMM, so even the reference
+// kernels break the serial dependency chain with paired accumulators —
+// two in-flight double adds roughly double throughput on the long k/n
+// loops without changing the O(...) cost.
+void scalar_abft_col_sums(bool trans_b, std::int64_t n, std::int64_t k,
+                          const float* b, std::int64_t ldb, double* w,
+                          double* wabs) {
+  if (trans_b) {
+    // op(B)[l,j] = b[j*ldb + l]: each B row is a contiguous k-vector that
+    // accumulates elementwise into w/wabs.
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* row = b + j * ldb;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const auto v = static_cast<double>(row[l]);
+        w[l] += v;
+        wabs[l] += std::fabs(v);
+      }
+    }
+  } else {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float* row = b + l * ldb;
+      double s0 = 0.0, s1 = 0.0, a0 = 0.0, a1 = 0.0;
+      std::int64_t j = 0;
+      for (; j + 2 <= n; j += 2) {
+        const auto v0 = static_cast<double>(row[j]);
+        const auto v1 = static_cast<double>(row[j + 1]);
+        s0 += v0;
+        s1 += v1;
+        a0 += std::fabs(v0);
+        a1 += std::fabs(v1);
+      }
+      if (j < n) {
+        const auto v = static_cast<double>(row[j]);
+        s0 += v;
+        a0 += std::fabs(v);
+      }
+      w[l] = s0 + s1;
+      wabs[l] = a0 + a1;
+    }
+  }
+}
+
+void scalar_abft_row_dot(const float* x, std::int64_t stride, const double* w,
+                         const double* wabs, std::int64_t k, double* dot,
+                         double* mag) {
+  double d0 = 0.0, d1 = 0.0, m0 = 0.0, m1 = 0.0;
+  std::int64_t l = 0;
+  for (; l + 2 <= k; l += 2) {
+    const auto v0 = static_cast<double>(x[l * stride]);
+    const auto v1 = static_cast<double>(x[(l + 1) * stride]);
+    d0 += v0 * w[l];
+    d1 += v1 * w[l + 1];
+    m0 += std::fabs(v0) * wabs[l];
+    m1 += std::fabs(v1) * wabs[l + 1];
+  }
+  if (l < k) {
+    const auto v = static_cast<double>(x[l * stride]);
+    d0 += v * w[l];
+    m0 += std::fabs(v) * wabs[l];
+  }
+  *dot = d0 + d1;
+  *mag = m0 + m1;
+}
+
+double scalar_abft_row_sum(const float* row, std::int64_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += static_cast<double>(row[j]);
+    s1 += static_cast<double>(row[j + 1]);
+    s2 += static_cast<double>(row[j + 2]);
+    s3 += static_cast<double>(row[j + 3]);
+  }
+  for (; j < n; ++j) s0 += static_cast<double>(row[j]);
+  return (s0 + s1) + (s2 + s3);
+}
+
 }  // namespace
 
 const KernelBackend& scalar_backend() {
@@ -156,6 +233,7 @@ const KernelBackend& scalar_backend() {
       scalar_bias_add_rows, scalar_add_const,
       scalar_softmax_row, scalar_argmax_finite_row,
       scalar_mask_xor,
+      scalar_abft_col_sums, scalar_abft_row_dot, scalar_abft_row_sum,
   };
   return table;
 }

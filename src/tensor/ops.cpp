@@ -170,6 +170,14 @@ void col2im(const float* cols, std::int64_t channels, std::int64_t h,
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec) {
+  // Default OpContext: ABFT off, no flips — gemm_checked degenerates to the
+  // plain gemm call, bit-exactly.
+  return conv2d_forward(input, weight, bias, spec, abft::OpContext{});
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      const abft::OpContext& ctx) {
   BDLFI_CHECK(input.shape().rank() == 4 && weight.shape().rank() == 4);
   const std::int64_t n = input.shape()[0], c = input.shape()[1],
                      h = input.shape()[2], w = input.shape()[3];
@@ -187,9 +195,13 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
     im2col(in, c, h, w, spec, cols.data());
     float* out =
         output.data() + static_cast<std::int64_t>(s) * o * oh * ow;
-    // [O, patch] x [patch, OH*OW] -> [O, OH*OW]
-    gemm(false, false, o, oh * ow, patch, 1.0f, weight.data(), patch,
-         cols.data(), oh * ow, 0.0f, out, oh * ow);
+    // [O, patch] x [patch, OH*OW] -> [O, OH*OW]; sample s owns the flat
+    // output window starting at s*o*oh*ow, which is how gemm_checked selects
+    // this sample's compute-fault flips. Verification stays serial per call;
+    // this loop is already sample-parallel.
+    abft::gemm_checked(false, false, o, oh * ow, patch, 1.0f, weight.data(),
+                       patch, cols.data(), oh * ow, out, oh * ow, ctx,
+                       static_cast<std::int64_t>(s) * o * oh * ow);
     if (!bias.empty()) {
       const backend::KernelBackend& be = backend::active();
       for (std::int64_t oc = 0; oc < o; ++oc) {

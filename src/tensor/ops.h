@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/abft.h"
 #include "tensor/tensor.h"
 
 namespace bdlfi::tensor {
@@ -75,6 +76,15 @@ void col2im(const float* cols, std::int64_t channels, std::int64_t h,
 /// input [N,C,H,W], weight [O,C,kh,kw], bias [O] (may be empty) → [N,O,OH,OW].
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec);
+
+/// Self-checking variant: routes each sample's im2col GEMM through
+/// abft::gemm_checked, so transient compute faults in ctx.flips (flat indices
+/// into the [N,O,OH,OW] output) land on the raw pre-bias MAC results and the
+/// ABFT row checksums verify/recover per ctx.config. With a default OpContext
+/// this is bit-exact with the plain overload.
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      const abft::OpContext& ctx);
 
 /// Gradients of conv2d. grad_output is [N,O,OH,OW]; fills grad_input
 /// (same shape as input), grad_weight, grad_bias (accumulated over batch).

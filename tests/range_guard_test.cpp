@@ -86,6 +86,32 @@ TEST(RangeGuard, CalibrationIgnoresNonFinite) {
   EXPECT_FLOAT_EQ(guard.hi(), 2.0f);
 }
 
+TEST(RangeGuard, AllNonFiniteCalibrationLeavesGuardTransparent) {
+  // A calibration batch with no finite value cannot define a range: the guard
+  // must stay uncalibrated (and thus transparent), never freeze the empty
+  // (+inf, -inf) range and clamp everything to garbage.
+  RangeGuard guard(0.0);
+  guard.set_calibrating(true);
+  Tensor calib{Shape{3},
+               {std::nanf(""), std::numeric_limits<float>::infinity(),
+                -std::numeric_limits<float>::infinity()}};
+  guard.forward(calib, false);
+  guard.set_calibrating(false);
+  EXPECT_FALSE(guard.is_calibrated());
+  Tensor x{Shape{2}, {-1e30f, 1e30f}};
+  Tensor y = guard.forward(x, false);
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+  EXPECT_EQ(guard.corrections(), 0u);
+}
+
+TEST(RangeGuardDeath, EmptyCalibrationBatchFailsLoudly) {
+  util::Rng init{2};
+  Network net = make_mlp({2, 8, 2}, init);
+  Tensor empty{Shape{0, 2}};
+  EXPECT_DEATH((void)add_range_guards(net, empty, 0.1),
+               "calibration input batch is empty");
+}
+
 class GuardedNetworkTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -127,6 +153,31 @@ TEST_F(GuardedNetworkTest, GuardsCloneWithCalibration) {
       EXPECT_TRUE(guard->is_calibrated());
     }
   }
+}
+
+TEST_F(GuardedNetworkTest, CloneStartsCounterAtZeroAndTalliesIndependently) {
+  // clone() deliberately does not copy corrections_: each chain replica is a
+  // fresh deployment of the same calibrated guard, and campaign totals sum
+  // per-replica tallies. Identical replicas over identical inputs must
+  // produce identical (deterministic) counts.
+  Network guarded = add_range_guards(*net_, data_->inputs, 0.0);
+  // Out-of-range probe: push inputs far outside the calibrated activation
+  // ranges so the first guard fires deterministically.
+  Tensor probe = data_->inputs;
+  for (std::int64_t i = 0; i < probe.numel(); ++i) probe[i] *= 1e6f;
+  (void)guarded.forward(probe, false);
+  const std::size_t original = total_guard_corrections(guarded);
+  ASSERT_GT(original, 0u);
+
+  Network replica_a = guarded.clone();
+  Network replica_b = guarded.clone();
+  EXPECT_EQ(total_guard_corrections(replica_a), 0u);
+  (void)replica_a.forward(probe, false);
+  (void)replica_b.forward(probe, false);
+  EXPECT_EQ(total_guard_corrections(replica_a), original);
+  EXPECT_EQ(total_guard_corrections(replica_b), original);
+  // The original's tally is untouched by its clones.
+  EXPECT_EQ(total_guard_corrections(guarded), original);
 }
 
 TEST_F(GuardedNetworkTest, GuardsReduceFaultDeviation) {

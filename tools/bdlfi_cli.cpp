@@ -116,7 +116,26 @@ bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Flags& args) {
   if (avf == "sign-exponent") {
     profile = fault::AvfProfile::sign_exponent_only();
   }
+  // ABFT is a deployment property of the subject network: set it before the
+  // BayesianFaultNetwork clones, so every chain replica checks (and the
+  // campaign fingerprint records the mode).
+  tensor::abft::Config abft;
+  const std::string abft_flag = args.get("abft", "off");
+  if (!tensor::abft::parse_mode(abft_flag, &abft.mode)) {
+    std::fprintf(stderr, "unknown --abft=%s (off|detect|correct)\n",
+                 abft_flag.c_str());
+    std::exit(2);
+  }
+  subject.net.set_abft(abft);
   bayes::TargetSpec spec = bayes::TargetSpec::all_parameters();
+  const std::string target = args.get("target", "params");
+  if (target == "compute") {
+    spec = bayes::TargetSpec::compute_only();
+  } else if (target != "params") {
+    std::fprintf(stderr, "unknown --target=%s (params|compute)\n",
+                 target.c_str());
+    std::exit(2);
+  }
   const std::string layer = args.get("layer", "");
   if (!layer.empty()) spec = bayes::TargetSpec::single_layer(layer);
   return bayes::BayesianFaultNetwork(subject.net, spec, profile,
@@ -228,10 +247,15 @@ int cmd_random(const Flags& args) {
       inject::run_random_fi(bfn, args.get("p", 1e-3), config);
   std::printf("random FI @ p=%.3g over %zu injections:\n"
               "  mean error %.3f%% (golden %.3f%%), ci95 ±%.3f\n"
-              "  deviation %.3f%%  SDC %.3f%%  detected %.3f%%\n",
+              "  deviation %.3f%%  SDC %.3f%%  detected %.3f%%\n"
+              "  outcomes: masked=%zu sdc=%zu detected=%zu corrected=%zu\n"
+              "  detection coverage %.1f%%  SDC rate %.1f%%\n",
               args.get("p", 1e-3), result.injections, result.mean_error,
               bfn.golden_error(), result.ci95_halfwidth,
-              result.mean_deviation, result.mean_sdc, result.mean_detected);
+              result.mean_deviation, result.mean_sdc, result.mean_detected,
+              result.outcome_masked, result.outcome_sdc,
+              result.outcome_detected, result.outcome_corrected,
+              100.0 * result.detection_coverage, 100.0 * result.sdc_rate);
   return 0;
 }
 
@@ -293,6 +317,9 @@ void usage() {
       "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
       "common: --model --width --image-size --data-seed --avf=uniform|"
       "exponent|mantissa|sign-exponent --layer=<name>\n"
+      "        --target=params|compute (weight-memory faults vs transient\n"
+      "          MAC-output faults) --abft=off|detect|correct (checksummed\n"
+      "          GEMM/conv kernels: flag or repair corrupted output rows)\n"
       "kernels:       --backend=scalar|avx2|auto (SIMD kernel backend;\n"
       "                 default: BDLFI_BACKEND env, else scalar)\n"
       "observability: --progress (live per-round health on stderr)\n"

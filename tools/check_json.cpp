@@ -150,6 +150,10 @@ bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
     *error = "missing chains array";
     return false;
   }
+  // v2 checkpoints carry the per-chain fault-outcome taxonomy counters; their
+  // absence would silently zero the campaign's detection-coverage numbers on
+  // resume, so at v2+ they are schema errors, not optional fields.
+  const bool wants_outcomes = version->as_number() >= 2;
   index = 0;
   for (const auto& chain : chains->as_array()) {
     const std::string at = "chains[" + std::to_string(index) + "]";
@@ -171,6 +175,16 @@ bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
       *error = at + ": sample arrays have mismatched lengths";
       return false;
     }
+    if (wants_outcomes) {
+      for (const char* key : {"outcome_masked", "outcome_sdc",
+                              "outcome_detected", "outcome_corrected"}) {
+        const obs::JsonValue* v = chain.find(key);
+        if (v == nullptr || !v->is_number()) {
+          *error = at + ": bad or missing \"" + key + "\" (required at v2)";
+          return false;
+        }
+      }
+    }
     const obs::JsonValue* cursor = chain.find("cursor");
     if (cursor == nullptr || (!cursor->is_object() && !cursor->is_null())) {
       *error = at + ": cursor must be an object or null";
@@ -186,6 +200,36 @@ bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
       }
     }
     ++index;
+  }
+  return true;
+}
+
+/// Second pass over an already-jsonl_valid stream: campaign "round" events
+/// must carry the numeric fault-outcome taxonomy fields the reporter
+/// promises (DESIGN.md §6/§9).
+bool check_round_events(const std::string& text, std::string* error) {
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string parse_error;
+    const auto doc = obs::json_parse(line, &parse_error);
+    if (!doc.has_value() || !doc->is_object()) continue;  // jsonl_valid passed
+    const obs::JsonValue* event = doc->find("event");
+    if (event == nullptr || !event->is_string() ||
+        event->as_string() != "round") {
+      continue;
+    }
+    for (const char* key : {"detection_coverage", "sdc_rate"}) {
+      const obs::JsonValue* v = doc->find(key);
+      if (v == nullptr || !v->is_number()) {
+        *error = "line " + std::to_string(line_no) +
+                 ": round event has bad or missing \"" + key + "\"";
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -223,7 +267,7 @@ int main(int argc, char** argv) {
 
   std::string error;
   if (jsonl) {
-    if (!obs::jsonl_valid(text, &error)) {
+    if (!obs::jsonl_valid(text, &error) || !check_round_events(text, &error)) {
       std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
       return 1;
     }
