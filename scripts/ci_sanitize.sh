@@ -49,3 +49,17 @@ for backend in scalar avx2; do
   BDLFI_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R 'abft|tab_protection_smoke|perf_abft_smoke'
 done
+
+# Targeted batched multi-mask pass: the fused-panel evaluation (per-variant
+# pointer tables into widened activation tensors, shared-im2col scatter,
+# in-place panel divergence) is the newest pointer-arithmetic-heavy path, so
+# the parity/equivalence suite and the batched bench smoke get an explicit
+# sanitized run per backend.
+for backend in scalar avx2; do
+  if [ "$backend" = avx2 ] && ! grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    continue
+  fi
+  echo "=== batched multi-mask suite under BDLFI_BACKEND=$backend ==="
+  BDLFI_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R 'MultiMask|perf_mask_eval'
+done

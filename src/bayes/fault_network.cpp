@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "bayes/mask_split.h"
 #include "nn/range_guard.h"
 #include "obs/metrics.h"
 #include "tensor/backend/backend.h"
@@ -42,54 +43,13 @@ struct EvalMetrics {
   }
 };
 
-/// A mask sorted into the three site kinds the evaluation pipeline treats
-/// differently: persistent parameter bits (XOR-able in place), input bits
-/// (applied to a copy of the eval batch), and per-layer activation bits
-/// (applied in flight via the forward hook). Offsets are element indices
-/// *within* the owning tensor.
-struct SplitMask {
-  std::vector<std::int64_t> param_bits;  // flat space addressing
-  std::vector<std::pair<std::int64_t, int>> input_flips;
-  std::map<std::int64_t, std::vector<std::pair<std::int64_t, int>>> act_flips;
-  /// Per-layer mid-kernel flips, installed on the network for the forward.
-  /// Per-layer lists are sorted by element (mask bits are sorted and each
-  /// layer's compute range is one contiguous entry), as gemm_checked needs.
-  nn::ComputeFaultPlan compute_flips;
-};
-
-SplitMask split_mask(const InjectionSpace& space, const FaultMask& mask) {
-  SplitMask split;
-  for (std::int64_t flat : mask.bits()) {
-    const fault::FaultSite site = fault::FaultSite::from_flat(flat);
-    const InjectionSpace::Entry& entry = space.entry_of(site.element);
-    const std::int64_t elem = site.element - entry.offset;
-    switch (entry.site) {
-      case InjectionSpace::SiteKind::kParam:
-        split.param_bits.push_back(flat);
-        break;
-      case InjectionSpace::SiteKind::kInput:
-        split.input_flips.emplace_back(elem, site.bit);
-        break;
-      case InjectionSpace::SiteKind::kActivation:
-        split.act_flips[entry.layer].emplace_back(elem, site.bit);
-        break;
-      case InjectionSpace::SiteKind::kCompute:
-        split.compute_flips[static_cast<std::size_t>(entry.layer)]
-            .emplace_back(elem, site.bit);
-        break;
-    }
-  }
-  return split;
-}
-
-void flip_into(tensor::Tensor& t,
-               const std::vector<std::pair<std::int64_t, int>>& flips) {
-  for (const auto& [elem, bit] : flips) {
-    t[elem] = fault::flip_bit(t[elem], bit);
-  }
-}
-
 }  // namespace
+
+// SplitMask / split_mask / flip_into moved to bayes/mask_split.h so the
+// batched evaluator (multi_mask.cpp) decomposes masks identically.
+using detail::flip_into;
+using detail::split_mask;
+using detail::SplitMask;
 
 BayesianFaultNetwork::BayesianFaultNetwork(
     const nn::Network& golden, const TargetSpec& target, AvfProfile profile,
@@ -169,10 +129,12 @@ tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
   }
   const std::size_t depth = net_.num_layers();
   // First layer whose execution can differ from golden; replay can begin no
-  // later than the cached-prefix length (a replay at B needs act[B-1]).
-  const std::int64_t first = space_->first_replay_layer(mask);
+  // later than the cached-prefix length (a replay at B needs act[B-1]). With
+  // no cached prefix the scan cannot save anything — skip the replay
+  // bookkeeping entirely and take the plain full-forward path.
+  const auto cached = static_cast<std::int64_t>(cache_.cached_layers());
   const std::int64_t begin =
-      std::min(first, static_cast<std::int64_t>(cache_.cached_layers()));
+      cached == 0 ? 0 : std::min(space_->first_replay_layer(mask), cached);
 
   nn::Network::ActivationHook hook;
   if (!split.act_flips.empty()) {

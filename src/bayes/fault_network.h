@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "fault/space.h"
@@ -28,6 +29,8 @@
 #include "nn/network.h"
 
 namespace bdlfi::bayes {
+
+class MultiMaskEvaluator;
 
 using fault::AvfProfile;
 using fault::FaultMask;
@@ -147,6 +150,17 @@ class BayesianFaultNetwork {
   /// when the cache allows it.
   MaskOutcome evaluate_mask(const FaultMask& mask);
 
+  /// Evaluates a batch of masks, riding up to `mask_batch` fault variants
+  /// through one shared widened forward per replay group (DESIGN.md §10).
+  /// Results are bit-identical to calling evaluate_mask on each mask in
+  /// order — the batched kernels never change per-element arithmetic — and
+  /// returned in input order. Masks the batched path cannot carry soundly
+  /// (compute-fault sites, ABFT checking on, range guards, exotic layers)
+  /// transparently fall back to the sequential path. State is golden again
+  /// on return.
+  std::vector<MaskOutcome> evaluate_masks(std::span<const FaultMask> masks,
+                                          std::size_t mask_batch = 8);
+
   /// Output logits of the network corrupted by `mask` over the eval batch —
   /// bit-identical between the truncated and full evaluation paths. State is
   /// golden again on return.
@@ -183,6 +197,8 @@ class BayesianFaultNetwork {
   std::size_t cached_layers() const { return cache_.cached_layers(); }
 
  private:
+  friend class MultiMaskEvaluator;
+
   struct ReplicaTag {};
   /// Replication path: clones the network and copies all derived golden
   /// state (predictions, error, activation cache) without a forward pass.

@@ -1,0 +1,65 @@
+// Internal: one fault mask sorted into the site kinds the evaluation
+// pipelines treat differently. Shared by the sequential path
+// (fault_network.cpp) and the batched path (multi_mask.cpp) so both apply
+// exactly the same decomposition of a mask.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fault/space.h"
+#include "nn/network.h"
+
+namespace bdlfi::bayes::detail {
+
+/// A mask sorted into the three site kinds the evaluation pipeline treats
+/// differently: persistent parameter bits (XOR-able in place), input bits
+/// (applied to a copy of the eval batch), and per-layer activation bits
+/// (applied in flight via the forward hook). Offsets are element indices
+/// *within* the owning tensor.
+struct SplitMask {
+  std::vector<std::int64_t> param_bits;  // flat space addressing
+  std::vector<std::pair<std::int64_t, int>> input_flips;
+  std::map<std::int64_t, std::vector<std::pair<std::int64_t, int>>> act_flips;
+  /// Per-layer mid-kernel flips, installed on the network for the forward.
+  /// Per-layer lists are sorted by element (mask bits are sorted and each
+  /// layer's compute range is one contiguous entry), as gemm_checked needs.
+  nn::ComputeFaultPlan compute_flips;
+};
+
+inline SplitMask split_mask(const fault::InjectionSpace& space,
+                            const fault::FaultMask& mask) {
+  SplitMask split;
+  for (std::int64_t flat : mask.bits()) {
+    const fault::FaultSite site = fault::FaultSite::from_flat(flat);
+    const fault::InjectionSpace::Entry& entry = space.entry_of(site.element);
+    const std::int64_t elem = site.element - entry.offset;
+    switch (entry.site) {
+      case fault::InjectionSpace::SiteKind::kParam:
+        split.param_bits.push_back(flat);
+        break;
+      case fault::InjectionSpace::SiteKind::kInput:
+        split.input_flips.emplace_back(elem, site.bit);
+        break;
+      case fault::InjectionSpace::SiteKind::kActivation:
+        split.act_flips[entry.layer].emplace_back(elem, site.bit);
+        break;
+      case fault::InjectionSpace::SiteKind::kCompute:
+        split.compute_flips[static_cast<std::size_t>(entry.layer)]
+            .emplace_back(elem, site.bit);
+        break;
+    }
+  }
+  return split;
+}
+
+inline void flip_into(tensor::Tensor& t,
+                      const std::vector<std::pair<std::int64_t, int>>& flips) {
+  for (const auto& [elem, bit] : flips) {
+    t[elem] = fault::flip_bit(t[elem], bit);
+  }
+}
+
+}  // namespace bdlfi::bayes::detail

@@ -1,0 +1,489 @@
+#include "bayes/multi_mask.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bayes/mask_split.h"
+#include "nn/conv.h"
+#include "nn/resblock.h"
+#include "obs/metrics.h"
+#include "tensor/backend/backend.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace bdlfi::bayes {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// One bit flip resolved to its live parameter tensor.
+struct ParamFlip {
+  Tensor* t = nullptr;
+  std::int64_t elem = 0;
+  int bit = 0;
+};
+
+// Per-variant flip lists for the layer being executed; nullptr = clean.
+using LayerFlips = std::vector<const std::vector<ParamFlip>*>;
+
+Shape with_batch(const Shape& s, std::int64_t n0) {
+  switch (s.rank()) {
+    case 1: return Shape{n0};
+    case 2: return Shape{n0, s[1]};
+    case 3: return Shape{n0, s[1], s[2]};
+    default: return Shape{n0, s[1], s[2], s[3]};
+  }
+}
+
+// The activation panel riding through the widened forward. While every
+// variant's slice is still bit-identical (`uniform`), only one [N, ...] copy
+// is carried; the first variant-dependent step widens it to [K*N, ...] with
+// variant v owning rows [v*N, (v+1)*N).
+struct Panel {
+  Tensor act;
+  bool uniform = true;
+  std::size_t k = 1;
+
+  std::int64_t rows() const { return act.shape()[0]; }
+  std::int64_t per_variant() const {
+    return act.numel() / static_cast<std::int64_t>(k);
+  }
+  void diverge() {
+    if (!uniform) return;
+    const std::int64_t per = act.numel();
+    Tensor wide{
+        with_batch(act.shape(), rows() * static_cast<std::int64_t>(k))};
+    for (std::size_t v = 0; v < k; ++v) {
+      std::copy_n(act.data(), per,
+                  wide.data() + static_cast<std::int64_t>(v) * per);
+    }
+    act = std::move(wide);
+    uniform = false;
+  }
+};
+
+// XOR toggle — self-inverse, so the same call applies and reverts.
+void toggle(const std::vector<ParamFlip>& flips) {
+  for (const ParamFlip& f : flips) {
+    (*f.t)[f.elem] = fault::flip_bit((*f.t)[f.elem], f.bit);
+  }
+}
+
+// Convolution step. Every live sample funnels through the wide multi-variant
+// GEMM path whether or not any variant corrupts this conv — the fused
+// [patch, T*OH*OW] panels are where the batched speedup comes from (late
+// ResNet convs have per-sample panels as narrow as 4 columns). Dirty
+// variants run against corrupted deep copies of the weight/bias; clean ones
+// share the golden pointers.
+void run_conv(nn::Conv2d& conv, Panel& p, const LayerFlips& flips) {
+  const Shape& in = p.act.shape();
+  const std::int64_t c = in[1], h = in[2], w = in[3];
+  const tensor::Conv2dSpec& spec = conv.spec();
+  const std::int64_t o = conv.out_channels();
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+
+  std::vector<Tensor> store;
+  store.reserve(2 * p.k);  // pointers into store must stay stable below
+  std::vector<const float*> wv(p.k, conv.weight().data());
+  std::vector<const float*> bv(
+      p.k, conv.bias().empty() ? nullptr : conv.bias().data());
+  bool dirty = false;
+  for (std::size_t v = 0; v < p.k; ++v) {
+    if (flips[v] == nullptr) continue;
+    Tensor* wc = nullptr;
+    Tensor* bc = nullptr;
+    for (const ParamFlip& f : *flips[v]) {
+      Tensor** copy;
+      const float** slot;
+      if (f.t == &conv.weight()) {
+        copy = &wc;
+        slot = &wv[v];
+      } else if (f.t == &conv.bias()) {
+        copy = &bc;
+        slot = &bv[v];
+      } else {
+        continue;  // flip on another sub-tensor of the same top-level layer
+      }
+      if (*copy == nullptr) {
+        store.push_back(*f.t);
+        *copy = &store.back();
+        *slot = (*copy)->data();
+      }
+      (**copy)[f.elem] = fault::flip_bit((**copy)[f.elem], f.bit);
+      dirty = true;
+    }
+  }
+
+  if (!dirty) {
+    // One "variant" spanning every live sample, golden kernel.
+    Tensor out{Shape{p.rows(), o, oh, ow}};
+    const float* ws[1] = {conv.weight().data()};
+    const float* bs[1] = {bv[0]};
+    tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/false, 1,
+                                 p.rows(), c, h, w, ws, bs, o, spec,
+                                 out.data());
+    p.act = std::move(out);
+    return;
+  }
+  if (p.uniform) {
+    // Divergence point: all variants read the same [N, ...] block, so the
+    // im2col panel is unfolded once and shared across every variant's GEMM.
+    const std::int64_t n = p.rows();
+    Tensor out{Shape{static_cast<std::int64_t>(p.k) * n, o, oh, ow}};
+    tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/true, p.k, n,
+                                 c, h, w, wv.data(), bv.data(), o, spec,
+                                 out.data());
+    p.act = std::move(out);
+    p.uniform = false;
+    return;
+  }
+  const std::int64_t n = p.rows() / static_cast<std::int64_t>(p.k);
+  Tensor out{Shape{p.rows(), o, oh, ow}};
+  tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/false, p.k, n,
+                               c, h, w, wv.data(), bv.data(), o, spec,
+                               out.data());
+  p.act = std::move(out);
+}
+
+// Any other layer. Clean: one widened forward — eval-mode layers are
+// per-sample pure functions, so the stacked result is bit-exact per slice.
+// Dirty: per-variant flip-in-place / forward-slice / revert against the live
+// tensors — fully general, and the only bit-exact option for Dense, whose
+// scalar GEMM zero-skips on the *activation* operand (backend.h), so a
+// transposed variant kernel would change which products are elided.
+void run_generic(nn::Layer& layer, Panel& p, const LayerFlips& flips) {
+  std::vector<nn::ParamRef> refs;
+  layer.collect_params("", refs);
+  layer.collect_buffers("", refs);
+  std::vector<std::vector<ParamFlip>> owned(p.k);
+  bool dirty = false;
+  for (std::size_t v = 0; v < p.k; ++v) {
+    if (flips[v] == nullptr) continue;
+    for (const ParamFlip& f : *flips[v]) {
+      for (const nn::ParamRef& r : refs) {
+        if (r.value == f.t) {
+          owned[v].push_back(f);
+          dirty = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!dirty) {
+    p.act = layer.forward(p.act, /*training=*/false);
+    return;
+  }
+  p.diverge();
+  const std::int64_t n = p.rows() / static_cast<std::int64_t>(p.k);
+  const std::int64_t per = p.per_variant();
+  Tensor out;
+  for (std::size_t v = 0; v < p.k; ++v) {
+    toggle(owned[v]);
+    Tensor slice{with_batch(p.act.shape(), n)};
+    std::copy_n(p.act.data() + static_cast<std::int64_t>(v) * per, per,
+                slice.data());
+    Tensor res = layer.forward(slice, /*training=*/false);
+    toggle(owned[v]);
+    if (out.empty()) {
+      out = Tensor{with_batch(res.shape(),
+                              res.shape()[0] * static_cast<std::int64_t>(p.k))};
+    }
+    std::copy_n(res.data(), res.numel(),
+                out.data() + static_cast<std::int64_t>(v) * res.numel());
+  }
+  p.act = std::move(out);
+}
+
+// BasicBlock, always decomposed so the inner convs ride the fused panels
+// even when the block is clean. Mirrors BasicBlock::forward step for step:
+// conv1 → bn1 → relu → conv2 → bn2, shortcut (projection or identity),
+// residual add, relu. Flip lists pass through unfiltered — run_conv and
+// run_generic match flips to sub-tensors by pointer.
+void run_block(nn::BasicBlock& block, Panel& p, const LayerFlips& flips) {
+  Panel shortcut{p.act, p.uniform, p.k};  // deep copy of the block input
+  run_conv(block.conv1(), p, flips);
+  run_generic(block.bn1(), p, flips);
+  tensor::relu_inplace(p.act);
+  run_conv(block.conv2(), p, flips);
+  run_generic(block.bn2(), p, flips);
+  if (block.has_projection()) {
+    run_conv(*block.proj_conv(), shortcut, flips);
+    run_generic(*block.proj_bn(), shortcut, flips);
+  }
+  // The branches may have diverged independently; reconcile widths before
+  // the residual add.
+  if (p.uniform != shortcut.uniform) {
+    p.diverge();
+    shortcut.diverge();
+  }
+  tensor::add_inplace(p.act, shortcut.act);
+  tensor::relu_inplace(p.act);
+}
+
+// Layer kinds whose eval-mode forward is a per-sample pure function, the
+// property the widened panel rests on. Anything else (e.g. quantized
+// rebuilds) sends the whole batch down the sequential path.
+bool kind_supported(const std::string& kind) {
+  return kind == "conv" || kind == "bn" || kind == "relu" ||
+         kind == "maxpool" || kind == "avgpool" || kind == "flatten" ||
+         kind == "dense" || kind == "block" || kind == "dropout";
+}
+
+// Registry counters shared with the sequential path (same names, same
+// counter objects — the registry is keyed by name).
+struct EvalMetrics {
+  obs::Counter& full = obs::MetricsRegistry::global().counter("eval.full");
+  obs::Counter& truncated =
+      obs::MetricsRegistry::global().counter("eval.truncated");
+  obs::Counter& layers_run =
+      obs::MetricsRegistry::global().counter("eval.layers_run");
+  obs::Counter& layers_total =
+      obs::MetricsRegistry::global().counter("eval.layers_total");
+  static EvalMetrics& get() {
+    static EvalMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+// One mask prepared for the widened forward: its split by site kind plus its
+// parameter flips resolved to (live tensor, element, bit) per owning layer.
+struct MultiMaskEvaluator::Variant {
+  std::size_t index = 0;        // position in the input span
+  std::size_t flips_total = 0;  // mask.num_flips()
+  detail::SplitMask split;
+  std::map<std::int64_t, std::vector<ParamFlip>> layer_flips;
+};
+
+MultiMaskEvaluator::MultiMaskEvaluator(BayesianFaultNetwork& net)
+    : net_(net) {
+  kinds_ok_ = true;
+  for (std::size_t i = 0; i < net_.net_.num_layers(); ++i) {
+    if (!kind_supported(net_.net_.layer_kind(i))) {
+      kinds_ok_ = false;
+      break;
+    }
+  }
+}
+
+bool MultiMaskEvaluator::batchable() const {
+  return kinds_ok_ && !net_.has_guards_ &&
+         net_.net_.abft().mode == tensor::abft::Mode::kOff;
+}
+
+std::vector<MaskOutcome> MultiMaskEvaluator::evaluate(
+    std::span<const FaultMask> masks, std::size_t max_batch) {
+  std::vector<MaskOutcome> out(masks.size());
+  if (!batchable() || max_batch <= 1 || masks.size() <= 1) {
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      out[i] = net_.evaluate_mask(masks[i]);
+    }
+    return out;
+  }
+
+  const auto cached = static_cast<std::int64_t>(net_.cache_.cached_layers());
+  std::map<std::int64_t, std::vector<Variant>> groups;
+  std::vector<std::size_t> sequential;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    Variant var;
+    var.index = i;
+    var.flips_total = masks[i].num_flips();
+    var.split = detail::split_mask(*net_.space_, masks[i]);
+    if (!var.split.compute_flips.empty()) {
+      // Mid-kernel flips need the per-sample checked-GEMM addressing of the
+      // sequential path.
+      sequential.push_back(i);
+      continue;
+    }
+    for (std::int64_t flat : var.split.param_bits) {
+      const fault::FaultSite site = fault::FaultSite::from_flat(flat);
+      const InjectionSpace::Entry& entry = net_.space_->entry_of(site.element);
+      var.layer_flips[entry.layer].push_back(
+          {entry.value, site.element - entry.offset, site.bit});
+    }
+    // Same replay-start rule as the sequential path, so the per-mask
+    // truncated/full accounting matches it exactly.
+    const std::int64_t begin =
+        cached == 0
+            ? 0
+            : std::min(net_.space_->first_replay_layer(masks[i]), cached);
+    groups[begin].push_back(std::move(var));
+  }
+
+  for (auto& [begin, vars] : groups) {
+    for (std::size_t lo = 0; lo < vars.size(); lo += max_batch) {
+      const std::size_t len = std::min(max_batch, vars.size() - lo);
+      evaluate_chunk(std::span<Variant>(vars.data() + lo, len), begin, out);
+    }
+  }
+  for (std::size_t i : sequential) out[i] = net_.evaluate_mask(masks[i]);
+  return out;
+}
+
+void MultiMaskEvaluator::evaluate_chunk(std::span<Variant> chunk,
+                                        std::int64_t begin,
+                                        std::vector<MaskOutcome>& out) {
+  const std::size_t k = chunk.size();
+  const std::size_t depth = net_.net_.num_layers();
+  const auto n_eval = static_cast<std::int64_t>(net_.eval_labels_.size());
+
+  Panel p;
+  p.k = k;
+  p.act = begin > 0
+              ? net_.cache_.activation(static_cast<std::size_t>(begin) - 1)
+              : net_.eval_inputs_;
+
+  // Pre-start corruption: input bits (begin == 0) or stored-activation bits
+  // of layer begin-1 — both flip the tensor the replay starts from, exactly
+  // where the sequential path applies them.
+  bool pre = false;
+  for (const Variant& v : chunk) {
+    if (begin == 0 ? !v.split.input_flips.empty()
+                   : v.split.act_flips.count(begin - 1) > 0) {
+      pre = true;
+      break;
+    }
+  }
+  if (pre) {
+    p.diverge();
+    const std::int64_t per = p.per_variant();
+    for (std::size_t v = 0; v < k; ++v) {
+      const std::vector<std::pair<std::int64_t, int>>* flips = nullptr;
+      if (begin == 0) {
+        if (!chunk[v].split.input_flips.empty()) {
+          flips = &chunk[v].split.input_flips;
+        }
+      } else {
+        const auto it = chunk[v].split.act_flips.find(begin - 1);
+        if (it != chunk[v].split.act_flips.end()) flips = &it->second;
+      }
+      if (flips == nullptr) continue;
+      float* base = p.act.data() + static_cast<std::int64_t>(v) * per;
+      for (const auto& [elem, bit] : *flips) {
+        base[elem] = fault::flip_bit(base[elem], bit);
+      }
+    }
+  }
+
+  LayerFlips flips(k, nullptr);
+  for (std::size_t j = static_cast<std::size_t>(begin); j < depth; ++j) {
+    bool any = false;
+    for (std::size_t v = 0; v < k; ++v) {
+      const auto it = chunk[v].layer_flips.find(static_cast<std::int64_t>(j));
+      flips[v] = it == chunk[v].layer_flips.end() ? nullptr : &it->second;
+      any |= flips[v] != nullptr;
+    }
+    nn::Layer& layer = net_.net_.layer(j);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      run_conv(*conv, p, flips);
+    } else if (auto* block = dynamic_cast<nn::BasicBlock*>(&layer)) {
+      run_block(*block, p, flips);
+    } else if (any) {
+      run_generic(layer, p, flips);
+    } else {
+      p.act = layer.forward(p.act, /*training=*/false);
+    }
+    // Post-layer activation corruption (where the sequential hook fires).
+    bool any_act = false;
+    for (const Variant& v : chunk) {
+      if (v.split.act_flips.count(static_cast<std::int64_t>(j)) > 0) {
+        any_act = true;
+        break;
+      }
+    }
+    if (any_act) {
+      p.diverge();
+      const std::int64_t per = p.per_variant();
+      for (std::size_t v = 0; v < k; ++v) {
+        const auto it =
+            chunk[v].split.act_flips.find(static_cast<std::int64_t>(j));
+        if (it == chunk[v].split.act_flips.end()) continue;
+        float* base = p.act.data() + static_cast<std::int64_t>(v) * per;
+        for (const auto& [elem, bit] : it->second) {
+          base[elem] = fault::flip_bit(base[elem], bit);
+        }
+      }
+    }
+  }
+
+  // Per-variant outcome scan, mirroring evaluate_mask exactly. ABFT is off
+  // and guards are absent on this path (batchable()), so the self-checking
+  // deltas are zero and kCorrected cannot occur.
+  BDLFI_CHECK(p.act.shape().rank() == 2);
+  const std::int64_t classes = p.act.shape()[1];
+  const auto scan = tensor::backend::active().argmax_finite_row;
+  for (std::size_t v = 0; v < k; ++v) {
+    const float* rows =
+        p.act.data() +
+        (p.uniform ? 0 : static_cast<std::int64_t>(v) * n_eval * classes);
+    MaskOutcome o;
+    o.flipped_bits = chunk[v].flips_total;
+    std::size_t miss = 0, dev = 0, detected = 0, sdc = 0;
+    for (std::int64_t i = 0; i < n_eval; ++i) {
+      const float* row = rows + i * classes;
+      std::int64_t best = 0;
+      bool finite = false;
+      scan(row, classes, &best, &finite);
+      const auto s = static_cast<std::size_t>(i);
+      const bool deviated = best != net_.golden_preds_[s];
+      if (best != net_.eval_labels_[s]) ++miss;
+      if (deviated) ++dev;
+      if (!finite) {
+        ++detected;
+      } else if (deviated) {
+        ++sdc;
+      }
+    }
+    const auto n = static_cast<double>(n_eval);
+    o.classification_error = 100.0 * static_cast<double>(miss) / n;
+    o.deviation = 100.0 * static_cast<double>(dev) / n;
+    o.detected = 100.0 * static_cast<double>(detected) / n;
+    o.sdc = 100.0 * static_cast<double>(sdc) / n;
+    if (detected > 0) {
+      o.outcome = FaultOutcome::kDetected;
+    } else if (dev > 0) {
+      o.outcome = FaultOutcome::kSdc;
+    } else {
+      o.outcome = FaultOutcome::kMasked;
+    }
+    out[chunk[v].index] = o;
+  }
+
+  // Truncated-replay accounting: one entry per mask, as if evaluated alone.
+  const std::size_t ran =
+      depth - (begin > 0 ? static_cast<std::size_t>(begin) : 0);
+  for (std::size_t v = 0; v < k; ++v) {
+    if (begin > 0) {
+      ++net_.eval_stats_.truncated_evals;
+    } else {
+      ++net_.eval_stats_.full_evals;
+    }
+    net_.eval_stats_.layers_run += ran;
+    net_.eval_stats_.layers_total += depth;
+  }
+  if (obs::enabled()) {
+    EvalMetrics& m = EvalMetrics::get();
+    if (begin > 0) {
+      m.truncated.add(k);
+    } else {
+      m.full.add(k);
+    }
+    m.layers_run.add(k * ran);
+    m.layers_total.add(k * depth);
+  }
+}
+
+std::vector<MaskOutcome> BayesianFaultNetwork::evaluate_masks(
+    std::span<const FaultMask> masks, std::size_t mask_batch) {
+  MultiMaskEvaluator eval(*this);
+  return eval.evaluate(masks, mask_batch);
+}
+
+}  // namespace bdlfi::bayes

@@ -1,0 +1,58 @@
+// MultiMaskEvaluator: rides K fault variants through one shared widened
+// forward (DESIGN.md §10).
+//
+// Sequential mask evaluation pays one narrow forward per mask: every conv
+// becomes a per-sample [O, patch] × [patch, OH*OW] GEMM whose panel is far
+// too narrow to feed the SIMD kernels late in a ResNet (OH*OW shrinks to
+// 16, then 4). Batching K masks restructures the work: masks are grouped by
+// their first-affected layer, each group replays once from the shared
+// golden-activation prefix, and the live samples of *all* variants traverse
+// each layer together — convs collapse into wide multi-variant GEMMs
+// (tensor::conv2d_forward_multi) that amortize im2col and fill the kernels'
+// panels.
+//
+// Semantics are exactly sequential: per-element GEMM results are independent
+// of panel width and row grouping on every backend (backend.h), eval-mode
+// layers are per-sample pure functions, and parameter corruption is applied
+// as per-variant weight copies (convs) or flip/forward/revert slices (other
+// layers). The returned outcomes are bit-identical to evaluate_mask run on
+// each mask in order. Masks the widened forward cannot carry soundly —
+// compute-fault sites, ABFT checking, range guards, unsupported layer kinds
+// — transparently take the sequential path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bayes/fault_network.h"
+
+namespace bdlfi::bayes {
+
+class MultiMaskEvaluator {
+ public:
+  /// Binds to `net`; the network must outlive the evaluator. Scans the layer
+  /// topology once to decide whether the widened forward applies.
+  explicit MultiMaskEvaluator(BayesianFaultNetwork& net);
+
+  /// True when every layer kind is supported by the widened forward and no
+  /// self-checking machinery (ABFT checksums, range guards) requires the
+  /// per-mask sequential path. Checked per call too — cheap and robust
+  /// against reconfiguration between construction and use.
+  bool batchable() const;
+
+  /// Evaluates all masks, batching up to `max_batch` variants per widened
+  /// forward. Results are in input order and bit-identical to sequential
+  /// evaluate_mask calls; state is golden again on return.
+  std::vector<MaskOutcome> evaluate(std::span<const FaultMask> masks,
+                                    std::size_t max_batch);
+
+ private:
+  struct Variant;
+  void evaluate_chunk(std::span<Variant> chunk, std::int64_t begin,
+                      std::vector<MaskOutcome>& out);
+
+  BayesianFaultNetwork& net_;
+  bool kinds_ok_ = false;
+};
+
+}  // namespace bdlfi::bayes

@@ -32,6 +32,19 @@ struct KernelBackend {
                     const float* b, std::int64_t ldb, float beta, float* c,
                     std::int64_t ldc);
 
+  /// Multi-variant GEMM against one shared panel: C_v = A_v * B for each of
+  /// `variants` fault variants, with A_v [m x k] row-major (lda), B [k x n]
+  /// row-major (ldb) shared by every variant, and C_v [m x n] (ldc). Fixed
+  /// alpha = 1, beta = 0. Per-element results are REQUIRED to be bit-identical
+  /// to gemm_rows(false, false, 0, m, n, k, 1, A_v, lda, B, ldb, 0, C_v, ldc)
+  /// on the same table — batched mask evaluation relies on that for exact
+  /// parity with the sequential path. The win is amortization: B is packed
+  /// once and stays cache-hot across all K variant passes.
+  void (*gemm_variants)(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const float* const* a, std::size_t variants,
+                        std::int64_t lda, const float* b, std::int64_t ldb,
+                        float* const* c, std::int64_t ldc);
+
   /// out[i] += x[i].
   void (*add)(float* out, const float* x, std::int64_t n);
   /// out[i] += alpha * x[i].

@@ -57,6 +57,20 @@ void scalar_gemm_rows(bool trans_a, bool trans_b, std::int64_t r0,
   }
 }
 
+void scalar_gemm_variants(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const float* const* a, std::size_t variants,
+                          std::int64_t lda, const float* b, std::int64_t ldb,
+                          float* const* c, std::int64_t ldc) {
+  // Reference semantics by construction: one scalar_gemm_rows pass per
+  // variant (alpha = 1 keeps aik == a element bitwise, so the exact-zero
+  // skip fires for the same elements). The shared B panel stays hot across
+  // the loop — that locality, not a different loop nest, is the win here.
+  for (std::size_t v = 0; v < variants; ++v) {
+    scalar_gemm_rows(false, false, 0, m, n, k, 1.0f, a[v], lda, b, ldb, 0.0f,
+                     c[v], ldc);
+  }
+}
+
 void scalar_add(float* out, const float* x, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) out[i] += x[i];
 }
@@ -228,6 +242,7 @@ double scalar_abft_row_sum(const float* row, std::int64_t n) {
 const KernelBackend& scalar_backend() {
   static const KernelBackend table{
       "scalar",          scalar_gemm_rows,
+      scalar_gemm_variants,
       scalar_add,        scalar_axpy,
       scalar_relu,       scalar_relu_backward,
       scalar_bias_add_rows, scalar_add_const,

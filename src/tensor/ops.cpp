@@ -3,12 +3,62 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "tensor/backend/backend.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace bdlfi::tensor {
+
+namespace {
+
+// Per-thread grow-only scratch arena for the im2col workspaces. Conv
+// forward/backward used to allocate (and zero) a fresh `cols` buffer per
+// sample; a campaign evaluates the same geometry millions of times, so the
+// buffers are hoisted here and sized high-water-mark once per thread. Slots
+// keep the simultaneously-live buffers of one call apart; calls never nest
+// within a thread (conv2d_forward / conv2d_backward / conv2d_forward_multi
+// all use the arena only for the duration of their own loop bodies).
+float* scratch_floats(std::size_t slot, std::size_t n) {
+  thread_local std::vector<float> buffers[4];
+  std::vector<float>& buf = buffers[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+// im2col into a panel with an explicit destination leading dimension: row r
+// of the patch axis lands at cols[r * dst_ld + dst_col0 ...]. This is how
+// several samples' columns fuse side by side into one wide [patch, T*OH*OW]
+// panel for the multi-variant GEMM. im2col below is the dst_ld == OH*OW,
+// dst_col0 == 0 special case (kept separate: it is the sequential hot path).
+void im2col_ld(const float* input, std::int64_t channels, std::int64_t h,
+               std::int64_t w, const Conv2dSpec& spec, float* cols,
+               std::int64_t dst_ld, std::int64_t dst_col0) {
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+        float* dst = cols + row * dst_ld + dst_col0;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * spec.stride - spec.pad_h + kh;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src_row = input + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * spec.stride - spec.pad_w + kw;
+            dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 // The per-element kernels live in the active backend::KernelBackend table
 // (scalar reference or AVX2; see backend/backend.h). This file keeps the
@@ -190,9 +240,9 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   Tensor output{Shape{n, o, oh, ow}};
 
   util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t s) {
-    std::vector<float> cols(static_cast<std::size_t>(patch * oh * ow));
+    float* cols = scratch_floats(0, static_cast<std::size_t>(patch * oh * ow));
     const float* in = input.data() + static_cast<std::int64_t>(s) * c * h * w;
-    im2col(in, c, h, w, spec, cols.data());
+    im2col(in, c, h, w, spec, cols);
     float* out =
         output.data() + static_cast<std::int64_t>(s) * o * oh * ow;
     // [O, patch] x [patch, OH*OW] -> [O, OH*OW]; sample s owns the flat
@@ -200,7 +250,7 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
     // this sample's compute-fault flips. Verification stays serial per call;
     // this loop is already sample-parallel.
     abft::gemm_checked(false, false, o, oh * ow, patch, 1.0f, weight.data(),
-                       patch, cols.data(), oh * ow, out, oh * ow, ctx,
+                       patch, cols, oh * ow, out, oh * ow, ctx,
                        static_cast<std::int64_t>(s) * o * oh * ow);
     if (!bias.empty()) {
       const backend::KernelBackend& be = backend::active();
@@ -210,6 +260,94 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
     }
   });
   return output;
+}
+
+void conv2d_forward_multi(const float* input, bool shared_input,
+                          std::size_t variants, std::int64_t n,
+                          std::int64_t c, std::int64_t h, std::int64_t w,
+                          const float* const* weights,
+                          const float* const* biases, std::int64_t o,
+                          const Conv2dSpec& spec, float* output) {
+  BDLFI_CHECK(variants > 0 && n > 0);
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t ohow = oh * ow;
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  const std::int64_t chw = c * h * w;
+  const auto v_count = static_cast<std::int64_t>(variants);
+
+  // Samples per panel: target ~1 MiB panels (L2-resident across the variant
+  // passes) and bound the per-tile output staging buffer.
+  constexpr std::int64_t kPanelFloats = 256 * 1024;
+  std::int64_t tile =
+      std::clamp<std::int64_t>(kPanelFloats / std::max<std::int64_t>(
+                                                  1, patch * ohow),
+                               1, n);
+  const std::int64_t stage_cap =
+      std::max<std::int64_t>(1, (4 << 20) / (v_count * o * ohow));
+  tile = std::min(tile, stage_cap);
+  const std::int64_t num_tiles = (n + tile - 1) / tile;
+
+  const backend::KernelBackend& be = backend::active();
+  util::parallel_for(0, static_cast<std::size_t>(num_tiles), [&](std::size_t ti) {
+    const std::int64_t t0 = static_cast<std::int64_t>(ti) * tile;
+    const std::int64_t t_n = std::min(tile, n - t0);
+    const std::int64_t pw = t_n * ohow;  // fused panel width
+    float* panel =
+        scratch_floats(2, static_cast<std::size_t>(patch * pw));
+
+    // Writes each variant's staged [O, pw] GEMM result back into that
+    // variant's per-sample [O, OH*OW] output windows, then applies the bias
+    // exactly like the sequential path (add_const per output plane).
+    const auto scatter = [&](std::int64_t v, const float* staged) {
+      for (std::int64_t t = 0; t < t_n; ++t) {
+        float* out = output + ((v * n + t0 + t) * o) * ohow;
+        for (std::int64_t oc = 0; oc < o; ++oc) {
+          std::copy_n(staged + oc * pw + t * ohow, ohow, out + oc * ohow);
+        }
+        if (biases[v] != nullptr) {
+          for (std::int64_t oc = 0; oc < o; ++oc) {
+            be.add_const(out + oc * ohow, biases[v][oc], ohow);
+          }
+        }
+      }
+    };
+
+    if (shared_input) {
+      // All variants read the same samples: unfold the panel once and run
+      // every variant's weights against it in one kernel call.
+      for (std::int64_t t = 0; t < t_n; ++t) {
+        im2col_ld(input + (t0 + t) * chw, c, h, w, spec, panel, pw, t * ohow);
+      }
+      float* staged =
+          scratch_floats(3, static_cast<std::size_t>(v_count * o * pw));
+      std::vector<const float*> a_list(variants);
+      std::vector<float*> c_list(variants);
+      for (std::int64_t v = 0; v < v_count; ++v) {
+        a_list[static_cast<std::size_t>(v)] = weights[v];
+        c_list[static_cast<std::size_t>(v)] = staged + v * o * pw;
+      }
+      be.gemm_variants(o, pw, patch, a_list.data(), variants, patch, panel,
+                       pw, c_list.data(), pw);
+      for (std::int64_t v = 0; v < v_count; ++v) {
+        scatter(v, staged + v * o * pw);
+      }
+    } else {
+      // Diverged inputs: each variant gets its own fused panel; the width
+      // amortization (one wide GEMM instead of t_n narrow ones) still holds.
+      float* staged = scratch_floats(3, static_cast<std::size_t>(o * pw));
+      for (std::int64_t v = 0; v < v_count; ++v) {
+        const float* block = input + (v * n + t0) * chw;
+        for (std::int64_t t = 0; t < t_n; ++t) {
+          im2col_ld(block + t * chw, c, h, w, spec, panel, pw, t * ohow);
+        }
+        const float* a_list[1] = {weights[v]};
+        float* c_list[1] = {staged};
+        be.gemm_variants(o, pw, patch, a_list, 1, patch, panel, pw, c_list,
+                         pw);
+        scatter(v, staged);
+      }
+    }
+  });
 }
 
 void conv2d_backward(const Tensor& input, const Tensor& weight,
@@ -228,19 +366,19 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 
   // Serial over batch: grad_weight accumulation would race otherwise, and the
   // inner GEMMs already parallelize.
-  std::vector<float> cols(static_cast<std::size_t>(patch * oh * ow));
-  std::vector<float> dcols(static_cast<std::size_t>(patch * oh * ow));
+  float* cols = scratch_floats(0, static_cast<std::size_t>(patch * oh * ow));
+  float* dcols = scratch_floats(1, static_cast<std::size_t>(patch * oh * ow));
   for (std::int64_t s = 0; s < n; ++s) {
     const float* in = input.data() + s * c * h * w;
     const float* dout = grad_output.data() + s * o * oh * ow;
-    im2col(in, c, h, w, spec, cols.data());
+    im2col(in, c, h, w, spec, cols);
     // dW += dOut [O, OH*OW] x cols^T [OH*OW, patch]
-    gemm(false, true, o, patch, oh * ow, 1.0f, dout, oh * ow, cols.data(),
+    gemm(false, true, o, patch, oh * ow, 1.0f, dout, oh * ow, cols,
          oh * ow, 1.0f, grad_weight.data(), patch);
     // dCols = W^T [patch, O] x dOut [O, OH*OW]
     gemm(true, false, patch, oh * ow, o, 1.0f, weight.data(), patch, dout,
-         oh * ow, 0.0f, dcols.data(), oh * ow);
-    col2im(dcols.data(), c, h, w, spec, grad_input.data() + s * c * h * w);
+         oh * ow, 0.0f, dcols, oh * ow);
+    col2im(dcols, c, h, w, spec, grad_input.data() + s * c * h * w);
     for (std::int64_t oc = 0; oc < o; ++oc) {
       const float* plane = dout + oc * oh * ow;
       float acc = 0.0f;

@@ -8,6 +8,10 @@
 //                                   header, hex fingerprint, trajectory and
 //                                   per-chain entries (status, sample arrays
 //                                   of equal length, cursor object or null)
+//   check_json --mask-eval f.json   BENCH_mask_eval.json: config + per-layer
+//                                   timings, the multi_mask batched-race
+//                                   section (groups, k_sweep, summary), and
+//                                   the truncated-replay summary
 //
 // Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
 // ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
@@ -204,6 +208,126 @@ bool check_checkpoint(const obs::JsonValue& doc, std::string* error) {
   return true;
 }
 
+bool require_numbers(const obs::JsonValue& obj,
+                     std::initializer_list<const char*> keys,
+                     const std::string& at, std::string* error) {
+  for (const char* key : keys) {
+    const obs::JsonValue* v = obj.find(key);
+    if (v == nullptr || !v->is_number()) {
+      *error = at + ": bad or missing \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates the perf_mask_eval bench document (DESIGN.md §6/§10): per-layer
+/// truncated-replay timings plus the batched multi-mask race section.
+bool check_mask_eval(const obs::JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "mask_eval root is not an object";
+    return false;
+  }
+  const obs::JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    *error = "missing config object";
+    return false;
+  }
+  if (!require_numbers(*config,
+                       {"width", "image_size", "eval_batch", "masks", "reps",
+                        "p", "depth"},
+                       "config", error)) {
+    return false;
+  }
+  const obs::JsonValue* layers = doc.find("layers");
+  if (layers == nullptr || !layers->is_array() ||
+      layers->as_array().empty()) {
+    *error = "missing/empty layers array";
+    return false;
+  }
+  std::size_t index = 0;
+  for (const auto& layer : layers->as_array()) {
+    const std::string at = "layers[" + std::to_string(index) + "]";
+    const obs::JsonValue* name = layer.find("name");
+    if (name == nullptr || !name->is_string()) {
+      *error = at + ": bad or missing \"name\"";
+      return false;
+    }
+    if (!require_numbers(layer,
+                         {"layer_index", "params", "evals", "full_evals_per_s",
+                          "truncated_evals_per_s", "speedup",
+                          "layers_saved_pct"},
+                         at, error)) {
+      return false;
+    }
+    ++index;
+  }
+  const obs::JsonValue* mm = doc.find("multi_mask");
+  if (mm == nullptr || !mm->is_object()) {
+    *error = "missing multi_mask object";
+    return false;
+  }
+  if (!require_numbers(*mm, {"mask_batch_default"}, "multi_mask", error)) {
+    return false;
+  }
+  const obs::JsonValue* groups = mm->find("groups");
+  if (groups == nullptr || !groups->is_array() ||
+      groups->as_array().size() != layers->as_array().size()) {
+    *error = "multi_mask.groups must mirror the layers array";
+    return false;
+  }
+  index = 0;
+  for (const auto& group : groups->as_array()) {
+    const std::string at = "multi_mask.groups[" + std::to_string(index) + "]";
+    const obs::JsonValue* name = group.find("name");
+    if (name == nullptr || !name->is_string()) {
+      *error = at + ": bad or missing \"name\"";
+      return false;
+    }
+    if (!require_numbers(group,
+                         {"layer_index", "seq_s", "batched_s", "speedup"}, at,
+                         error)) {
+      return false;
+    }
+    ++index;
+  }
+  const obs::JsonValue* sweep = mm->find("k_sweep");
+  if (sweep == nullptr || !sweep->is_array() || sweep->as_array().empty()) {
+    *error = "missing/empty multi_mask.k_sweep array";
+    return false;
+  }
+  index = 0;
+  for (const auto& point : sweep->as_array()) {
+    const std::string at = "multi_mask.k_sweep[" + std::to_string(index) + "]";
+    if (!require_numbers(point, {"k", "batched_s", "speedup"}, at, error)) {
+      return false;
+    }
+    ++index;
+  }
+  const obs::JsonValue* mm_summary = mm->find("summary");
+  if (mm_summary == nullptr || !mm_summary->is_object() ||
+      !require_numbers(*mm_summary, {"overall_speedup"}, "multi_mask.summary",
+                       error)) {
+    if (error->empty()) *error = "missing multi_mask.summary object";
+    return false;
+  }
+  const obs::JsonValue* gate = mm_summary->find("gate_enforced");
+  if (gate == nullptr || !gate->is_bool()) {
+    *error = "multi_mask.summary: bad or missing \"gate_enforced\"";
+    return false;
+  }
+  const obs::JsonValue* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object() ||
+      !require_numbers(*summary,
+                       {"overall_speedup", "last_third_speedup",
+                        "last_third_begin"},
+                       "summary", error)) {
+    if (error->empty()) *error = "missing summary object";
+    return false;
+  }
+  return true;
+}
+
 /// Second pass over an already-jsonl_valid stream: campaign "round" events
 /// must carry the numeric fault-outcome taxonomy fields the reporter
 /// promises (DESIGN.md §6/§9).
@@ -237,7 +361,7 @@ bool check_round_events(const std::string& text, std::string* error) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool jsonl = false, trace = false, checkpoint = false;
+  bool jsonl = false, trace = false, checkpoint = false, mask_eval = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jsonl") == 0) {
@@ -246,16 +370,20 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint = true;
+    } else if (std::strcmp(argv[i], "--mask-eval") == 0) {
+      mask_eval = true;
     } else {
       path = argv[i];
     }
   }
   if (path == nullptr ||
       (static_cast<int>(jsonl) + static_cast<int>(trace) +
-           static_cast<int>(checkpoint) >
+           static_cast<int>(checkpoint) + static_cast<int>(mask_eval) >
        1)) {
-    std::fprintf(stderr,
-                 "usage: check_json [--jsonl|--trace|--checkpoint] <file>\n");
+    std::fprintf(
+        stderr,
+        "usage: check_json [--jsonl|--trace|--checkpoint|--mask-eval] "
+        "<file>\n");
     return 2;
   }
 
@@ -282,6 +410,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (checkpoint && !check_checkpoint(*doc, &error)) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    if (mask_eval && !check_mask_eval(*doc, &error)) {
       std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
       return 1;
     }
