@@ -94,6 +94,10 @@ class ObsSession {
       options.metrics_path = metrics;
       options.label = label;
       options.fsync = flags.get("fsync-metrics", std::int64_t{0}) != 0;
+      // A --layer restriction is the campaign's subject; carried in
+      // campaign_begin so merged dashboards can tell single-layer campaigns
+      // apart from whole-network ones.
+      options.subject = flags.get("layer", "");
       reporter_ = std::make_unique<obs::CampaignReporter>(options);
     }
     if (!trace_path_.empty()) {

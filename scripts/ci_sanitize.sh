@@ -63,3 +63,12 @@ for backend in scalar avx2; do
   BDLFI_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R 'MultiMask|perf_mask_eval'
 done
+
+# Targeted flight-recorder pass: the incremental JSONL reader (per-poll
+# fopen/fseek over possibly-torn files), the multi-stream aggregator, the
+# dashboard render/export paths, and the bench-history tracker all juggle
+# offsets and string slicing — run them sanitized explicitly, including the
+# end-to-end dash + bench_track ctest chains.
+echo "=== flight-recorder / dashboard suite ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'JsonlTailReader|EventAggregator|FlightRecorder|HistogramQuantiles|BenchHistory|dash_|bench_track_|cli_obs'

@@ -205,6 +205,10 @@ obs::RoundEvent make_round_event(const CampaignResult& pooled,
   event.round_seconds = round_seconds;
   event.detection_coverage = pooled.detection_coverage();
   event.sdc_rate = pooled.sdc_rate();
+  event.outcome_masked = pooled.total_outcome_masked;
+  event.outcome_sdc = pooled.total_outcome_sdc;
+  event.outcome_detected = pooled.total_outcome_detected;
+  event.outcome_corrected = pooled.total_outcome_corrected;
   event.chains_quarantined = pooled.chains_quarantined;
   event.degraded = pooled.degraded;
   return event;
@@ -412,9 +416,11 @@ CompletenessResult run_until_complete_impl(
                                  pooled.diagnostics.rhat,
                                  pooled.diagnostics.ess});
     if (config.round_hook) {
-      config.round_hook(make_round_event(
+      obs::RoundEvent event = make_round_event(
           pooled, round + 1, p, round_acceptance,
-          pooled.total_network_evals - prev_evals, round_timer.seconds()));
+          pooled.total_network_evals - prev_evals, round_timer.seconds());
+      event.rounds_budget = criterion.max_rounds;
+      config.round_hook(event);
     }
     prev_evals = pooled.total_network_evals;
 

@@ -1,0 +1,216 @@
+#include "obs/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdlfi::obs {
+
+namespace {
+
+double num_or(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::size_t count_or(const JsonValue& obj, const char* key,
+                     std::size_t fallback) {
+  const double d = num_or(obj, key, static_cast<double>(fallback));
+  return d < 0.0 ? fallback : static_cast<std::size_t>(d);
+}
+
+std::string str_or(const JsonValue& obj, const char* key,
+                   const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+bool bool_or(const JsonValue& obj, const char* key, bool fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+}  // namespace
+
+double CampaignState::completeness() const {
+  if (ended) return 1.0;
+  if (rounds_budget == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(rounds_seen) /
+                           static_cast<double>(rounds_budget));
+}
+
+double CampaignState::eta_seconds() const {
+  if (ended) return 0.0;
+  if (rounds_budget == 0 || !round_seconds.seeded()) return -1.0;
+  const std::size_t remaining =
+      rounds_budget > rounds_seen ? rounds_budget - rounds_seen : 0;
+  return static_cast<double>(remaining) * round_seconds.value();
+}
+
+double CampaignState::rhat_trend(std::size_t window) const {
+  const std::size_t n = std::min(window, trend.size());
+  if (n < 2) return 0.0;
+  // Least squares of rhat against round over the last n points.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = trend.size() - n; i < trend.size(); ++i) {
+    const double x = static_cast<double>(trend[i].round);
+    const double y = trend[i].rhat;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+}
+
+CampaignState& EventAggregator::state_for(const JsonValue& event) {
+  // campaign_id is the merge key; pre-campaign_id streams fall back to the
+  // label so they still render (as one row per label).
+  std::string key = str_or(event, "campaign_id", "");
+  if (key.empty()) key = "label:" + str_or(event, "label", "unknown");
+  auto [it, inserted] = states_.try_emplace(key);
+  if (inserted) {
+    it->second.campaign_id = key;
+    order_.push_back(key);
+  }
+  return it->second;
+}
+
+void EventAggregator::ingest(const JsonValue& event,
+                             const std::string& stream) {
+  ++events_seen_;
+  if (!event.is_object()) {
+    ++events_ignored_;
+    return;
+  }
+  const JsonValue* type = event.find("event");
+  if (type == nullptr || !type->is_string()) {
+    ++events_ignored_;
+    return;
+  }
+
+  // Per-stream sequence continuity: the reporter numbers every line it
+  // writes, so any hole or repeat here means the stream lost events (or two
+  // writers shared one file — equally worth surfacing).
+  if (const JsonValue* seq = event.find("seq");
+      seq != nullptr && seq->is_number()) {
+    StreamCursor& cursor = streams_[stream.empty() ? "<anon>" : stream];
+    const auto s = static_cast<std::uint64_t>(seq->as_number());
+    if (cursor.seen && s != cursor.seq + 1) ++seq_gaps_;
+    cursor.seen = true;
+    cursor.seq = s;
+  }
+
+  CampaignState& st = state_for(event);
+  st.label = str_or(event, "label", st.label);
+  if (const std::string b = str_or(event, "backend", ""); !b.empty()) {
+    st.backend = b;
+  }
+  const auto ts = static_cast<std::uint64_t>(num_or(event, "ts_ms", 0.0));
+  if (ts != 0) {
+    if (st.first_ts_ms == 0) st.first_ts_ms = ts;
+    st.last_ts_ms = std::max(st.last_ts_ms, ts);
+  }
+
+  const std::string& kind = type->as_string();
+  if (kind == "campaign_begin") {
+    st.begun = true;
+    st.p = num_or(event, "p", st.p);
+    st.chains = count_or(event, "chains", st.chains);
+    st.samples_per_round =
+        count_or(event, "samples_per_round", st.samples_per_round);
+    st.rounds_budget = count_or(event, "max_rounds", st.rounds_budget);
+    st.subject = str_or(event, "subject", st.subject);
+  } else if (kind == "round") {
+    TrendPoint pt;
+    pt.round = count_or(event, "round", 0);
+    pt.rhat = num_or(event, "rhat", 0.0);
+    pt.ess = num_or(event, "ess", 0.0);
+    pt.mean_error = num_or(event, "mean_error", 0.0);
+    pt.sdc_rate = num_or(event, "sdc_rate", 0.0);
+    pt.samples = count_or(event, "samples", 0);
+    st.rounds_seen = std::max(st.rounds_seen, pt.round);
+    st.rounds_budget = count_or(event, "rounds_budget", st.rounds_budget);
+    st.p = num_or(event, "p", st.p);
+    st.rhat = pt.rhat;
+    st.ess = pt.ess;
+    st.mean_error = pt.mean_error;
+    st.sdc_rate = pt.sdc_rate;
+    st.samples = pt.samples;
+    st.acceptance_rate = num_or(event, "acceptance_rate", st.acceptance_rate);
+    st.cache_hit_rate = num_or(event, "cache_hit_rate", st.cache_hit_rate);
+    st.network_evals = count_or(event, "network_evals", st.network_evals);
+    st.detection_coverage =
+        num_or(event, "detection_coverage", st.detection_coverage);
+    st.outcome_masked = count_or(event, "outcome_masked", st.outcome_masked);
+    st.outcome_sdc = count_or(event, "outcome_sdc", st.outcome_sdc);
+    st.outcome_detected =
+        count_or(event, "outcome_detected", st.outcome_detected);
+    st.outcome_corrected =
+        count_or(event, "outcome_corrected", st.outcome_corrected);
+    st.chains_quarantined =
+        count_or(event, "chains_quarantined", st.chains_quarantined);
+    st.degraded = bool_or(event, "degraded", st.degraded);
+    st.evals_per_sec.update(num_or(event, "evals_per_sec", 0.0));
+    const double seconds = num_or(event, "seconds", 0.0);
+    if (seconds > 0.0) st.round_seconds.update(seconds);
+    st.trend.push_back(pt);
+    if (st.trend.size() > options_.max_trend_points) {
+      st.trend.erase(st.trend.begin());
+    }
+  } else if (kind == "chain_health") {
+    if (str_or(event, "status", "") == "quarantined") {
+      ++st.quarantine_events;
+    } else {
+      ++st.retries;
+    }
+  } else if (kind == "checkpoint") {
+    CheckpointRecord rec;
+    rec.round = count_or(event, "round", 0);
+    rec.path = str_or(event, "path", "");
+    rec.ts_ms = ts;
+    st.checkpoints.push_back(std::move(rec));
+  } else if (kind == "campaign_end") {
+    st.ended = true;
+    st.converged = bool_or(event, "converged", false);
+    st.rounds_seen = std::max(st.rounds_seen, count_or(event, "rounds", 0));
+  } else if (kind == "metrics") {
+    // The reporter's registry snapshot carries the round-latency histogram
+    // with exported quantiles; lift them into the campaign's latency panel.
+    const JsonValue* registry = event.find("registry");
+    const JsonValue* hist = registry != nullptr
+                                ? registry->find("campaign.round_seconds")
+                                : nullptr;
+    if (hist != nullptr && hist->is_object()) {
+      st.round_latency.present = true;
+      st.round_latency.p50 = num_or(*hist, "p50", 0.0);
+      st.round_latency.p95 = num_or(*hist, "p95", 0.0);
+      st.round_latency.p99 = num_or(*hist, "p99", 0.0);
+      st.round_latency.count =
+          static_cast<std::uint64_t>(num_or(*hist, "count", 0.0));
+    }
+  } else {
+    ++events_ignored_;  // unknown event type: forward compatible
+  }
+}
+
+void EventAggregator::ingest_all(const std::vector<JsonValue>& events,
+                                 const std::string& stream) {
+  for (const auto& e : events) ingest(e, stream);
+}
+
+std::vector<const CampaignState*> EventAggregator::campaigns() const {
+  std::vector<const CampaignState*> out;
+  out.reserve(order_.size());
+  for (const auto& id : order_) out.push_back(&states_.at(id));
+  return out;
+}
+
+const CampaignState* EventAggregator::find(
+    const std::string& campaign_id) const {
+  const auto it = states_.find(campaign_id);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bdlfi::obs

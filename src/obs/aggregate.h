@@ -1,0 +1,163 @@
+// EventAggregator: merges N concurrent campaign JSONL event streams into
+// per-campaign live state — the model behind `bdlfi_dash` and the future
+// fleet runner's completeness view.
+//
+// Events are keyed by the `campaign_id` every CampaignReporter stamps
+// (config-fingerprint-derived, so two workers extending the same campaign
+// merge into one row while unrelated campaigns stay separate). Streams are
+// identified by the file they came from; the per-stream monotonic `seq`
+// lets the aggregator count dropped or reordered events instead of silently
+// mis-merging. Unknown event types are ignored, so old consumers survive new
+// producers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/stream.h"
+
+namespace bdlfi::obs {
+
+/// One point of a campaign's convergence trajectory (from a `round` event).
+struct TrendPoint {
+  std::size_t round = 0;
+  double rhat = 0.0;
+  double ess = 0.0;
+  double mean_error = 0.0;
+  double sdc_rate = 0.0;
+  std::size_t samples = 0;
+};
+
+/// One `checkpoint` event: the campaign's recovery lineage.
+struct CheckpointRecord {
+  std::size_t round = 0;
+  std::string path;
+  std::uint64_t ts_ms = 0;
+};
+
+/// Latency quantiles of one histogram from the latest `metrics` event.
+struct LatencyQuantiles {
+  bool present = false;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Merged live state of one campaign.
+struct CampaignState {
+  std::string campaign_id;  // 16 hex digits (or "label:<label>" fallback)
+  std::string label;
+  std::string backend;
+  std::string subject;  // e.g. a --layer name ("" when whole-network)
+
+  // From campaign_begin (zero until one is seen).
+  double p = 0.0;
+  std::size_t chains = 0;
+  std::size_t samples_per_round = 0;
+
+  // Latest round event.
+  std::size_t rounds_seen = 0;
+  std::size_t rounds_budget = 0;  // criterion max_rounds (0 = unknown)
+  double rhat = 0.0;
+  double ess = 0.0;
+  double mean_error = 0.0;
+  double acceptance_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  std::size_t samples = 0;
+  std::size_t network_evals = 0;
+  double detection_coverage = 0.0;
+  double sdc_rate = 0.0;
+  std::size_t outcome_masked = 0, outcome_sdc = 0;
+  std::size_t outcome_detected = 0, outcome_corrected = 0;
+  std::size_t chains_quarantined = 0;
+  bool degraded = false;
+
+  // Lifecycle.
+  bool begun = false;
+  bool ended = false;
+  bool converged = false;
+  std::uint64_t first_ts_ms = 0;
+  std::uint64_t last_ts_ms = 0;
+
+  // Health incidents (chain_health events).
+  std::size_t retries = 0;
+  std::size_t quarantine_events = 0;
+
+  // Smoothed throughput (same filter as the reporter's --progress line).
+  Ewma evals_per_sec;
+  Ewma round_seconds;
+
+  std::vector<TrendPoint> trend;  // capped at Options::max_trend_points
+  std::vector<CheckpointRecord> checkpoints;
+  LatencyQuantiles round_latency;  // campaign.round_seconds histogram
+
+  /// Fraction of all retained samples in each outcome class.
+  double outcome_total() const {
+    return static_cast<double>(outcome_masked + outcome_sdc +
+                               outcome_detected + outcome_corrected);
+  }
+
+  /// Campaign completeness in [0, 1]: 1 once campaign_end arrived, else the
+  /// round budget consumed (an upper bound on remaining work — convergence
+  /// usually stops a campaign before its budget), else 0 when the budget is
+  /// unknown.
+  double completeness() const;
+
+  /// Worst-case seconds to finish: remaining budgeted rounds at the smoothed
+  /// round duration. Negative when unknown (no budget / no timing yet).
+  double eta_seconds() const;
+
+  /// Least-squares slope of R-hat per round over the sliding trend window
+  /// (negative = converging). 0 with fewer than two points.
+  double rhat_trend(std::size_t window = 16) const;
+};
+
+class EventAggregator {
+ public:
+  struct Options {
+    /// Trajectory points kept per campaign; older points are dropped from
+    /// the front (the scalars above always reflect the latest event).
+    std::size_t max_trend_points = 1024;
+  };
+
+  EventAggregator() = default;
+  explicit EventAggregator(Options options) : options_(options) {}
+
+  /// Merges one parsed event. `stream` names the source (file path); seq
+  /// continuity is tracked per stream. Non-object or unknown events count as
+  /// ignored, never as errors.
+  void ingest(const JsonValue& event, const std::string& stream = "");
+
+  /// Convenience: ingest a batch from one stream.
+  void ingest_all(const std::vector<JsonValue>& events,
+                  const std::string& stream = "");
+
+  /// Campaigns in first-seen order. Pointers stay valid until the next
+  /// ingest of a previously unseen campaign id.
+  std::vector<const CampaignState*> campaigns() const;
+  const CampaignState* find(const std::string& campaign_id) const;
+
+  std::size_t events_seen() const { return events_seen_; }
+  std::size_t events_ignored() const { return events_ignored_; }
+  /// Per-stream seq discontinuities (lost, duplicated, or reordered events).
+  std::size_t seq_gaps() const { return seq_gaps_; }
+
+ private:
+  CampaignState& state_for(const JsonValue& event);
+
+  Options options_;
+  std::map<std::string, CampaignState> states_;
+  std::vector<std::string> order_;  // first-seen campaign ids
+  struct StreamCursor {
+    bool seen = false;
+    std::uint64_t seq = 0;
+  };
+  std::map<std::string, StreamCursor> streams_;
+  std::size_t events_seen_ = 0;
+  std::size_t events_ignored_ = 0;
+  std::size_t seq_gaps_ = 0;
+};
+
+}  // namespace bdlfi::obs

@@ -32,6 +32,29 @@ void Histogram::observe(double v) {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double frac = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out;
   out.reserve(buckets_.size());
@@ -112,6 +135,9 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
     s.count = h->count();
     s.bounds = h->bounds();
     s.buckets = h->bucket_counts();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -142,6 +168,9 @@ std::string MetricsRegistry::to_json() const {
         w.key("buckets").begin_array();
         for (std::uint64_t b : s.buckets) w.number(b);
         w.end_array();
+        w.field("p50", s.p50);
+        w.field("p95", s.p95);
+        w.field("p99", s.p99);
         w.end_object();
         break;
       }

@@ -69,6 +69,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the q-th observation. The first bucket interpolates from
+  /// min(0, bound) and the overflow bucket clamps to the last bound — the
+  /// Prometheus histogram_quantile convention. 0 on an empty histogram.
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -87,6 +92,10 @@ struct MetricSnapshot {
   std::uint64_t count = 0;  // histogram observation count
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;
+  // Interpolated quantile estimates (histograms only; see
+  // Histogram::quantile). Exported into the `metrics` JSONL event so latency
+  // panels need no bucket math downstream.
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
 };
 
 class MetricsRegistry {

@@ -1,5 +1,6 @@
 #include "obs/reporter.h"
 
+#include <algorithm>
 #include <chrono>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -18,6 +19,41 @@ std::uint64_t wall_ms() {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
+}
+
+std::uint64_t process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Round wall-clock histogram backing the dashboard's latency panel; bounds
+/// cover sub-100ms smoke rounds through multi-minute full-scale rounds.
+Histogram& round_seconds_histogram() {
+  static Histogram& h = MetricsRegistry::global().histogram(
+      "campaign.round_seconds",
+      {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0});
+  return h;
+}
+
+/// "mm:ss" / "h:mm:ss" for the progress line's ETA column.
+std::string format_eta(double seconds) {
+  if (seconds < 0.0) return "--:--";
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                  static_cast<unsigned long long>(total / 3600),
+                  static_cast<unsigned long long>((total / 60) % 60),
+                  static_cast<unsigned long long>(total % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02llu:%02llu",
+                  static_cast<unsigned long long>(total / 60),
+                  static_cast<unsigned long long>(total % 60));
+  }
+  return buf;
 }
 
 }  // namespace
@@ -47,6 +83,16 @@ void CampaignReporter::set_backend(const std::string& backend) {
   options_.backend = backend;
 }
 
+void CampaignReporter::set_campaign_id(const std::string& campaign_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.campaign_id = campaign_id;
+}
+
+std::string CampaignReporter::campaign_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.campaign_id;
+}
+
 void CampaignReporter::write_line(const std::string& json) {
   if (sink_ == nullptr) return;
   // One fwrite for line + terminator: a crash between separate writes must
@@ -62,17 +108,36 @@ void CampaignReporter::write_line(const std::string& json) {
 #endif
 }
 
+void CampaignReporter::stamp_common(JsonWriter& w, const char* event_name) {
+  if (options_.campaign_id.empty()) {
+    // No config fingerprint was provided: derive a per-stream id stable for
+    // the life of this reporter. pid + wall-clock keeps two processes (or
+    // two sequential runs) writing the same label/backend distinct.
+    const std::string seed = options_.label + '|' + options_.backend + '|' +
+                             std::to_string(process_id()) + '|' +
+                             std::to_string(wall_ms());
+    options_.campaign_id = hex64(fnv1a64(seed));
+  }
+  w.field("event", event_name);
+  w.field("label", options_.label);
+  w.field("campaign_id", options_.campaign_id);
+  w.field("seq", ++seq_);
+}
+
 void CampaignReporter::begin(double p, std::size_t chains,
-                             std::size_t samples_per_round) {
+                             std::size_t samples_per_round,
+                             std::size_t max_rounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  rounds_budget_ = max_rounds;
   JsonWriter w;
   w.begin_object();
-  w.field("event", "campaign_begin");
-  w.field("label", options_.label);
+  stamp_common(w, "campaign_begin");
   if (!options_.backend.empty()) w.field("backend", options_.backend);
+  if (!options_.subject.empty()) w.field("subject", options_.subject);
   w.field("p", p);
   w.field("chains", chains);
   w.field("samples_per_round", samples_per_round);
+  w.field("max_rounds", max_rounds);
   w.field("ts_ms", wall_ms());
   w.end_object();
   write_line(w.str());
@@ -88,11 +153,25 @@ void CampaignReporter::round(const RoundEvent& event) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     events_.push_back(event);
+    if (event.rounds_budget != 0) rounds_budget_ = event.rounds_budget;
+    // Smooth throughput/duration with the aggregator's filter so the live
+    // line and any dashboard built over the JSONL agree.
+    const double evals_ewma = evals_ewma_.update(event.evals_per_sec);
+    if (event.round_seconds > 0.0) {
+      round_secs_ewma_.update(event.round_seconds);
+      round_seconds_histogram().observe(event.round_seconds);
+    }
+    double eta_s = -1.0;  // unknown: no budget or no timing yet
+    if (rounds_budget_ > 0 && round_secs_ewma_.seeded()) {
+      const std::size_t remaining =
+          rounds_budget_ > event.round ? rounds_budget_ - event.round : 0;
+      eta_s = static_cast<double>(remaining) * round_secs_ewma_.value();
+    }
     JsonWriter w;
     w.begin_object();
-    w.field("event", "round");
-    w.field("label", options_.label);
+    stamp_common(w, "round");
     w.field("round", event.round);
+    w.field("rounds_budget", rounds_budget_);
     w.field("p", event.p);
     w.field("samples", event.cumulative_samples);
     w.field("mean_error", event.mean_error);
@@ -101,9 +180,15 @@ void CampaignReporter::round(const RoundEvent& event) {
     w.field("acceptance_rate", event.acceptance_rate);
     w.field("network_evals", event.network_evals);
     w.field("evals_per_sec", event.evals_per_sec);
+    w.field("evals_per_sec_ewma", evals_ewma);
+    w.field("eta_s", eta_s);
     w.field("cache_hit_rate", event.cache_hit_rate);
     w.field("detection_coverage", event.detection_coverage);
     w.field("sdc_rate", event.sdc_rate);
+    w.field("outcome_masked", event.outcome_masked);
+    w.field("outcome_sdc", event.outcome_sdc);
+    w.field("outcome_detected", event.outcome_detected);
+    w.field("outcome_corrected", event.outcome_corrected);
     w.field("seconds", event.round_seconds);
     w.field("chains_quarantined", event.chains_quarantined);
     w.field("degraded", event.degraded);
@@ -119,11 +204,11 @@ void CampaignReporter::round(const RoundEvent& event) {
       std::fprintf(stderr,
                    "[%s] round %zu: p=%.3g samples=%zu mean=%.3f%% "
                    "rhat=%.4f ess=%.0f accept=%.2f evals/s=%.0f "
-                   "cache-hit=%.0f%% det-cov=%.0f%% sdc=%.0f%%%s\n",
+                   "eta=%s cache-hit=%.0f%% det-cov=%.0f%% sdc=%.0f%%%s\n",
                    options_.label.c_str(), event.round, event.p,
                    event.cumulative_samples, event.mean_error, event.rhat,
-                   event.ess, event.acceptance_rate, event.evals_per_sec,
-                   100.0 * event.cache_hit_rate,
+                   event.ess, event.acceptance_rate, evals_ewma,
+                   format_eta(eta_s).c_str(), 100.0 * event.cache_hit_rate,
                    100.0 * event.detection_coverage, 100.0 * event.sdc_rate,
                    degraded_tail);
     }
@@ -138,8 +223,7 @@ void CampaignReporter::end(bool converged, std::size_t rounds) {
     std::lock_guard<std::mutex> lock(mu_);
     JsonWriter w;
     w.begin_object();
-    w.field("event", "campaign_end");
-    w.field("label", options_.label);
+    stamp_common(w, "campaign_end");
     w.field("converged", converged);
     w.field("rounds", rounds);
     w.field("ts_ms", wall_ms());
@@ -158,8 +242,7 @@ void CampaignReporter::metrics_event() {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.begin_object();
-  w.field("event", "metrics");
-  w.field("label", options_.label);
+  stamp_common(w, "metrics");
   if (!options_.backend.empty()) w.field("backend", options_.backend);
   w.key("registry");
   // Splice the registry's own JSON object in as the value.
@@ -173,8 +256,7 @@ void CampaignReporter::chain_health(const ChainHealthEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.begin_object();
-  w.field("event", "chain_health");
-  w.field("label", options_.label);
+  stamp_common(w, "chain_health");
   w.field("round", event.round);
   w.field("chain", event.chain);
   w.field("status", event.status);
@@ -195,8 +277,7 @@ void CampaignReporter::checkpoint_saved(std::size_t round,
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.begin_object();
-  w.field("event", "checkpoint");
-  w.field("label", options_.label);
+  stamp_common(w, "checkpoint");
   w.field("round", round);
   w.field("path", path);
   w.field("ts_ms", wall_ms());

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stream.h"
+
 namespace bdlfi::obs {
 
 /// Health of one campaign round (cumulative unless noted).
@@ -45,6 +47,16 @@ struct RoundEvent {
   /// True once any chain has been quarantined: pooled diagnostics cover the
   /// survivors only.
   bool degraded = false;
+  /// Cumulative fault-outcome counters over retained samples (the numerators
+  /// behind detection_coverage/sdc_rate — the aggregator wants the raw
+  /// counts so merged views can re-derive rates).
+  std::size_t outcome_masked = 0;
+  std::size_t outcome_sdc = 0;
+  std::size_t outcome_detected = 0;
+  std::size_t outcome_corrected = 0;
+  /// The campaign's round budget (completeness criterion max_rounds); 0 for
+  /// single-round campaigns, where an ETA is meaningless.
+  std::size_t rounds_budget = 0;
 };
 
 using RoundCallback = std::function<void(const RoundEvent&)>;
@@ -78,6 +90,15 @@ class CampaignReporter {
     /// tensor in the dependency stack, so callers pass the name in rather
     /// than the reporter querying the backend registry.
     std::string backend;
+    /// Stable id stamped into every event — 16 hex digits, derived from the
+    /// campaign's config fingerprint by callers that have one (bdlfi
+    /// complete). When empty, the reporter derives a per-stream id from
+    /// label/backend/pid/time at the first event, so concurrent streams
+    /// still merge unambiguously in the aggregator.
+    std::string campaign_id;
+    /// Subject qualifier carried in campaign_begin (e.g. a --layer name);
+    /// "" for whole-network campaigns.
+    std::string subject;
   };
 
   explicit CampaignReporter(Options options);
@@ -95,8 +116,19 @@ class CampaignReporter {
   /// the reporter is constructed, hence a setter rather than an Option only.
   void set_backend(const std::string& backend);
 
-  /// Emits a campaign_begin event.
-  void begin(double p, std::size_t chains, std::size_t samples_per_round);
+  /// Overrides the auto-derived campaign id with a config-fingerprint-derived
+  /// one (16 hex digits). Call before the first event.
+  void set_campaign_id(const std::string& campaign_id);
+
+  /// The id stamped into events so far ("" until the first event when no
+  /// explicit id was set).
+  std::string campaign_id() const;
+
+  /// Emits a campaign_begin event. `max_rounds` is the completeness
+  /// criterion's round budget (0 = unknown/single-round), which the progress
+  /// line and dashboard turn into completeness % and a worst-case ETA.
+  void begin(double p, std::size_t chains, std::size_t samples_per_round,
+             std::size_t max_rounds = 0);
 
   /// Emits a round event (invoke from the runner's round hook).
   void round(const RoundEvent& event);
@@ -125,12 +157,23 @@ class CampaignReporter {
 
  private:
   void write_line(const std::string& json);
+  /// Emits the leading fields shared by every event ("event", "label",
+  /// "campaign_id", "seq") and advances the per-stream sequence number.
+  /// Caller must hold mu_.
+  void stamp_common(JsonWriter& w, const char* event_name);
 
   Options options_;
   std::FILE* sink_ = nullptr;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;  // monotonic per stream, first event gets 1
   std::vector<RoundEvent> events_;
   std::vector<RoundCallback> subscribers_;
+  // Smoothed throughput/duration for the progress line and the round event's
+  // ewma/eta fields — same Ewma filter the aggregator applies, so the live
+  // line and a dashboard over the JSONL agree.
+  Ewma evals_ewma_;
+  Ewma round_secs_ewma_;
+  std::size_t rounds_budget_ = 0;  // from begin(); round events may override
 };
 
 }  // namespace bdlfi::obs

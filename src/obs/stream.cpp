@@ -1,0 +1,68 @@
+#include "obs/stream.h"
+
+#include <cstdio>
+
+namespace bdlfi::obs {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::size_t JsonlTailReader::poll(std::vector<JsonValue>* out) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return 0;  // not created yet (or deleted): nothing new
+  std::size_t appended = 0;
+  do {
+    if (std::fseek(f, 0, SEEK_END) != 0) break;
+    const long end = std::ftell(f);
+    if (end < 0) break;
+    const auto size = static_cast<std::uint64_t>(end);
+    if (size < offset_) {
+      // The file shrank: a new writer truncated and restarted it. The old
+      // offset points into bytes that no longer exist, so start over.
+      offset_ = 0;
+      ++truncations_;
+    }
+    if (size == offset_) break;
+    if (std::fseek(f, static_cast<long>(offset_), SEEK_SET) != 0) break;
+    std::string buf(static_cast<std::size_t>(size - offset_), '\0');
+    buf.resize(std::fread(buf.data(), 1, buf.size(), f));
+
+    std::size_t pos = 0;
+    std::size_t consumed = 0;
+    while (true) {
+      const std::size_t nl = buf.find('\n', pos);
+      if (nl == std::string::npos) break;  // torn tail: leave for next poll
+      std::string line = buf.substr(pos, nl - pos);
+      pos = nl + 1;
+      consumed = pos;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      ++lines_read_;
+      auto doc = json_parse(line);
+      if (!doc.has_value()) {
+        ++parse_errors_;
+        continue;
+      }
+      if (out != nullptr) out->push_back(std::move(*doc));
+      ++appended;
+    }
+    offset_ += consumed;
+  } while (false);
+  std::fclose(f);
+  return appended;
+}
+
+}  // namespace bdlfi::obs

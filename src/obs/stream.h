@@ -1,0 +1,95 @@
+// Incremental JSONL stream consumption for campaign observability.
+//
+// A CampaignReporter appends whole JSONL lines (one fwrite + flush each) to
+// its metrics file; this module is the read side: JsonlTailReader follows
+// such a file like `tail -f`, tolerating everything a crashed or still-running
+// writer can leave behind — a torn (newline-less) trailing line, a file that
+// does not exist yet, a file truncated and restarted by a new writer. Each
+// complete line is parsed with the strict obs parser; a reader never throws
+// and never yields a partial event.
+//
+// Ewma lives here because the reporter's --progress line and the
+// EventAggregator (obs/aggregate.h) must smooth evals/sec and round seconds
+// with the *same* filter, or the live line and the dashboard disagree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace bdlfi::obs {
+
+/// Exponentially weighted moving average. The first update seeds the value;
+/// later updates blend with kDefaultAlpha (or a custom alpha in (0, 1]).
+class Ewma {
+ public:
+  /// Smoothing factor shared by the reporter's progress line and the
+  /// aggregator: heavy enough to damp per-round jitter, light enough that a
+  /// throughput change shows within ~3 rounds.
+  static constexpr double kDefaultAlpha = 0.3;
+
+  Ewma() = default;
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  double update(double x) {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+    return value_;
+  }
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  void reset() { seeded_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_ = kDefaultAlpha;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// FNV-1a over bytes; the observability layer's standard cheap fingerprint
+/// (campaign ids, bench config fingerprints).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// 16 lowercase hex digits, the on-the-wire form of every u64 fingerprint.
+std::string hex64(std::uint64_t v);
+
+/// Tail-follows one JSONL file by byte offset.
+///
+/// poll() reads everything appended since the previous poll, splits it on
+/// '\n', and parses each complete line. A trailing fragment without a
+/// terminator is *not* consumed: the offset stays at the fragment's first
+/// byte, so once the writer finishes the line (or a recovered writer rewrites
+/// it) the next poll picks it up whole. The file is opened per poll and never
+/// kept open, so the reader survives writer crashes, rotation, and deletion.
+class JsonlTailReader {
+ public:
+  explicit JsonlTailReader(std::string path) : path_(std::move(path)) {}
+
+  /// Appends every newly completed event to `out`; returns how many were
+  /// appended. Malformed complete lines are counted and skipped, blank lines
+  /// are skipped silently. Never throws.
+  std::size_t poll(std::vector<JsonValue>* out);
+
+  /// Next unread byte. Points at the start of any pending torn line.
+  std::uint64_t offset() const { return offset_; }
+  /// Non-blank complete lines seen (parsed or malformed).
+  std::size_t lines_read() const { return lines_read_; }
+  /// Complete lines the strict parser rejected.
+  std::size_t parse_errors() const { return parse_errors_; }
+  /// Times the file shrank below the read offset (writer restarted): the
+  /// reader resets to byte 0 and re-reads the new content.
+  std::size_t truncations() const { return truncations_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::size_t lines_read_ = 0;
+  std::size_t parse_errors_ = 0;
+  std::size_t truncations_ = 0;
+};
+
+}  // namespace bdlfi::obs

@@ -37,7 +37,9 @@
 #include "data/toy2d.h"
 #include "inject/campaign.h"
 #include "inject/random_fi.h"
+#include "mcmc/checkpoint.h"
 #include "mcmc/runner.h"
+#include "obs/stream.h"
 #include "nn/builders.h"
 #include "nn/checkpoint.h"
 #include "train/trainer.h"
@@ -277,7 +279,13 @@ int cmd_complete(const Flags& args, bench::ObsSession& session) {
   criterion.max_rounds = args.get("max-rounds", std::size_t{8});
   const mcmc::RunnerConfig runner = runner_from(args, session);
   if (session.reporter() != nullptr) {
-    session.reporter()->begin(p, runner.num_chains, runner.mh.samples);
+    // Stamp every event with the campaign's config fingerprint (the same id
+    // checkpoints carry), so concurrent streams merge unambiguously in the
+    // dashboard and a resumed run keeps its identity.
+    session.reporter()->set_campaign_id(
+        obs::hex64(mcmc::campaign_fingerprint(bfn, runner, p)));
+    session.reporter()->begin(p, runner.num_chains, runner.mh.samples,
+                              criterion.max_rounds);
   }
   const auto result =
       mcmc::run_until_complete(bfn, factory, p, runner, criterion);
@@ -329,8 +337,10 @@ void usage() {
       "                 default: BDLFI_BACKEND env, else scalar)\n"
       "               --mask-batch=K (fault variants fused per widened\n"
       "                 forward; bit-identical to K=1, default 8)\n"
-      "observability: --progress (live per-round health on stderr)\n"
-      "               --metrics=<file.jsonl> (machine-readable event stream)\n"
+      "observability: --progress (live per-round health on stderr, with\n"
+      "                 EWMA evals/sec and wall-clock ETA)\n"
+      "               --metrics=<file.jsonl> (machine-readable event stream;\n"
+      "                 watch live with bdlfi_dash --follow <file.jsonl>...)\n"
       "               --fsync-metrics (fsync the event stream per event)\n"
       "               --trace=<file.json> (Chrome trace; chrome://tracing)\n"
       "resilience:    --checkpoint-dir=<dir> (atomic per-round checkpoint;\n"

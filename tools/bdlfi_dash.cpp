@@ -1,0 +1,551 @@
+// bdlfi_dash — live terminal dashboard and static report generator over the
+// campaign JSONL event streams that `bdlfi --metrics=<file.jsonl>` (and every
+// bench) writes.
+//
+//   bdlfi_dash --once a.jsonl b.jsonl        one-shot summary to stdout
+//   bdlfi_dash --follow a.jsonl b.jsonl      live ANSI view (tail -f style);
+//                                            exits when every campaign ended
+//   bdlfi_dash --once --html=report.html ... self-contained HTML report with
+//                                            inline SVG sparklines
+//   bdlfi_dash --once --json=state.json ...  machine-readable aggregate state
+//
+// Any number of streams can be merged: events are keyed by the campaign_id
+// the reporter stamps, so two workers extending one campaign collapse into a
+// single row while unrelated concurrent campaigns stay separate. The reader
+// side tolerates torn trailing lines, not-yet-created files, and writer
+// restarts (obs/stream.h), so pointing --follow at a file before the campaign
+// starts is fine.
+//
+// Flags:
+//   --interval-ms=N         follow-mode poll period (default 500)
+//   --max-seconds=S         follow-mode wall-clock bound (0 = until done)
+//   --require-campaigns=N   exit 3 unless >= N distinct campaigns were seen
+//   --trend-window=N        rounds in the R-hat trend fit (default 16)
+//
+// Exit codes: 0 ok, 1 bad usage, 3 --require-campaigns unmet.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/aggregate.h"
+#include "obs/json.h"
+#include "obs/stream.h"
+
+using namespace bdlfi;
+
+namespace {
+
+struct DashOptions {
+  bool follow = false;
+  std::string html_path;
+  std::string json_path;
+  std::size_t interval_ms = 500;
+  double max_seconds = 0.0;
+  std::size_t require_campaigns = 0;
+  std::size_t trend_window = 16;
+  std::vector<std::string> streams;
+};
+
+bool parse_args(int argc, char** argv, DashOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--follow") {
+      out->follow = true;
+    } else if (arg == "--once") {
+      out->follow = false;
+    } else if (const char* v = value("--html=")) {
+      out->html_path = v;
+    } else if (const char* v = value("--json=")) {
+      out->json_path = v;
+    } else if (const char* v = value("--interval-ms=")) {
+      out->interval_ms = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value("--max-seconds=")) {
+      out->max_seconds = std::atof(v);
+    } else if (const char* v = value("--require-campaigns=")) {
+      out->require_campaigns = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value("--trend-window=")) {
+      out->trend_window = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bdlfi_dash: unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      out->streams.push_back(arg);
+    }
+  }
+  if (out->streams.empty()) {
+    std::fprintf(stderr,
+                 "usage: bdlfi_dash [--once|--follow] [--html=F] [--json=F]\n"
+                 "                  [--interval-ms=N] [--max-seconds=S]\n"
+                 "                  [--require-campaigns=N] <stream.jsonl>...\n");
+    return false;
+  }
+  return true;
+}
+
+std::string format_eta(double seconds) {
+  if (seconds < 0.0) return "--:--";
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                  static_cast<unsigned long long>(total / 3600),
+                  static_cast<unsigned long long>((total / 60) % 60),
+                  static_cast<unsigned long long>(total % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02llu:%02llu",
+                  static_cast<unsigned long long>(total / 60),
+                  static_cast<unsigned long long>(total % 60));
+  }
+  return buf;
+}
+
+/// Unicode block sparkline of the last `width` values (terminal view).
+std::string spark(const std::vector<double>& values, std::size_t width = 24) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const std::size_t begin = values.size() > width ? values.size() - width : 0;
+  double lo = values[begin], hi = values[begin];
+  for (std::size_t i = begin; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = begin; i < values.size(); ++i) {
+    const double t = hi > lo ? (values[i] - lo) / (hi - lo) : 0.0;
+    out += kBlocks[static_cast<std::size_t>(t * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+struct StreamStats {
+  std::size_t lines = 0, parse_errors = 0, truncations = 0;
+};
+
+const char* status_word(const obs::CampaignState& c) {
+  if (!c.ended) return "RUNNING";
+  return c.converged ? "COMPLETE" : "NOT CONVERGED";
+}
+
+/// ANSI color for the status word (empty = no color / not a tty context).
+const char* status_color(const obs::CampaignState& c, bool ansi) {
+  if (!ansi) return "";
+  if (!c.ended) return c.degraded ? "\x1b[33m" : "\x1b[36m";
+  return c.converged ? "\x1b[32m" : "\x1b[31m";
+}
+
+void render_text(std::FILE* out, const obs::EventAggregator& agg,
+                 const std::vector<std::unique_ptr<obs::JsonlTailReader>>& rd,
+                 const DashOptions& opts, bool ansi) {
+  if (ansi) std::fprintf(out, "\x1b[2J\x1b[H");
+  const auto campaigns = agg.campaigns();
+  std::size_t lines = 0, errors = 0, truncations = 0;
+  for (const auto& r : rd) {
+    lines += r->lines_read();
+    errors += r->parse_errors();
+    truncations += r->truncations();
+  }
+  std::fprintf(out,
+               "bdlfi campaign dashboard — %zu campaign(s), %zu stream(s), "
+               "%zu event(s)",
+               campaigns.size(), rd.size(), agg.events_seen());
+  if (agg.seq_gaps() + errors + truncations > 0) {
+    std::fprintf(out, "  [%zu seq gap(s), %zu parse error(s), %zu restart(s)]",
+                 agg.seq_gaps(), errors, truncations);
+  }
+  std::fprintf(out, "\n\n");
+
+  const char* reset = ansi ? "\x1b[0m" : "";
+  for (const obs::CampaignState* c : campaigns) {
+    std::vector<double> rhats;
+    rhats.reserve(c->trend.size());
+    for (const auto& t : c->trend) rhats.push_back(t.rhat);
+
+    std::fprintf(out, "%s%s%s %.8s  %s%s%s  backend=%s  p=%.3g\n",
+                 status_color(*c, ansi), ansi ? "●" : "*", reset,
+                 c->campaign_id.c_str(), c->label.c_str(),
+                 c->subject.empty() ? "" : "  subject=",
+                 c->subject.c_str(),
+                 c->backend.empty() ? "?" : c->backend.c_str(), c->p);
+    std::fprintf(out,
+                 "  %s%s%s  round %zu/%zu (%.0f%% of budget)  eta %s\n",
+                 status_color(*c, ansi), status_word(*c), reset,
+                 c->rounds_seen, c->rounds_budget, 100.0 * c->completeness(),
+                 format_eta(c->eta_seconds()).c_str());
+    std::fprintf(out,
+                 "  rhat %.4f (%+.4f/round)  ess %.0f  mean %.3f%%  "
+                 "accept %.2f  %s\n",
+                 c->rhat, c->rhat_trend(opts.trend_window), c->ess,
+                 c->mean_error, c->acceptance_rate, spark(rhats).c_str());
+    std::fprintf(out,
+                 "  %.0f evals/s (ewma)  cache-hit %.0f%%  samples %zu  "
+                 "evals %zu\n",
+                 c->evals_per_sec.value(), 100.0 * c->cache_hit_rate,
+                 c->samples, c->network_evals);
+    std::fprintf(out,
+                 "  outcomes masked=%zu sdc=%zu detected=%zu corrected=%zu  "
+                 "det-cov %.0f%%  sdc %.2f%%\n",
+                 c->outcome_masked, c->outcome_sdc, c->outcome_detected,
+                 c->outcome_corrected, 100.0 * c->detection_coverage,
+                 100.0 * c->sdc_rate);
+    if (c->chains_quarantined + c->retries + c->quarantine_events > 0 ||
+        c->degraded) {
+      std::fprintf(out, "  health: %zu quarantined%s, %zu retry event(s)\n",
+                   c->chains_quarantined, c->degraded ? " (degraded)" : "",
+                   c->retries);
+    }
+    if (c->round_latency.present) {
+      std::fprintf(out,
+                   "  round latency p50=%.3gs p95=%.3gs p99=%.3gs (n=%llu)\n",
+                   c->round_latency.p50, c->round_latency.p95,
+                   c->round_latency.p99,
+                   static_cast<unsigned long long>(c->round_latency.count));
+    }
+    if (!c->checkpoints.empty()) {
+      const auto& last = c->checkpoints.back();
+      std::fprintf(out, "  checkpoints: %zu (latest round %zu: %s)\n",
+                   c->checkpoints.size(), last.round, last.path.c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  if (ansi) {
+    for (const auto& r : rd) {
+      std::fprintf(out, "stream %s: %llu bytes, %zu line(s)\n",
+                   r->path().c_str(),
+                   static_cast<unsigned long long>(r->offset()),
+                   r->lines_read());
+    }
+  }
+  std::fflush(out);
+}
+
+/// Aggregate state as one strict JSON document (the --json export and the
+/// machine-readable block embedded in the HTML report).
+std::string state_to_json(const obs::EventAggregator& agg,
+                          const std::vector<std::string>& streams,
+                          const DashOptions& opts) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("generated_by", "bdlfi_dash");
+  w.key("streams").begin_array();
+  for (const auto& s : streams) w.string(s);
+  w.end_array();
+  w.field("events_seen", static_cast<std::uint64_t>(agg.events_seen()));
+  w.field("events_ignored", static_cast<std::uint64_t>(agg.events_ignored()));
+  w.field("seq_gaps", static_cast<std::uint64_t>(agg.seq_gaps()));
+  w.key("campaigns").begin_array();
+  for (const obs::CampaignState* c : agg.campaigns()) {
+    w.begin_object();
+    w.field("campaign_id", c->campaign_id);
+    w.field("label", c->label);
+    w.field("backend", c->backend);
+    w.field("subject", c->subject);
+    w.field("status", status_word(*c));
+    w.field("p", c->p);
+    w.field("chains", static_cast<std::uint64_t>(c->chains));
+    w.field("samples_per_round",
+            static_cast<std::uint64_t>(c->samples_per_round));
+    w.field("rounds_seen", static_cast<std::uint64_t>(c->rounds_seen));
+    w.field("rounds_budget", static_cast<std::uint64_t>(c->rounds_budget));
+    w.field("completeness", c->completeness());
+    w.field("eta_s", c->eta_seconds());
+    w.field("rhat", c->rhat);
+    w.field("rhat_trend", c->rhat_trend(opts.trend_window));
+    w.field("ess", c->ess);
+    w.field("mean_error", c->mean_error);
+    w.field("acceptance_rate", c->acceptance_rate);
+    w.field("cache_hit_rate", c->cache_hit_rate);
+    w.field("samples", static_cast<std::uint64_t>(c->samples));
+    w.field("network_evals", static_cast<std::uint64_t>(c->network_evals));
+    w.field("evals_per_sec_ewma", c->evals_per_sec.value());
+    w.field("round_seconds_ewma", c->round_seconds.value());
+    w.field("detection_coverage", c->detection_coverage);
+    w.field("sdc_rate", c->sdc_rate);
+    w.field("outcome_masked", static_cast<std::uint64_t>(c->outcome_masked));
+    w.field("outcome_sdc", static_cast<std::uint64_t>(c->outcome_sdc));
+    w.field("outcome_detected",
+            static_cast<std::uint64_t>(c->outcome_detected));
+    w.field("outcome_corrected",
+            static_cast<std::uint64_t>(c->outcome_corrected));
+    w.field("chains_quarantined",
+            static_cast<std::uint64_t>(c->chains_quarantined));
+    w.field("degraded", c->degraded);
+    w.field("retries", static_cast<std::uint64_t>(c->retries));
+    w.field("quarantine_events",
+            static_cast<std::uint64_t>(c->quarantine_events));
+    w.field("begun", c->begun);
+    w.field("ended", c->ended);
+    w.field("converged", c->converged);
+    if (c->round_latency.present) {
+      w.key("round_latency").begin_object();
+      w.field("p50", c->round_latency.p50);
+      w.field("p95", c->round_latency.p95);
+      w.field("p99", c->round_latency.p99);
+      w.field("count", c->round_latency.count);
+      w.end_object();
+    }
+    w.key("trend").begin_array();
+    for (const auto& t : c->trend) {
+      w.begin_object();
+      w.field("round", static_cast<std::uint64_t>(t.round));
+      w.field("rhat", t.rhat);
+      w.field("ess", t.ess);
+      w.field("mean_error", t.mean_error);
+      w.field("sdc_rate", t.sdc_rate);
+      w.field("samples", static_cast<std::uint64_t>(t.samples));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("checkpoints").begin_array();
+    for (const auto& ck : c->checkpoints) {
+      w.begin_object();
+      w.field("round", static_cast<std::uint64_t>(ck.round));
+      w.field("path", ck.path);
+      w.field("ts_ms", ck.ts_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Inline SVG sparkline: a polyline over the series, no external assets.
+std::string svg_spark(const std::vector<double>& values, const char* stroke) {
+  const int kW = 260, kH = 48, kPad = 3;
+  std::string svg = "<svg class=\"spark\" width=\"" + std::to_string(kW) +
+                    "\" height=\"" + std::to_string(kH) +
+                    "\" viewBox=\"0 0 " + std::to_string(kW) + " " +
+                    std::to_string(kH) + "\">";
+  if (values.size() >= 2) {
+    double lo = values[0], hi = values[0];
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    std::string points;
+    char buf[48];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double x =
+          kPad + (kW - 2.0 * kPad) * static_cast<double>(i) /
+                     static_cast<double>(values.size() - 1);
+      const double y = kH - kPad - (kH - 2.0 * kPad) * (values[i] - lo) / span;
+      std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+      points += buf;
+    }
+    svg += "<polyline fill=\"none\" stroke=\"";
+    svg += stroke;
+    svg += "\" stroke-width=\"1.5\" points=\"" + points + "\"/>";
+  }
+  svg += "</svg>";
+  return svg;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '&') out += "&amp;";
+    else if (c == '<') out += "&lt;";
+    else if (c == '>') out += "&gt;";
+    else out += c;
+  }
+  return out;
+}
+
+bool write_html(const std::string& path, const obs::EventAggregator& agg,
+                const DashOptions& opts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bdlfi_dash: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string html;
+  html += "<!doctype html><html><head><meta charset=\"utf-8\">"
+          "<title>bdlfi campaign report</title><style>"
+          "body{font-family:system-ui,sans-serif;margin:2rem;color:#1c2733}"
+          "h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem}"
+          "table{border-collapse:collapse;margin:0.5rem 0}"
+          "td,th{border:1px solid #c7d0d9;padding:0.25rem 0.6rem;"
+          "font-size:0.85rem;text-align:left}"
+          "th{background:#eef2f5}.ok{color:#1a7f37}.bad{color:#b42318}"
+          ".run{color:#8a6d00}.spark{vertical-align:middle}"
+          "code{background:#f2f4f6;padding:0 0.2rem}</style></head><body>";
+  html += "<h1>bdlfi campaign report</h1>";
+  html += "<p>" + std::to_string(agg.campaigns().size()) + " campaign(s), " +
+          std::to_string(agg.events_seen()) + " event(s), " +
+          std::to_string(agg.seq_gaps()) + " seq gap(s)</p>";
+
+  // Cross-campaign sensitivity table: one row per campaign/subject so a
+  // per-layer campaign set reads as the paper's layer-sensitivity ranking.
+  html += "<h2>Sensitivity</h2><table><tr><th>campaign</th><th>subject</th>"
+          "<th>p</th><th>mean error %</th><th>SDC rate</th>"
+          "<th>detection coverage</th><th>status</th></tr>";
+  for (const obs::CampaignState* c : agg.campaigns()) {
+    char row[512];
+    const char* cls = !c->ended ? "run" : (c->converged ? "ok" : "bad");
+    std::snprintf(row, sizeof(row),
+                  "<tr><td><code>%.8s</code> %s</td><td>%s</td>"
+                  "<td>%.3g</td><td>%.3f</td><td>%.2f%%</td><td>%.0f%%</td>"
+                  "<td class=\"%s\">%s</td></tr>",
+                  c->campaign_id.c_str(), html_escape(c->label).c_str(),
+                  html_escape(c->subject.empty() ? "(whole network)"
+                                                 : c->subject)
+                      .c_str(),
+                  c->p, c->mean_error, 100.0 * c->sdc_rate,
+                  100.0 * c->detection_coverage, cls, status_word(*c));
+    html += row;
+  }
+  html += "</table>";
+
+  for (const obs::CampaignState* c : agg.campaigns()) {
+    std::vector<double> rhats, esses, sdcs;
+    for (const auto& t : c->trend) {
+      rhats.push_back(t.rhat);
+      esses.push_back(t.ess);
+      sdcs.push_back(t.sdc_rate);
+    }
+    html += "<h2><code>" + html_escape(c->campaign_id) + "</code> " +
+            html_escape(c->label) + "</h2>";
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "<table>"
+        "<tr><th>status</th><td>%s</td><th>backend</th><td>%s</td></tr>"
+        "<tr><th>p</th><td>%.3g</td><th>chains</th><td>%zu</td></tr>"
+        "<tr><th>round</th><td>%zu / %zu (%.0f%%)</td>"
+        "<th>ETA</th><td>%s</td></tr>"
+        "<tr><th>R-hat</th><td>%.4f (%+.4f/round)</td>"
+        "<th>ESS</th><td>%.0f</td></tr>"
+        "<tr><th>mean error</th><td>%.3f%%</td>"
+        "<th>evals/s (ewma)</th><td>%.0f</td></tr>"
+        "<tr><th>outcomes</th>"
+        "<td colspan=\"3\">masked=%zu sdc=%zu detected=%zu corrected=%zu "
+        "(det-cov %.0f%%, sdc %.2f%%)</td></tr>"
+        "<tr><th>health</th><td colspan=\"3\">%zu quarantined%s, "
+        "%zu retry event(s), %zu checkpoint(s)</td></tr>",
+        status_word(*c), html_escape(c->backend).c_str(), c->p, c->chains,
+        c->rounds_seen, c->rounds_budget, 100.0 * c->completeness(),
+        format_eta(c->eta_seconds()).c_str(), c->rhat,
+        c->rhat_trend(opts.trend_window), c->ess, c->mean_error,
+        c->evals_per_sec.value(), c->outcome_masked, c->outcome_sdc,
+        c->outcome_detected, c->outcome_corrected,
+        100.0 * c->detection_coverage, 100.0 * c->sdc_rate,
+        c->chains_quarantined, c->degraded ? " (degraded)" : "", c->retries,
+        c->checkpoints.size());
+    html += buf;
+    if (c->round_latency.present) {
+      std::snprintf(buf, sizeof(buf),
+                    "<tr><th>round latency</th><td colspan=\"3\">"
+                    "p50=%.3gs p95=%.3gs p99=%.3gs (n=%llu)</td></tr>",
+                    c->round_latency.p50, c->round_latency.p95,
+                    c->round_latency.p99,
+                    static_cast<unsigned long long>(c->round_latency.count));
+      html += buf;
+    }
+    html += "</table>";
+    html += "<table><tr><th>R-hat</th><th>ESS</th><th>SDC rate</th></tr>"
+            "<tr><td>" + svg_spark(rhats, "#b42318") + "</td><td>" +
+            svg_spark(esses, "#1a7f37") + "</td><td>" +
+            svg_spark(sdcs, "#6941c6") + "</td></tr></table>";
+  }
+
+  // Machine-readable copy of everything rendered above, produced by the
+  // same strict writer the event stream uses.
+  html += "<script id=\"bdlfi-state\" type=\"application/json\">";
+  html += state_to_json(agg, opts.streams, opts);
+  html += "</script></body></html>\n";
+  const bool ok = std::fwrite(html.data(), 1, html.size(), f) == html.size();
+  std::fclose(f);
+  if (ok) std::printf("[html written to %s]\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DashOptions opts;
+  if (!parse_args(argc, argv, &opts)) return 1;
+
+  obs::EventAggregator agg;
+  std::vector<std::unique_ptr<obs::JsonlTailReader>> readers;
+  readers.reserve(opts.streams.size());
+  for (const auto& path : opts.streams) {
+    readers.push_back(std::make_unique<obs::JsonlTailReader>(path));
+  }
+
+  const auto poll_all = [&]() {
+    std::size_t added = 0;
+    for (auto& r : readers) {
+      std::vector<obs::JsonValue> events;
+      added += r->poll(&events);
+      agg.ingest_all(events, r->path());
+    }
+    return added;
+  };
+
+  if (opts.follow) {
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      poll_all();
+      render_text(stdout, agg, readers, opts, /*ansi=*/true);
+      const auto campaigns = agg.campaigns();
+      const bool all_done =
+          !campaigns.empty() &&
+          std::all_of(campaigns.begin(), campaigns.end(),
+                      [](const obs::CampaignState* c) { return c->ended; });
+      if (all_done) break;
+      if (opts.max_seconds > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (elapsed >= opts.max_seconds) break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.interval_ms));
+    }
+  } else {
+    poll_all();
+    render_text(stdout, agg, readers, opts, /*ansi=*/false);
+  }
+
+  if (!opts.json_path.empty()) {
+    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bdlfi_dash: cannot write %s\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+    const std::string doc = state_to_json(agg, opts.streams, opts);
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[json written to %s]\n", opts.json_path.c_str());
+  }
+  if (!opts.html_path.empty() && !write_html(opts.html_path, agg, opts)) {
+    return 1;
+  }
+
+  if (opts.require_campaigns > 0 &&
+      agg.campaigns().size() < opts.require_campaigns) {
+    std::fprintf(stderr,
+                 "bdlfi_dash: %zu campaign(s) seen, %zu required\n",
+                 agg.campaigns().size(), opts.require_campaigns);
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// bench_track — appends BENCH_<name>.json results to the bench-history
+// ledger and gates on regressions against the best prior result with the
+// same config fingerprint.
+//
+//   bench_track [--history=bench_results/history.jsonl] [--threshold=0.35]
+//               [--include-smoke] [--check-only] [--truncate] [--scale=X]
+//               BENCH_kernels.json BENCH_abft.json ...
+//
+// Every document is always recorded (a flight recorder keeps the bad flights
+// too — and the "best prior" baseline is immune to slow entries); the exit
+// code is the alarm. Smoke-sized runs are recorded but only gate with
+// --include-smoke: their workloads are too small to time reliably on a busy
+// machine, except in the deliberately self-consistent ctest chain.
+//
+// --scale multiplies the extracted headline metric before recording — a
+// what-if/self-test knob: the ctest chain replays a recorded result with
+// --scale=0.5 to prove a 2x slowdown actually trips the gate.
+//
+// Exit codes: 0 ok, 1 regression detected, 2 bad usage/unreadable input.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/history.h"
+#include "obs/json.h"
+
+using namespace bdlfi;
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// BENCH_<name>.json (any directory) -> <name>.
+std::string bench_name_from_path(const std::string& path) {
+  std::string stem = std::filesystem::path(path).stem().string();
+  if (stem.rfind("BENCH_", 0) == 0) stem = stem.substr(6);
+  return stem;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string history_path = "bench_results/history.jsonl";
+  double threshold = 0.35;
+  double scale = 1.0;
+  bool include_smoke = false, check_only = false, truncate = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--history=")) {
+      history_path = v;
+    } else if (const char* v = value("--threshold=")) {
+      threshold = std::atof(v);
+    } else if (const char* v = value("--scale=")) {
+      scale = std::atof(v);
+    } else if (arg == "--include-smoke") {
+      include_smoke = true;
+    } else if (arg == "--check-only") {
+      check_only = true;
+    } else if (arg == "--truncate") {
+      truncate = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_track: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: bench_track [--history=F] [--threshold=X] [--include-smoke]\n"
+        "                   [--check-only] [--truncate] [--scale=X] "
+        "BENCH_*.json...\n");
+    return 2;
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::path(history_path).parent_path();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  if (truncate) {
+    std::error_code ec;
+    std::filesystem::remove(history_path, ec);
+  }
+
+  std::size_t skipped = 0;
+  const std::vector<bench::HistoryEntry> prior =
+      bench::load_history(history_path, &skipped);
+  if (skipped > 0) {
+    std::fprintf(stderr, "bench_track: skipped %zu malformed history line(s)\n",
+                 skipped);
+  }
+
+  bool any_regression = false;
+  for (const std::string& input : inputs) {
+    std::string text, error;
+    if (!read_file(input, &text)) {
+      std::fprintf(stderr, "bench_track: cannot read %s\n", input.c_str());
+      return 2;
+    }
+    const auto doc = obs::json_parse(text, &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "bench_track: %s: %s\n", input.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    auto entry =
+        bench::entry_from_bench_doc(*doc, bench_name_from_path(input), &error);
+    if (!entry.has_value()) {
+      std::fprintf(stderr, "bench_track: %s: %s\n", input.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    entry->value *= scale;
+    entry->ts_ms = wall_ms();
+
+    const bench::RegressionCheck check =
+        bench::check_regression(prior, *entry, threshold);
+    const bool gated = include_smoke || !entry->smoke;
+    const char* verdict = "recorded (no baseline)";
+    if (check.has_baseline) {
+      if (!gated) {
+        verdict = "smoke: informational only";
+      } else if (check.regression) {
+        verdict = "REGRESSION";
+        any_regression = true;
+      } else {
+        verdict = "ok";
+      }
+    }
+    std::printf("%-10s %s=%.4g%s fingerprint=%.8s", entry->bench.c_str(),
+                entry->metric.c_str(), entry->value,
+                entry->smoke ? " (smoke)" : "", entry->fingerprint.c_str());
+    if (check.has_baseline) {
+      std::printf("  best=%.4g (%+.0f%% vs best)", check.best,
+                  100.0 * (entry->higher_is_better
+                               ? (entry->value - check.best) / check.best
+                               : (check.best - entry->value) / check.best));
+    }
+    std::printf("  -> %s\n", verdict);
+
+    if (!check_only && !bench::append_history(history_path, *entry)) {
+      std::fprintf(stderr, "bench_track: cannot append to %s\n",
+                   history_path.c_str());
+      return 2;
+    }
+  }
+  if (any_regression) {
+    std::fprintf(stderr,
+                 "bench_track: regression beyond %.0f%% threshold (see "
+                 "%s for the ledger)\n",
+                 100.0 * threshold, history_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 // Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
 // ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
 // DESIGN.md promises, with the same parser the obs tests use.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -328,13 +329,17 @@ bool check_mask_eval(const obs::JsonValue& doc, std::string* error) {
   return true;
 }
 
-/// Second pass over an already-jsonl_valid stream: campaign "round" events
-/// must carry the numeric fault-outcome taxonomy fields the reporter
-/// promises (DESIGN.md §6/§9).
+/// Second pass over an already-jsonl_valid stream: every campaign event must
+/// carry the flight-recorder envelope (16-hex campaign_id plus a strictly
+/// increasing per-file seq), round events the numeric fault-outcome taxonomy
+/// and throughput fields, and campaign_end its convergence verdict
+/// (DESIGN.md §6/§9/§11).
 bool check_round_events(const std::string& text, std::string* error) {
   std::istringstream stream(text);
   std::string line;
   std::size_t line_no = 0;
+  std::uint64_t last_seq = 0;
+  bool seq_seen = false;
   while (std::getline(stream, line)) {
     ++line_no;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -342,15 +347,51 @@ bool check_round_events(const std::string& text, std::string* error) {
     const auto doc = obs::json_parse(line, &parse_error);
     if (!doc.has_value() || !doc->is_object()) continue;  // jsonl_valid passed
     const obs::JsonValue* event = doc->find("event");
-    if (event == nullptr || !event->is_string() ||
-        event->as_string() != "round") {
-      continue;
+    if (event == nullptr || !event->is_string()) continue;
+    const std::string at = "line " + std::to_string(line_no);
+
+    const obs::JsonValue* id = doc->find("campaign_id");
+    if (id == nullptr || !id->is_string() || !is_hex64(id->as_string())) {
+      *error = at + ": \"" + event->as_string() +
+               "\" event: campaign_id must be 16 lowercase hex digits";
+      return false;
     }
-    for (const char* key : {"detection_coverage", "sdc_rate"}) {
-      const obs::JsonValue* v = doc->find(key);
-      if (v == nullptr || !v->is_number()) {
-        *error = "line " + std::to_string(line_no) +
-                 ": round event has bad or missing \"" + key + "\"";
+    const obs::JsonValue* seq = doc->find("seq");
+    if (seq == nullptr || !seq->is_number() || seq->as_number() < 1) {
+      *error = at + ": \"" + event->as_string() +
+               "\" event has bad or missing \"seq\"";
+      return false;
+    }
+    const auto s = static_cast<std::uint64_t>(seq->as_number());
+    if (seq_seen && s <= last_seq) {
+      *error = at + ": seq " + std::to_string(s) +
+               " not strictly increasing (previous " +
+               std::to_string(last_seq) + ")";
+      return false;
+    }
+    seq_seen = true;
+    last_seq = s;
+
+    if (event->as_string() == "round") {
+      for (const char* key :
+           {"detection_coverage", "sdc_rate", "outcome_masked", "outcome_sdc",
+            "outcome_detected", "outcome_corrected", "evals_per_sec_ewma",
+            "eta_s", "rounds_budget"}) {
+        const obs::JsonValue* v = doc->find(key);
+        if (v == nullptr || !v->is_number()) {
+          *error = at + ": round event has bad or missing \"" + key + "\"";
+          return false;
+        }
+      }
+    } else if (event->as_string() == "campaign_end") {
+      const obs::JsonValue* converged = doc->find("converged");
+      if (converged == nullptr || !converged->is_bool()) {
+        *error = at + ": campaign_end has bad or missing \"converged\"";
+        return false;
+      }
+      const obs::JsonValue* rounds = doc->find("rounds");
+      if (rounds == nullptr || !rounds->is_number()) {
+        *error = at + ": campaign_end has bad or missing \"rounds\"";
         return false;
       }
     }
