@@ -72,3 +72,15 @@ done
 echo "=== flight-recorder / dashboard suite ==="
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'JsonlTailReader|EventAggregator|FlightRecorder|HistogramQuantiles|BenchHistory|dash_|bench_track_|cli_obs'
+
+# Targeted fleet pass: the multiprocess supervisor is the newest
+# signal-and-lifetime-heavy path (fork/waitpid bookkeeping, SIGKILL'd
+# children, stale-lock breaking, post-fork thread-pool reinit), exactly the
+# territory where use-after-free and leaked-fd bugs hide. Run the fleet unit
+# suite, the checkpoint-lock tests, and the end-to-end CLI chain (spec →
+# chaos-killed fleet → byte-equal results → dash over the output tree)
+# sanitized. ASan makes the forked workers slower, which only widens the
+# window the chaos kill needs — the chain's timing gets easier, not tighter.
+echo "=== fleet orchestration suite ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'FleetSpec|FleetRunTest|CheckpointDirLock|fleet_'

@@ -1,0 +1,126 @@
+// Fleet runner: crash-tolerant multiprocess campaign orchestration.
+//
+// run_fleet shards the campaigns of a FleetSpec across fork()ed worker
+// processes — up to `workers` at a time, each running one campaign through
+// run_worker with its own checkpoint dir and JSONL metrics stream. The
+// supervising parent never blocks on a child: it reaps exits with
+// waitpid(WNOHANG), tails each worker's metrics stream as a heartbeat
+// (JsonlTailReader, torn-line safe), and applies the same retry/quarantine
+// policy chains get inside a worker, one level up:
+//
+//  * a worker that crashes (signal, nonzero exit) is restarted with bounded
+//    exponential backoff (mcmc::ChainSupervisor::backoff_ms), resuming from
+//    the campaign's last atomic checkpoint — bit-exact, so a kill -9
+//    mid-round is invisible in the final result;
+//  * a worker whose heartbeat stalls past worker_timeout_ms is presumed
+//    hung, killed, and restarted the same way;
+//  * a campaign that exhausts max_worker_retries is quarantined: the fleet
+//    keeps running everything else and the exit code reports the partial
+//    completion.
+//
+// SIGINT/SIGTERM are forwarded to every live worker (util::interrupt
+// forwarding hook), so one Ctrl-C stops the whole tree gracefully: workers
+// checkpoint their last complete round and exit, the parent reaps them all
+// (no zombies), and `bdlfi fleet --resume` continues the fleet.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/spec.h"
+
+namespace bdlfi::fleet {
+
+/// A worker lifecycle incident, mirrored into <out>/fleet.jsonl and the
+/// optional event hook (tests subscribe to assert restart behavior).
+struct WorkerEvent {
+  /// "worker_start" | "worker_exit" | "worker_restart".
+  std::string type;
+  std::string campaign;
+  std::string campaign_id;
+  long pid = 0;
+  /// 1-based launch attempt the event belongs to (for worker_restart: the
+  /// upcoming attempt being scheduled).
+  std::size_t attempt = 0;
+  /// worker_exit: exit code (-1 when the worker died to a signal).
+  int exit_code = -1;
+  /// worker_exit: terminating signal (0 for a normal exit).
+  int term_signal = 0;
+  /// Rounds observed on the worker's metrics stream so far.
+  std::size_t rounds = 0;
+  /// worker_restart: scheduled backoff before the next launch.
+  double backoff_ms = 0.0;
+  /// worker_exit: "completed" | "not_converged" | "interrupted" | a failure
+  /// reason ("signal:9", "exit:4", "hung").
+  /// worker_restart: the failure reason being retried.
+  std::string outcome;
+};
+
+struct FleetOptions {
+  /// Fleet output directory: <out>/campaigns/<name>/..., <out>/fleet.jsonl,
+  /// <out>/summary.csv.
+  std::string out_dir = "fleet_out";
+  /// Resume every campaign from its checkpoint (a fresh campaign ignores it).
+  bool resume = false;
+  /// Overrides FleetSpec::workers when nonzero.
+  std::size_t workers = 0;
+  /// Supervisor poll cadence (heartbeats, reaping, launches).
+  double poll_interval_ms = 50.0;
+  /// Fault-injection hook for the fleet itself: SIGKILL each campaign's
+  /// worker once its stream reports this many rounds (once per campaign;
+  /// 0 = off). The restarted attempt must resume bit-exactly — the ctest
+  /// smoke chain and fleet_test compare result.json byte-for-byte against
+  /// an unkilled run.
+  std::size_t chaos_kill_round = 0;
+  /// Invoked on every WorkerEvent (after it is logged). Test hook.
+  std::function<void(const WorkerEvent&)> event_hook;
+  /// Suppress the per-event progress lines and final table on stdout.
+  bool quiet = false;
+};
+
+/// Terminal state of one campaign after the fleet finishes.
+struct CampaignOutcome {
+  CampaignSpec spec;
+  /// "completed" | "not_converged" | "quarantined" | "interrupted".
+  std::string status;
+  /// Worker launches consumed (1 = no restarts).
+  std::size_t attempts = 0;
+  /// Rounds seen on the final attempt's metrics stream.
+  std::size_t rounds = 0;
+  /// Exit code of the last worker (-1 when it died to a signal).
+  int exit_code = -1;
+  /// Last restart/quarantine reason ("" when the campaign never failed).
+  std::string last_failure;
+  // Pooled results parsed back from the worker's result.json (zero when the
+  // campaign produced none).
+  double mean_error = 0.0;
+  double rhat = 0.0;
+  double ess = 0.0;
+  double sdc_rate = 0.0;
+  double detection_coverage = 0.0;
+  std::size_t total_samples = 0;
+};
+
+struct FleetResult {
+  std::vector<CampaignOutcome> campaigns;
+  std::size_t completed = 0;      // converged
+  std::size_t not_converged = 0;  // terminal, round budget exhausted
+  std::size_t quarantined = 0;    // retries exhausted
+  bool interrupted = false;
+
+  /// Fleet exit code, worst outcome wins: 5 interrupted, 4 any campaign
+  /// quarantined, 3 any campaign unconverged, else 0.
+  int exit_code() const;
+};
+
+/// Cross-campaign summary table (one row per campaign).
+std::string summary_table(const FleetResult& result);
+bool write_summary_csv(const FleetResult& result, const std::string& path);
+
+/// Runs the whole fleet to completion. On platforms without fork/waitpid the
+/// campaigns run sequentially in-process (no crash tolerance, same results).
+FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options);
+
+}  // namespace bdlfi::fleet

@@ -1,0 +1,459 @@
+#include "fleet/spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/stream.h"
+
+namespace bdlfi::fleet {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::string fmt_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_short(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// The sweep axes: the only keys whose value may be an array (expanding the
+/// campaign into the cross product). Order fixed — it is the expansion order
+/// and therefore part of the deterministic naming contract.
+const char* const kAxisKeys[] = {"p", "avf", "target", "abft", "backend",
+                                 "layer"};
+
+bool is_axis_key(const std::string& key) {
+  for (const char* axis : kAxisKeys) {
+    if (key == axis) return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& campaign_keys() {
+  static const std::set<std::string> keys = {
+      "model",       "ckpt",
+      "width",       "image_size",
+      "samples",     "samples_per_class",
+      "data_seed",   "init_seed",
+      "p",           "avf",
+      "target",      "abft",
+      "layer",       "backend",
+      "sampler",     "chains",
+      "samples_per_chain", "burn_in",
+      "thin",        "mask_batch",
+      "seed",        "rhat",
+      "tol",         "max_rounds",
+      "round_timeout_ms", "max_chain_retries",
+      "min_acceptance", "max_evals_per_round",
+      "retry_backoff_ms"};
+  return keys;
+}
+
+bool get_double(const obs::JsonValue& v, const std::string& key, double* out,
+                std::string* error) {
+  if (!v.is_number()) return fail(error, "'" + key + "' must be a number");
+  *out = v.as_number();
+  if (!std::isfinite(*out)) return fail(error, "'" + key + "' must be finite");
+  return true;
+}
+
+bool get_count(const obs::JsonValue& v, const std::string& key,
+               std::size_t* out, std::string* error) {
+  double d;
+  if (!get_double(v, key, &d, error)) return false;
+  if (d < 0.0 || d != std::floor(d)) {
+    return fail(error, "'" + key + "' must be a non-negative integer");
+  }
+  *out = static_cast<std::size_t>(d);
+  return true;
+}
+
+bool get_u64(const obs::JsonValue& v, const std::string& key,
+             std::uint64_t* out, std::string* error) {
+  std::size_t n;
+  if (!get_count(v, key, &n, error)) return false;
+  *out = static_cast<std::uint64_t>(n);
+  return true;
+}
+
+bool get_string(const obs::JsonValue& v, const std::string& key,
+                std::string* out, std::string* error) {
+  if (!v.is_string()) return fail(error, "'" + key + "' must be a string");
+  *out = v.as_string();
+  return true;
+}
+
+/// Applies one scalar field to the spec. Type errors name the key.
+bool apply_field(CampaignSpec& c, const std::string& key,
+                 const obs::JsonValue& v, std::string* error) {
+  // Strings.
+  if (key == "model") return get_string(v, key, &c.model, error);
+  if (key == "ckpt") return get_string(v, key, &c.ckpt, error);
+  if (key == "avf") return get_string(v, key, &c.avf, error);
+  if (key == "target") return get_string(v, key, &c.target, error);
+  if (key == "abft") return get_string(v, key, &c.abft, error);
+  if (key == "layer") return get_string(v, key, &c.layer, error);
+  if (key == "backend") return get_string(v, key, &c.backend, error);
+  if (key == "sampler") return get_string(v, key, &c.sampler, error);
+  // Doubles.
+  if (key == "width") return get_double(v, key, &c.width, error);
+  if (key == "p") return get_double(v, key, &c.p, error);
+  if (key == "rhat") return get_double(v, key, &c.rhat, error);
+  if (key == "tol") return get_double(v, key, &c.tol, error);
+  if (key == "round_timeout_ms") {
+    return get_double(v, key, &c.round_timeout_ms, error);
+  }
+  if (key == "min_acceptance") {
+    return get_double(v, key, &c.min_acceptance, error);
+  }
+  if (key == "retry_backoff_ms") {
+    return get_double(v, key, &c.retry_backoff_ms, error);
+  }
+  // Counts.
+  if (key == "samples") return get_count(v, key, &c.samples, error);
+  if (key == "samples_per_class") {
+    return get_count(v, key, &c.samples_per_class, error);
+  }
+  if (key == "chains") return get_count(v, key, &c.chains, error);
+  if (key == "samples_per_chain") {
+    return get_count(v, key, &c.samples_per_chain, error);
+  }
+  if (key == "burn_in") return get_count(v, key, &c.burn_in, error);
+  if (key == "thin") return get_count(v, key, &c.thin, error);
+  if (key == "mask_batch") return get_count(v, key, &c.mask_batch, error);
+  if (key == "max_rounds") return get_count(v, key, &c.max_rounds, error);
+  if (key == "max_chain_retries") {
+    return get_count(v, key, &c.max_chain_retries, error);
+  }
+  if (key == "max_evals_per_round") {
+    return get_count(v, key, &c.max_evals_per_round, error);
+  }
+  // Seeds / sizes.
+  if (key == "data_seed") return get_u64(v, key, &c.data_seed, error);
+  if (key == "init_seed") return get_u64(v, key, &c.init_seed, error);
+  if (key == "seed") return get_u64(v, key, &c.seed, error);
+  if (key == "image_size") {
+    std::size_t n;
+    if (!get_count(v, key, &n, error)) return false;
+    c.image_size = static_cast<std::int64_t>(n);
+    return true;
+  }
+  return fail(error, "unknown campaign key '" + key + "'");
+}
+
+bool one_of(const std::string& value, std::initializer_list<const char*> opts) {
+  for (const char* o : opts) {
+    if (value == o) return true;
+  }
+  return false;
+}
+
+bool validate_campaign(const CampaignSpec& c, std::string* error) {
+  const std::string where = "campaign '" + c.name + "': ";
+  if (c.name.empty()) return fail(error, "campaign name must not be empty");
+  for (const char ch : c.name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' ||
+                    ch == '.' || ch == '=';
+    if (!ok) {
+      return fail(error, where + "name contains '" + std::string(1, ch) +
+                             "' (allowed: alphanumerics - _ . =)");
+    }
+  }
+  if (c.ckpt.empty()) return fail(error, where + "'ckpt' is required");
+  if (!one_of(c.model, {"mlp", "resnet"})) {
+    return fail(error, where + "unknown model '" + c.model + "' (mlp|resnet)");
+  }
+  if (!one_of(c.avf, {"uniform", "exponent", "mantissa", "sign-exponent"})) {
+    return fail(error, where + "unknown avf '" + c.avf +
+                           "' (uniform|exponent|mantissa|sign-exponent)");
+  }
+  if (!one_of(c.target, {"params", "compute"})) {
+    return fail(error,
+                where + "unknown target '" + c.target + "' (params|compute)");
+  }
+  if (!one_of(c.abft, {"off", "detect", "correct"})) {
+    return fail(error,
+                where + "unknown abft '" + c.abft + "' (off|detect|correct)");
+  }
+  if (!one_of(c.backend, {"scalar", "avx2", "auto"})) {
+    return fail(error, where + "unknown backend '" + c.backend +
+                           "' (scalar|avx2|auto)");
+  }
+  if (!one_of(c.sampler, {"mh", "gibbs"})) {
+    return fail(error,
+                where + "unknown sampler '" + c.sampler + "' (mh|gibbs)");
+  }
+  if (c.p <= 0.0 || c.p >= 1.0) {
+    return fail(error, where + "'p' must be in (0, 1)");
+  }
+  if (c.chains == 0) return fail(error, where + "'chains' must be >= 1");
+  if (c.samples_per_chain == 0) {
+    return fail(error, where + "'samples_per_chain' must be >= 1");
+  }
+  if (c.thin == 0) return fail(error, where + "'thin' must be >= 1");
+  if (c.mask_batch == 0) return fail(error, where + "'mask_batch' must be >= 1");
+  if (c.max_rounds == 0) return fail(error, where + "'max_rounds' must be >= 1");
+  return true;
+}
+
+/// Value of an axis entry rendered for the expanded campaign's name suffix.
+std::string axis_suffix_value(const obs::JsonValue& v) {
+  if (v.is_string()) return v.as_string().empty() ? "none" : v.as_string();
+  if (v.is_number()) return fmt_short(v.as_number());
+  return "invalid";
+}
+
+}  // namespace
+
+std::string CampaignSpec::canonical() const {
+  // Fixed field order; every resolved knob participates, so two campaigns
+  // share an id exactly when they are the same experiment.
+  std::ostringstream out;
+  out << "name=" << name << ";model=" << model << ";ckpt=" << ckpt
+      << ";width=" << fmt_exact(width) << ";image_size=" << image_size
+      << ";samples=" << samples << ";samples_per_class=" << samples_per_class
+      << ";data_seed=" << data_seed << ";init_seed=" << init_seed
+      << ";p=" << fmt_exact(p) << ";avf=" << avf << ";target=" << target
+      << ";abft=" << abft << ";layer=" << layer << ";backend=" << backend
+      << ";sampler=" << sampler << ";chains=" << chains
+      << ";samples_per_chain=" << samples_per_chain << ";burn_in=" << burn_in
+      << ";thin=" << thin << ";mask_batch=" << mask_batch << ";seed=" << seed
+      << ";rhat=" << fmt_exact(rhat) << ";tol=" << fmt_exact(tol)
+      << ";max_rounds=" << max_rounds
+      << ";round_timeout_ms=" << fmt_exact(round_timeout_ms)
+      << ";max_chain_retries=" << max_chain_retries
+      << ";min_acceptance=" << fmt_exact(min_acceptance)
+      << ";max_evals_per_round=" << max_evals_per_round
+      << ";retry_backoff_ms=" << fmt_exact(retry_backoff_ms);
+  return out.str();
+}
+
+std::optional<FleetSpec> parse_fleet_spec(const std::string& text,
+                                          std::string* error) {
+  std::string parse_error;
+  auto doc = obs::json_parse(text, &parse_error);
+  if (!doc.has_value()) {
+    fail(error, "fleet spec is not valid JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    fail(error, "fleet spec must be a JSON object");
+    return std::nullopt;
+  }
+
+  FleetSpec fleet;
+  const obs::JsonValue* defaults = nullptr;
+  const obs::JsonValue* campaigns = nullptr;
+  for (const auto& [key, value] : doc->as_object()) {
+    if (key == "schema") {
+      std::string schema;
+      if (!get_string(value, key, &schema, error)) return std::nullopt;
+      if (schema != kFleetSpecSchema) {
+        fail(error, "unexpected schema '" + schema + "' (want " +
+                        std::string(kFleetSpecSchema) + ")");
+        return std::nullopt;
+      }
+    } else if (key == "version") {
+      std::size_t version;
+      if (!get_count(value, key, &version, error)) return std::nullopt;
+      if (version != kFleetSpecVersion) {
+        fail(error, "unsupported fleet spec version " +
+                        std::to_string(version) + " (want " +
+                        std::to_string(kFleetSpecVersion) + ")");
+        return std::nullopt;
+      }
+    } else if (key == "workers") {
+      if (!get_count(value, key, &fleet.workers, error)) return std::nullopt;
+    } else if (key == "worker_timeout_ms") {
+      if (!get_double(value, key, &fleet.worker_timeout_ms, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "max_worker_retries") {
+      if (!get_count(value, key, &fleet.max_worker_retries, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "worker_backoff_ms") {
+      if (!get_double(value, key, &fleet.worker_backoff_ms, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "worker_backoff_cap_ms") {
+      if (!get_double(value, key, &fleet.worker_backoff_cap_ms, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "defaults") {
+      if (!value.is_object()) {
+        fail(error, "'defaults' must be an object");
+        return std::nullopt;
+      }
+      defaults = &value;
+    } else if (key == "campaigns") {
+      if (!value.is_array()) {
+        fail(error, "'campaigns' must be an array");
+        return std::nullopt;
+      }
+      campaigns = &value;
+    } else {
+      fail(error, "unknown top-level key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (doc->find("schema") == nullptr) {
+    fail(error, "missing required key 'schema'");
+    return std::nullopt;
+  }
+  if (doc->find("version") == nullptr) {
+    fail(error, "missing required key 'version'");
+    return std::nullopt;
+  }
+  if (campaigns == nullptr || campaigns->as_array().empty()) {
+    fail(error, "'campaigns' must be a non-empty array");
+    return std::nullopt;
+  }
+  if (defaults != nullptr) {
+    for (const auto& [key, value] : defaults->as_object()) {
+      (void)value;
+      if (campaign_keys().count(key) == 0) {
+        fail(error, "defaults: unknown campaign key '" + key + "'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::set<std::string> seen_names;
+  for (const obs::JsonValue& entry : campaigns->as_array()) {
+    if (!entry.is_object()) {
+      fail(error, "each campaign must be an object");
+      return std::nullopt;
+    }
+    const obs::JsonValue* name_value = entry.find("name");
+    if (name_value == nullptr || !name_value->is_string() ||
+        name_value->as_string().empty()) {
+      fail(error, "each campaign needs a non-empty string 'name'");
+      return std::nullopt;
+    }
+    const std::string base_name = name_value->as_string();
+    const std::string where = "campaign '" + base_name + "': ";
+
+    // Merge defaults under the campaign's own settings (campaign wins).
+    std::map<std::string, const obs::JsonValue*> merged;
+    if (defaults != nullptr) {
+      for (const auto& [key, value] : defaults->as_object()) {
+        merged[key] = &value;
+      }
+    }
+    for (const auto& [key, value] : entry.as_object()) {
+      if (key == "name") continue;
+      if (campaign_keys().count(key) == 0) {
+        fail(error, where + "unknown campaign key '" + key + "'");
+        return std::nullopt;
+      }
+      merged[key] = &value;
+    }
+
+    // Split the merged view into scalar fields and array-valued sweep axes.
+    std::vector<std::pair<std::string, const obs::JsonValue*>> scalars;
+    struct Axis {
+      std::string key;
+      const obs::JsonValue::Array* values;
+    };
+    std::vector<Axis> axes;
+    for (const auto& [key, value] : merged) {
+      if (value->is_array()) {
+        if (!is_axis_key(key)) {
+          fail(error, where + "'" + key +
+                          "' cannot be an array (sweep axes: p, avf, target, "
+                          "abft, backend, layer)");
+          return std::nullopt;
+        }
+        if (value->as_array().empty()) {
+          fail(error, where + "axis '" + key + "' must not be empty");
+          return std::nullopt;
+        }
+        axes.push_back({key, &value->as_array()});
+      } else {
+        scalars.emplace_back(key, value);
+      }
+    }
+    // Fixed axis order (the declaration order of kAxisKeys) keeps expansion
+    // deterministic regardless of JSON member ordering.
+    std::vector<Axis> ordered;
+    for (const char* axis_key : kAxisKeys) {
+      for (const Axis& a : axes) {
+        if (a.key == axis_key) ordered.push_back(a);
+      }
+    }
+
+    // Cross product over the axes (an empty axis list is one campaign).
+    std::size_t combos = 1;
+    for (const Axis& a : ordered) combos *= a.values->size();
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+      CampaignSpec c;
+      c.name = base_name;
+      std::string field_error;
+      for (const auto& [key, value] : scalars) {
+        if (!apply_field(c, key, *value, &field_error)) {
+          fail(error, where + field_error);
+          return std::nullopt;
+        }
+      }
+      std::size_t rest = combo;
+      for (const Axis& a : ordered) {
+        const std::size_t idx = rest % a.values->size();
+        rest /= a.values->size();
+        const obs::JsonValue& v = (*a.values)[idx];
+        if (!apply_field(c, a.key, v, &field_error)) {
+          fail(error, where + field_error);
+          return std::nullopt;
+        }
+        if (a.values->size() > 1) {
+          c.name += "-" + a.key + "=" + axis_suffix_value(v);
+        }
+      }
+      if (!validate_campaign(c, error)) return std::nullopt;
+      if (!seen_names.insert(c.name).second) {
+        fail(error, "duplicate campaign name '" + c.name + "'");
+        return std::nullopt;
+      }
+      c.id = obs::hex64(obs::fnv1a64(c.canonical()));
+      fleet.campaigns.push_back(std::move(c));
+    }
+  }
+
+  std::string fleet_canonical;
+  for (const CampaignSpec& c : fleet.campaigns) {
+    fleet_canonical += c.canonical();
+    fleet_canonical += '\n';
+  }
+  fleet.id = obs::hex64(obs::fnv1a64(fleet_canonical));
+  return fleet;
+}
+
+std::optional<FleetSpec> load_fleet_spec(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot read fleet spec '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_fleet_spec(buffer.str(), error);
+}
+
+}  // namespace bdlfi::fleet

@@ -1,0 +1,59 @@
+// Fleet worker: the body of one forked worker process — runs exactly one
+// campaign from a FleetSpec with the existing run_until_complete machinery
+// and leaves two artifacts in the campaign's directory:
+//
+//  * a per-attempt JSONL metrics stream (metrics-a<attempt>.jsonl) that the
+//    supervising parent tails as the worker's heartbeat, and
+//  * a deterministic result.json (written atomically on any terminal
+//    outcome) whose content depends only on the campaign configuration —
+//    never on timing, attempt count, or whether the run was killed and
+//    resumed — so a kill -9/resume sequence is verifiable by byte
+//    comparison against an uninterrupted run.
+//
+// run_worker is a plain function, not a process: the fleet runner calls it
+// after fork() (through _exit so no parent state unwinds), and tests may
+// call it in-process to validate the result document without any forking.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fleet/spec.h"
+
+namespace bdlfi::fleet {
+
+inline constexpr const char* kFleetResultSchema = "bdlfi_fleet_result";
+inline constexpr std::uint64_t kFleetResultVersion = 1;
+
+/// Filesystem layout of one campaign under the fleet output directory.
+struct WorkerPaths {
+  /// <out>/campaigns/<name>
+  std::string campaign_dir;
+  /// <campaign_dir>/ckpt — the campaign's own checkpoint dir, shared across
+  /// attempts so a restarted worker resumes the same lineage.
+  std::string checkpoint_dir;
+  /// <campaign_dir>/metrics-a<attempt>.jsonl — fresh per attempt (the
+  /// reporter truncates on open; a shared file would interleave two
+  /// attempts' seq counters).
+  std::string metrics_path;
+  /// <campaign_dir>/result.json — terminal outcome, atomic tmp+rename.
+  std::string result_path;
+  /// <campaign_dir>/worker-a<attempt>.log — the worker's stdout/stderr.
+  std::string log_path;
+};
+
+/// Canonical paths for `attempt` (1-based) of campaign `name`.
+WorkerPaths worker_paths(const std::string& out_dir, const std::string& name,
+                         std::size_t attempt);
+
+/// Runs the campaign to a terminal outcome. `resume` continues from the
+/// checkpoint in paths.checkpoint_dir (restart attempts and `bdlfi fleet
+/// --resume` both set it). Returns the bdlfi exit-code convention:
+///   0 converged   2 unusable subject/ckpt/backend   3 round budget exhausted
+///   4 failed/rejected (supervision collapse, lock or fingerprint rejection)
+///   5 interrupted (no result.json — the checkpoint carries the state)
+///   6 checkpoint backend mismatch
+int run_worker(const CampaignSpec& spec, const WorkerPaths& paths,
+               bool resume);
+
+}  // namespace bdlfi::fleet

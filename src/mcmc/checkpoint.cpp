@@ -8,7 +8,11 @@
 #include <limits>
 #include <sstream>
 
+#include <cerrno>
+
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 #endif
 
@@ -157,6 +161,108 @@ std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
 
 std::string checkpoint_path(const std::string& dir) {
   return (fs::path(dir) / "campaign.ckpt.json").string();
+}
+
+std::string checkpoint_lock_path(const std::string& dir) {
+  return (fs::path(dir) / "campaign.lock").string();
+}
+
+namespace {
+
+/// True when the pid recorded in an existing lock file no longer names a live
+/// process (or the file is unreadable/garbled — only a dead owner leaves a
+/// torn pidfile behind, the O_EXCL create + single write is otherwise whole).
+bool lock_is_stale(const std::string& path, long* owner_pid) {
+  *owner_pid = 0;
+  std::ifstream in(path);
+  if (!in) return true;
+  long pid = 0;
+  if (!(in >> pid) || pid <= 0) return true;
+  *owner_pid = pid;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) return true;
+#endif
+  return false;
+}
+
+}  // namespace
+
+CheckpointDirLock::CheckpointDirLock(CheckpointDirLock&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+CheckpointDirLock& CheckpointDirLock::operator=(
+    CheckpointDirLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+CheckpointDirLock::~CheckpointDirLock() { release(); }
+
+void CheckpointDirLock::release() {
+  if (path_.empty()) return;
+  std::remove(path_.c_str());
+  path_.clear();
+}
+
+CheckpointDirLock CheckpointDirLock::acquire(const std::string& dir,
+                                             std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return CheckpointDirLock{};
+  };
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = checkpoint_lock_path(dir);
+#if defined(__unix__) || defined(__APPLE__)
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      char buf[32];
+      const int n = std::snprintf(buf, sizeof(buf), "%ld\n",
+                                  static_cast<long>(::getpid()));
+      const bool wrote = ::write(fd, buf, static_cast<std::size_t>(n)) == n;
+      ::close(fd);
+      if (!wrote) {
+        std::remove(path.c_str());
+        return fail("cannot write lock file " + path);
+      }
+      CheckpointDirLock lock;
+      lock.path_ = path;
+      return lock;
+    }
+    if (errno != EEXIST) {
+      return fail("cannot create lock file " + path);
+    }
+    long owner = 0;
+    if (!lock_is_stale(path, &owner)) {
+      return fail("checkpoint dir " + dir + " is locked by pid " +
+                  std::to_string(owner) +
+                  " (another campaign is live there; a second resume would "
+                  "corrupt the checkpoint lineage)");
+    }
+    // Stale lock from a dead owner: break it and retry the exclusive create
+    // once. A concurrent breaker losing the O_EXCL race lands in the live
+    // branch above on the next iteration.
+    BDLFI_LOG_WARN("checkpoint: breaking stale lock %s (owner pid %ld gone)",
+                   path.c_str(), owner);
+    std::remove(path.c_str());
+  }
+  return fail("lock contention on " + path);
+#else
+  // No pid liveness probe on this platform: fall back to plain exclusive
+  // create without stale detection.
+  std::ofstream out(path, std::ios::app);
+  if (!out) return fail("cannot create lock file " + path);
+  CheckpointDirLock lock;
+  lock.path_ = path;
+  return lock;
+#endif
 }
 
 bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {

@@ -86,4 +86,43 @@ bool save_checkpoint(const std::string& path, const CampaignCheckpoint& ck);
 std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
                                                   std::string* error = nullptr);
 
+/// Canonical lock-file location inside a checkpoint directory.
+std::string checkpoint_lock_path(const std::string& dir);
+
+/// Exclusive ownership of a checkpoint directory, held for the duration of a
+/// campaign that checkpoints into it. Two processes resuming the same
+/// directory concurrently would interleave atomic checkpoint writes from two
+/// diverging walks — each file individually valid, the lineage silently
+/// corrupted — so run_until_complete refuses to start without the lock.
+///
+/// Implementation: a pidfile created O_CREAT|O_EXCL (atomic on POSIX). An
+/// existing lock whose recorded pid no longer exists (the owner crashed or
+/// was SIGKILLed) is stale and is broken automatically — that is what lets a
+/// fleet supervisor restart a killed worker on the same checkpoint dir. An
+/// unparseable lock file is treated as stale too (a torn write can only come
+/// from a dead owner). The file is removed on destruction.
+class CheckpointDirLock {
+ public:
+  CheckpointDirLock() = default;
+  CheckpointDirLock(CheckpointDirLock&& other) noexcept;
+  CheckpointDirLock& operator=(CheckpointDirLock&& other) noexcept;
+  CheckpointDirLock(const CheckpointDirLock&) = delete;
+  CheckpointDirLock& operator=(const CheckpointDirLock&) = delete;
+  ~CheckpointDirLock();
+
+  /// Acquires the lock for `dir` (created if missing). On failure returns an
+  /// un-held lock with the owner's pid in `error` — the caller must not
+  /// proceed to checkpoint into the directory.
+  static CheckpointDirLock acquire(const std::string& dir,
+                                   std::string* error = nullptr);
+
+  bool held() const { return !path_.empty(); }
+
+  /// Removes the lock file early (idempotent).
+  void release();
+
+ private:
+  std::string path_;
+};
+
 }  // namespace bdlfi::mcmc

@@ -276,6 +276,22 @@ CompletenessResult run_until_complete_impl(
                                     ? std::string{}
                                     : checkpoint_path(config.checkpoint_dir);
 
+  // Exclusive ownership of the checkpoint dir for the whole campaign: two
+  // processes checkpointing into one directory would interleave writes from
+  // diverging walks. Held by RAII until the campaign returns.
+  CheckpointDirLock dir_lock;
+  if (!ckpt_path.empty()) {
+    std::string lock_error;
+    dir_lock = CheckpointDirLock::acquire(config.checkpoint_dir, &lock_error);
+    if (!dir_lock.held()) {
+      result.lock_rejected = true;
+      result.final_result.failed = true;
+      result.final_result.fail_reason = lock_error;
+      BDLFI_LOG_ERROR("campaign rejected: %s", lock_error.c_str());
+      return result;
+    }
+  }
+
   bool restored_converged = false;
   if (config.resume && !ckpt_path.empty() &&
       std::filesystem::exists(ckpt_path)) {

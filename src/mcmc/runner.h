@@ -170,6 +170,10 @@ struct CompletenessResult {
   /// was produced under different arithmetic). Subset of resume_rejected;
   /// callers can map it to a distinct exit code.
   bool backend_mismatch = false;
+  /// Another live process holds the checkpoint directory's lock; nothing was
+  /// run. Concurrent campaigns on one directory would silently corrupt the
+  /// checkpoint lineage, so the second process refuses to start.
+  bool lock_rejected = false;
   /// Rounds restored from the checkpoint (0 for a fresh start).
   std::size_t resumed_from_round = 0;
 };

@@ -84,11 +84,16 @@ bool ChainSupervisor::record_failure(std::size_t chain, std::size_t round,
   return true;
 }
 
-void ChainSupervisor::backoff(std::size_t attempt) const {
-  if (config_.backoff_base_ms <= 0.0) return;
-  const double ms = std::min(
+double ChainSupervisor::backoff_ms(std::size_t attempt) const {
+  if (config_.backoff_base_ms <= 0.0) return 0.0;
+  return std::min(
       config_.backoff_base_ms * std::pow(2.0, static_cast<double>(attempt)),
       config_.backoff_cap_ms);
+}
+
+void ChainSupervisor::backoff(std::size_t attempt) const {
+  const double ms = backoff_ms(attempt);
+  if (ms <= 0.0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
 }

@@ -74,7 +74,12 @@ class ChainSupervisor {
   bool record_failure(std::size_t chain, std::size_t round,
                       const std::string& reason, std::size_t attempt);
 
-  /// Sleeps the exponential backoff for `attempt`; no-op when disabled.
+  /// Exponential backoff for `attempt` in milliseconds: base * 2^attempt,
+  /// capped (0 when disabled). The fleet supervisor reuses this policy one
+  /// level up, scheduling worker restarts from the delay instead of sleeping.
+  double backoff_ms(std::size_t attempt) const;
+
+  /// Sleeps backoff_ms(attempt); no-op when disabled.
   void backoff(std::size_t attempt) const;
 
   const std::vector<ChainHealth>& health() const { return health_; }

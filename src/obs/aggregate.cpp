@@ -102,6 +102,17 @@ void EventAggregator::ingest(const JsonValue& event,
     cursor.seq = s;
   }
 
+  // Fleet lifecycle events (fleet_begin/fleet_end/worker_*) ride the same
+  // envelope but describe worker processes, not campaigns: folding them in
+  // would fabricate a campaign row keyed by the fleet id that never "ends"
+  // (wedging --follow) and inflate --require-campaigns counts.
+  if (const std::string& k = type->as_string();
+      k == "fleet_begin" || k == "fleet_end" || k == "worker_start" ||
+      k == "worker_exit" || k == "worker_restart") {
+    ++events_ignored_;
+    return;
+  }
+
   CampaignState& st = state_for(event);
   st.label = str_or(event, "label", st.label);
   if (const std::string b = str_or(event, "backend", ""); !b.empty()) {

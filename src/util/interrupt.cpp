@@ -3,15 +3,34 @@
 #include <atomic>
 #include <csignal>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#endif
+
 namespace bdlfi::util {
 namespace {
 
 std::atomic<bool> g_interrupt{false};
+std::atomic<int> g_signal{0};
 std::atomic<bool> g_handlers_installed{false};
 
-extern "C" void bdlfi_interrupt_handler(int /*signum*/) {
-  // Only async-signal-safe work here: a lock-free atomic store.
+// Fixed-size forwarding registry: lock-free atomics are the only structure a
+// signal handler may scan. 0 marks a free slot. Plenty for one supervisor's
+// worth of workers (bounded by core count, not campaign count).
+constexpr std::size_t kMaxForward = 256;
+std::atomic<long> g_forward[kMaxForward];
+
+extern "C" void bdlfi_interrupt_handler(int signum) {
+  // Only async-signal-safe work here: lock-free atomic stores and kill().
   g_interrupt.store(true, std::memory_order_relaxed);
+  g_signal.store(signum, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  for (std::size_t i = 0; i < kMaxForward; ++i) {
+    const long pid = g_forward[i].load(std::memory_order_relaxed);
+    if (pid > 0) ::kill(static_cast<pid_t>(pid), signum);
+  }
+#endif
 }
 
 }  // namespace
@@ -29,6 +48,34 @@ bool interrupt_requested() {
 
 void set_interrupt_requested(bool value) {
   g_interrupt.store(value, std::memory_order_relaxed);
+  if (!value) g_signal.store(0, std::memory_order_relaxed);
+}
+
+int interrupt_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void interrupt_forward_add(long pid) {
+  if (pid <= 0) return;
+  for (std::size_t i = 0; i < kMaxForward; ++i) {
+    long expected = 0;
+    if (g_forward[i].compare_exchange_strong(expected, pid,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void interrupt_forward_remove(long pid) {
+  for (std::size_t i = 0; i < kMaxForward; ++i) {
+    long expected = pid;
+    g_forward[i].compare_exchange_strong(expected, 0,
+                                         std::memory_order_relaxed);
+  }
+}
+
+void interrupt_forward_clear() {
+  for (std::size_t i = 0; i < kMaxForward; ++i) {
+    g_forward[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace bdlfi::util

@@ -6,6 +6,11 @@
 // on interruption each chain winds down at the next poll point, partial
 // rounds are discarded, and the last complete round's checkpoint stands —
 // which is what makes `--resume` after Ctrl-C bit-exact.
+//
+// Multi-process supervisors (bdlfi fleet) additionally register their worker
+// pids here: the signal handler then forwards the signal to every registered
+// child (kill() is async-signal-safe), so one Ctrl-C on the supervisor
+// checkpoints and stops the whole fleet gracefully.
 #pragma once
 
 namespace bdlfi::util {
@@ -19,5 +24,22 @@ bool interrupt_requested();
 
 /// Sets/clears the flag directly — tests and programmatic shutdown.
 void set_interrupt_requested(bool value);
+
+/// Signal number that set the flag (0 when the flag was set programmatically
+/// or never). Cleared by set_interrupt_requested(false).
+int interrupt_signal();
+
+/// Registers a child pid with the signal handler: the next SIGINT/SIGTERM is
+/// re-sent to it verbatim. No-op when the (fixed-size) registry is full —
+/// the supervisor's cooperative forwarding loop remains as backup.
+void interrupt_forward_add(long pid);
+
+/// Drops one pid from the forwarding registry (call after reaping the child).
+void interrupt_forward_remove(long pid);
+
+/// Drops every registration. A forked child MUST call this before doing
+/// anything else: the registry is inherited across fork() and the child's
+/// handler would otherwise re-forward signals to its own siblings.
+void interrupt_forward_clear();
 
 }  // namespace bdlfi::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -91,9 +92,31 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+// Heap-allocated so reinit_after_fork can swap it atomically; never
+// destroyed (worker threads may still be parked in it at static-destruction
+// time, and the object stays reachable through the pointer, so this is not a
+// leak).
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::mutex g_global_pool_mu;
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  pool = g_global_pool.load(std::memory_order_relaxed);
+  if (pool == nullptr) {
+    pool = new ThreadPool();
+    g_global_pool.store(pool, std::memory_order_release);
+  }
+  return *pool;
+}
+
+void ThreadPool::reinit_after_fork(std::size_t num_threads) {
+  // The pre-fork pool (if any) is abandoned: only this thread exists in the
+  // child, so no lock is needed and none may be taken on the old object.
+  g_global_pool.store(new ThreadPool(num_threads), std::memory_order_release);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -38,6 +38,16 @@ class ThreadPool {
   /// Process-wide default pool (lazily constructed, sized to the machine).
   static ThreadPool& global();
 
+  /// Replaces the global pool with a freshly constructed one. A fork()ed
+  /// child MUST call this before its first parallel_for: the pre-fork pool's
+  /// worker threads do not exist in the child and its mutex state is
+  /// unspecified, so the inherited object is abandoned untouched (leaked
+  /// deliberately — destroying it would lock that mutex). `num_threads`
+  /// follows the constructor's convention (0 = hardware concurrency); a fleet
+  /// worker passes its per-worker core share so N workers collectively pin
+  /// all cores without oversubscribing.
+  static void reinit_after_fork(std::size_t num_threads = 0);
+
  private:
   void worker_loop();
 

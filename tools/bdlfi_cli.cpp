@@ -33,6 +33,8 @@
 
 #include "bayes/targets.h"
 #include "bench/common.h"
+#include "fleet/runner.h"
+#include "fleet/spec.h"
 #include "data/cifar_like.h"
 #include "data/toy2d.h"
 #include "inject/campaign.h"
@@ -319,6 +321,39 @@ int cmd_complete(const Flags& args, bench::ObsSession& session) {
                                result.converged ? 0 : 3);
 }
 
+int cmd_fleet(const Flags& args, const std::string& spec_path) {
+  if (spec_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bdlfi fleet <campaigns.json> [--out=DIR] [--resume]\n"
+                 "                   [--workers=N] [--poll-ms=N] [--quiet]\n");
+    return 2;
+  }
+  std::string error;
+  auto spec = fleet::load_fleet_spec(spec_path, &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "fleet spec: %s\n", error.c_str());
+    return 2;
+  }
+  fleet::FleetOptions opts;
+  opts.out_dir = args.get("out", "fleet_out");
+  opts.resume = args.get("resume", std::int64_t{0}) != 0;
+  opts.workers = args.get("workers", std::size_t{0});
+  opts.poll_interval_ms = args.get("poll-ms", 50.0);
+  // Fault-injection knob for the fleet itself (exercised by the ctest smoke
+  // chain): SIGKILL each campaign's worker once per campaign at this round,
+  // proving kill/resume equivalence end to end.
+  opts.chaos_kill_round = args.get("chaos-kill-round", std::size_t{0});
+  opts.quiet = args.get("quiet", std::int64_t{0}) != 0;
+  const fleet::FleetResult result = fleet::run_fleet(*spec, opts);
+  std::printf("fleet %s: %zu completed, %zu not converged, %zu quarantined%s\n",
+              result.interrupted ? "INTERRUPTED" : "done", result.completed,
+              result.not_converged, result.quarantined,
+              result.interrupted ? " (continue with --resume)" : "");
+  std::printf("results under %s (follow live: bdlfi_dash --follow --dir=%s)\n",
+              opts.out_dir.c_str(), opts.out_dir.c_str());
+  return result.exit_code();
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -328,6 +363,9 @@ void usage() {
       "  layers    per-layer campaign        (--ckpt=F --p [--dose])\n"
       "  random    traditional random FI     (--ckpt=F --p --injections)\n"
       "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
+      "  fleet     run a JSON campaign spec across crash-supervised worker\n"
+      "            processes (bdlfi fleet campaigns.json --out=DIR\n"
+      "            [--resume --workers=N --quiet])\n"
       "common: --model --width --image-size --data-seed --avf=uniform|"
       "exponent|mantissa|sign-exponent --layer=<name>\n"
       "        --target=params|compute (weight-memory faults vs transient\n"
@@ -363,6 +401,12 @@ int main(int argc, char** argv) {
   const Flags args(argc, argv);
   const std::string cmd = argv[1];
   int rc = 2;
+  if (cmd == "fleet") {
+    // The spec file rides as a positional argument right after the command.
+    const std::string spec_path =
+        (argc > 2 && argv[2][0] != '-') ? argv[2] : args.get("spec", "");
+    return cmd_fleet(args, spec_path);
+  }
   if (cmd == "train" || cmd == "sweep" || cmd == "layers" || cmd == "random" ||
       cmd == "complete") {
     bench::ObsSession session(args, "bdlfi " + cmd);

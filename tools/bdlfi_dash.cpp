@@ -8,6 +8,10 @@
 //   bdlfi_dash --once --html=report.html ... self-contained HTML report with
 //                                            inline SVG sparklines
 //   bdlfi_dash --once --json=state.json ...  machine-readable aggregate state
+//   bdlfi_dash --follow --dir=fleet_out      watch every *.jsonl under a
+//                                            fleet output tree (rescanned
+//                                            each poll, so streams from
+//                                            restarted workers join live)
 //
 // Any number of streams can be merged: events are keyed by the campaign_id
 // the reporter stamps, so two workers extending one campaign collapse into a
@@ -17,6 +21,7 @@
 // starts is fine.
 //
 // Flags:
+//   --dir=DIR               recursively tail every *.jsonl under DIR
 //   --interval-ms=N         follow-mode poll period (default 500)
 //   --max-seconds=S         follow-mode wall-clock bound (0 = until done)
 //   --require-campaigns=N   exit 3 unless >= N distinct campaigns were seen
@@ -28,7 +33,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +57,7 @@ struct DashOptions {
   std::size_t require_campaigns = 0;
   std::size_t trend_window = 16;
   std::vector<std::string> streams;
+  std::vector<std::string> dirs;
 };
 
 bool parse_args(int argc, char** argv, DashOptions* out) {
@@ -67,6 +75,8 @@ bool parse_args(int argc, char** argv, DashOptions* out) {
       out->html_path = v;
     } else if (const char* v = value("--json=")) {
       out->json_path = v;
+    } else if (const char* v = value("--dir=")) {
+      out->dirs.emplace_back(v);
     } else if (const char* v = value("--interval-ms=")) {
       out->interval_ms = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = value("--max-seconds=")) {
@@ -82,11 +92,12 @@ bool parse_args(int argc, char** argv, DashOptions* out) {
       out->streams.push_back(arg);
     }
   }
-  if (out->streams.empty()) {
+  if (out->streams.empty() && out->dirs.empty()) {
     std::fprintf(stderr,
                  "usage: bdlfi_dash [--once|--follow] [--html=F] [--json=F]\n"
-                 "                  [--interval-ms=N] [--max-seconds=S]\n"
-                 "                  [--require-campaigns=N] <stream.jsonl>...\n");
+                 "                  [--dir=DIR] [--interval-ms=N]\n"
+                 "                  [--max-seconds=S] [--require-campaigns=N]\n"
+                 "                  [<stream.jsonl>...]\n");
     return false;
   }
   return true;
@@ -482,10 +493,39 @@ int main(int argc, char** argv) {
 
   obs::EventAggregator agg;
   std::vector<std::unique_ptr<obs::JsonlTailReader>> readers;
-  readers.reserve(opts.streams.size());
-  for (const auto& path : opts.streams) {
+
+  // Streams are discovered incrementally: explicit paths first, then every
+  // *.jsonl under each --dir. opts.streams ends up listing the union so the
+  // --json/--html exports reflect what was actually tailed.
+  std::set<std::string> known;
+  const std::vector<std::string> explicit_streams = opts.streams;
+  opts.streams.clear();
+  const auto add_stream = [&](const std::string& path) {
+    if (!known.insert(path).second) return;
+    opts.streams.push_back(path);
     readers.push_back(std::make_unique<obs::JsonlTailReader>(path));
-  }
+  };
+  // Re-run every poll in follow mode: a restarted fleet worker opens a fresh
+  // metrics-a<attempt>.jsonl, which must join the merge while it is live.
+  const auto scan_dirs = [&]() {
+    namespace fs = std::filesystem;
+    for (const auto& dir : opts.dirs) {
+      std::vector<std::string> found;
+      std::error_code ec;
+      fs::recursive_directory_iterator it(dir, ec), end;
+      for (; !ec && it != end; it.increment(ec)) {
+        std::error_code file_ec;
+        if (it->is_regular_file(file_ec) &&
+            it->path().extension() == ".jsonl") {
+          found.push_back(it->path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      for (const auto& p : found) add_stream(p);
+    }
+  };
+  for (const auto& path : explicit_streams) add_stream(path);
+  scan_dirs();
 
   const auto poll_all = [&]() {
     std::size_t added = 0;
@@ -500,6 +540,7 @@ int main(int argc, char** argv) {
   if (opts.follow) {
     const auto start = std::chrono::steady_clock::now();
     for (;;) {
+      scan_dirs();
       poll_all();
       render_text(stdout, agg, readers, opts, /*ansi=*/true);
       const auto campaigns = agg.campaigns();

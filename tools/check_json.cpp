@@ -12,6 +12,10 @@
 //                                   timings, the multi_mask batched-race
 //                                   section (groups, k_sweep, summary), and
 //                                   the truncated-replay summary
+//   check_json --fleet-spec f.json  bdlfi fleet campaign spec: parsed and
+//                                   expanded with the same strict loader the
+//                                   fleet runner uses, so "spec validates"
+//                                   means "spec runs"
 //
 // Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
 // ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
@@ -23,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "fleet/spec.h"
 #include "obs/json.h"
 
 using namespace bdlfi;
@@ -372,6 +377,23 @@ bool check_round_events(const std::string& text, std::string* error) {
     seq_seen = true;
     last_seq = s;
 
+    const auto require_number = [&](const char* key) {
+      const obs::JsonValue* v = doc->find(key);
+      if (v != nullptr && v->is_number()) return true;
+      *error = at + ": \"" + event->as_string() +
+               "\" event has bad or missing \"" + key + "\"";
+      return false;
+    };
+    const auto require_string = [&](const char* key) {
+      const obs::JsonValue* v = doc->find(key);
+      if (v != nullptr && v->is_string() && !v->as_string().empty()) {
+        return true;
+      }
+      *error = at + ": \"" + event->as_string() +
+               "\" event has bad or missing \"" + key + "\"";
+      return false;
+    };
+
     if (event->as_string() == "round") {
       for (const char* key :
            {"detection_coverage", "sdc_rate", "outcome_masked", "outcome_sdc",
@@ -394,6 +416,25 @@ bool check_round_events(const std::string& text, std::string* error) {
         *error = at + ": campaign_end has bad or missing \"rounds\"";
         return false;
       }
+    } else if (event->as_string() == "worker_start") {
+      // Fleet worker lifecycle events (DESIGN.md §12): every one names its
+      // campaign and carries the worker pid + 1-based launch attempt.
+      if (!require_string("campaign") || !require_number("pid") ||
+          !require_number("attempt")) {
+        return false;
+      }
+    } else if (event->as_string() == "worker_exit") {
+      if (!require_string("campaign") || !require_number("pid") ||
+          !require_number("attempt") || !require_number("exit_code") ||
+          !require_number("signal") || !require_number("rounds") ||
+          !require_string("outcome")) {
+        return false;
+      }
+    } else if (event->as_string() == "worker_restart") {
+      if (!require_string("campaign") || !require_number("attempt") ||
+          !require_number("backoff_ms") || !require_string("reason")) {
+        return false;
+      }
     }
   }
   return true;
@@ -403,6 +444,7 @@ bool check_round_events(const std::string& text, std::string* error) {
 
 int main(int argc, char** argv) {
   bool jsonl = false, trace = false, checkpoint = false, mask_eval = false;
+  bool fleet_spec = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jsonl") == 0) {
@@ -413,19 +455,35 @@ int main(int argc, char** argv) {
       checkpoint = true;
     } else if (std::strcmp(argv[i], "--mask-eval") == 0) {
       mask_eval = true;
+    } else if (std::strcmp(argv[i], "--fleet-spec") == 0) {
+      fleet_spec = true;
     } else {
       path = argv[i];
     }
   }
   if (path == nullptr ||
       (static_cast<int>(jsonl) + static_cast<int>(trace) +
-           static_cast<int>(checkpoint) + static_cast<int>(mask_eval) >
+           static_cast<int>(checkpoint) + static_cast<int>(mask_eval) +
+           static_cast<int>(fleet_spec) >
        1)) {
     std::fprintf(
         stderr,
-        "usage: check_json [--jsonl|--trace|--checkpoint|--mask-eval] "
-        "<file>\n");
+        "usage: check_json [--jsonl|--trace|--checkpoint|--mask-eval|"
+        "--fleet-spec] <file>\n");
     return 2;
+  }
+
+  if (fleet_spec) {
+    // The validator IS the runner's loader: no second schema to drift.
+    std::string error;
+    const auto spec = fleet::load_fleet_spec(path, &error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    std::printf("%s: OK (%zu campaign(s) after expansion, fleet id %s)\n",
+                path, spec->campaigns.size(), spec->id.c_str());
+    return 0;
   }
 
   std::string text;
