@@ -159,19 +159,22 @@ struct CampaignFlags {
   bool resume = false;
 };
 
-/// Resolves a `--backend=scalar|avx2|auto` flag: switches the process-wide
-/// kernel backend and returns the resolved name. Exits 2 when the request is
-/// unusable — silently falling back would invalidate a backend comparison.
-inline std::string resolve_backend_flag(const Flags& flags) {
-  const std::string backend = flags.get("backend", "");
-  if (!backend.empty()) {
-    std::string error;
-    if (!tensor::backend::set_active(backend, &error)) {
-      std::fprintf(stderr, "--backend: %s\n", error.c_str());
-      std::exit(2);
-    }
+/// Resolves a `--backend=scalar|avx2|auto` flag through the shared
+/// tensor::backend::resolve() policy (flag beats BDLFI_BACKEND beats scalar)
+/// and returns the resolved name. Exits 2 when an explicit flag is unusable —
+/// silently falling back would invalidate a backend comparison.
+inline std::string require_backend(const tensor::backend::Resolution& r) {
+  if (!r.ok) {
+    std::fprintf(stderr, "--backend: %s\n", r.error.c_str());
+    std::exit(2);
   }
-  return tensor::backend::active_name();
+  return r.name;
+}
+
+/// Deprecated: thin wrapper kept for older benches; prefer
+/// tensor::backend::resolve() + require_backend().
+inline std::string resolve_backend_flag(const Flags& flags) {
+  return require_backend(tensor::backend::resolve(flags.get("backend", "")));
 }
 
 /// One-stop campaign flag wiring, hoisted from the near-identical blocks the
@@ -188,7 +191,8 @@ inline CampaignFlags parse_campaign_flags(const Flags& flags,
                                           ObsSession& session,
                                           mcmc::RunnerConfig& runner) {
   CampaignFlags out;
-  out.backend = resolve_backend_flag(flags);
+  out.backend =
+      require_backend(tensor::backend::resolve(flags.get("backend", "")));
 
   runner.round_hook = session.hook();
   wire_resilience(flags, session, runner);

@@ -34,7 +34,8 @@ struct ModeTiming {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const bool smoke = flags.get("smoke", std::int64_t{0}) != 0;
-  const std::string backend = bench::resolve_backend_flag(flags);
+  const std::string backend = bench::require_backend(
+      tensor::backend::resolve(flags.get("backend", "")));
   util::Stopwatch total;
 
   // Subject: the paper's ResNet-18 topology, scaled by the usual flags.

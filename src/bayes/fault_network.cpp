@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bayes/mask_split.h"
+#include "bayes/multi_mask.h"
 #include "nn/range_guard.h"
 #include "obs/metrics.h"
 #include "tensor/backend/backend.h"
@@ -120,7 +121,28 @@ std::unique_ptr<BayesianFaultNetwork> BayesianFaultNetwork::replicate() const {
       new BayesianFaultNetwork(*this, ReplicaTag{}));
 }
 
+BayesianFaultNetwork::~BayesianFaultNetwork() = default;
+
+EvalOutcome BayesianFaultNetwork::evaluate(const EvalRequest& request) {
+  // The engine is persistent so its widened panels and weight-copy pools
+  // survive across calls — steady-state campaigns stop allocating.
+  if (multi_mask_ == nullptr) {
+    multi_mask_ = std::make_unique<MultiMaskEvaluator>(*this);
+  }
+  return multi_mask_->evaluate(request.masks, request.mask_batch);
+}
+
+std::vector<MaskOutcome> BayesianFaultNetwork::evaluate_masks(
+    std::span<const FaultMask> masks, std::size_t mask_batch) {
+  return evaluate({masks, mask_batch}).outcomes;
+}
+
 tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
+  return logits_view_under_mask(mask);  // deep copy at the return boundary
+}
+
+const tensor::Tensor& BayesianFaultNetwork::logits_view_under_mask(
+    const FaultMask& mask) {
   const SplitMask split = split_mask(*space_, mask);
   // Transient compute faults ride on the network for the duration of this
   // forward only; `split` outlives both forward paths below.
@@ -145,23 +167,33 @@ tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
   }
 
   space_->apply_bits(split.param_bits);
-  tensor::Tensor logits;
+  const tensor::Tensor* logits = nullptr;
   if (begin > 0) {
-    tensor::Tensor start =
+    // Weight-fault masks (the common campaign case) replay straight off the
+    // cached golden activation — no staging copy. Only masks that corrupt
+    // the replay-start activation itself stage into the reusable scratch
+    // tensor (whose storage amortizes across evaluations).
+    const tensor::Tensor& start =
         cache_.activation(static_cast<std::size_t>(begin - 1));
     const auto it = split.act_flips.find(begin - 1);
-    if (it != split.act_flips.end()) flip_into(start, it->second);
-    logits = net_.forward_from(static_cast<std::size_t>(begin),
-                               std::move(start), /*training=*/false, hook);
+    if (it != split.act_flips.end()) {
+      start_scratch_ = start;
+      flip_into(start_scratch_, it->second);
+      logits = &net_.forward_view(static_cast<std::size_t>(begin),
+                                  start_scratch_, hook);
+    } else {
+      logits =
+          &net_.forward_view(static_cast<std::size_t>(begin), start, hook);
+    }
     ++eval_stats_.truncated_evals;
     eval_stats_.layers_run += depth - static_cast<std::size_t>(begin);
   } else {
     if (!split.input_flips.empty()) {
-      tensor::Tensor input = eval_inputs_;
-      flip_into(input, split.input_flips);
-      logits = net_.forward(input, /*training=*/false, hook);
+      start_scratch_ = eval_inputs_;
+      flip_into(start_scratch_, split.input_flips);
+      logits = &net_.forward_view(0, start_scratch_, hook);
     } else {
-      logits = net_.forward(eval_inputs_, /*training=*/false, hook);
+      logits = &net_.forward_view(0, eval_inputs_, hook);
     }
     ++eval_stats_.full_evals;
     eval_stats_.layers_run += depth;
@@ -180,7 +212,7 @@ tensor::Tensor BayesianFaultNetwork::logits_under_mask(const FaultMask& mask) {
   }
   space_->apply_bits(split.param_bits);  // XOR self-inverse: golden restored
   if (!split.compute_flips.empty()) net_.set_compute_fault_plan(nullptr);
-  return logits;
+  return *logits;
 }
 
 MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
@@ -196,7 +228,7 @@ MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
   const std::uint64_t guard0 =
       has_guards_ ? nn::total_guard_corrections(net_) : 0;
 
-  const tensor::Tensor logits = logits_under_mask(mask);
+  const tensor::Tensor& logits = logits_view_under_mask(mask);
 
   MaskOutcome outcome;
   outcome.flipped_bits = mask.num_flips();
@@ -253,7 +285,7 @@ MaskOutcome BayesianFaultNetwork::evaluate_mask(const FaultMask& mask) {
 
 std::vector<std::uint8_t> BayesianFaultNetwork::deviation_under_mask(
     const FaultMask& mask) {
-  const auto preds = tensor::argmax_rows(logits_under_mask(mask));
+  const auto preds = tensor::argmax_rows(logits_view_under_mask(mask));
   std::vector<std::uint8_t> out(preds.size());
   for (std::size_t i = 0; i < preds.size(); ++i) {
     out[i] = preds[i] != golden_preds_[i] ? 1 : 0;

@@ -108,6 +108,28 @@ struct EvalStats {
   }
 };
 
+/// One consolidated mask-evaluation request. Every evaluation entry point —
+/// single mask, batched multi-mask, per-mask sequential fallback — is a
+/// special case of this: the engine groups `masks` by first-affected layer,
+/// rides up to `mask_batch` variants through one widened forward per replay
+/// group (DESIGN.md §10), and transparently routes masks the batched path
+/// cannot carry soundly (compute-fault sites, ABFT checking, range guards,
+/// exotic layers) through sequential evaluation. mask_batch <= 1 forces the
+/// sequential path for every mask.
+struct EvalRequest {
+  std::span<const FaultMask> masks;
+  std::size_t mask_batch = 8;
+};
+
+/// Result of one EvalRequest. `outcomes` is in input order and bit-identical
+/// to evaluating each mask alone; the counters report which engine served
+/// each mask (telemetry — they never affect results).
+struct EvalOutcome {
+  std::vector<MaskOutcome> outcomes;
+  std::size_t batched = 0;     // masks served by the widened multi-mask path
+  std::size_t sequential = 0;  // masks served by per-mask evaluation
+};
+
 class BayesianFaultNetwork {
  public:
   /// Clones `golden`; the original is never mutated. `eval_inputs` is a
@@ -116,6 +138,7 @@ class BayesianFaultNetwork {
                        AvfProfile profile, tensor::Tensor eval_inputs,
                        std::vector<std::int64_t> eval_labels,
                        EvalCacheConfig cache_config = {});
+  ~BayesianFaultNetwork();
 
   BayesianFaultNetwork(const BayesianFaultNetwork&) = delete;
   BayesianFaultNetwork& operator=(const BayesianFaultNetwork&) = delete;
@@ -145,19 +168,19 @@ class BayesianFaultNetwork {
     return golden_preds_;
   }
 
-  /// Applies `mask`, measures, reverts. The weights are bit-exact golden
-  /// before and after this call. Replays only from the first affected layer
-  /// when the cache allows it.
+  /// THE evaluation entry point: applies each requested mask, measures,
+  /// reverts. The weights are bit-exact golden before and after this call,
+  /// and outcomes are bit-identical regardless of which engine (batched
+  /// widened forward or per-mask sequential) served each mask. The batched
+  /// engine is persistent — its widened activation panels are pooled across
+  /// calls, so steady-state campaigns stop allocating.
+  EvalOutcome evaluate(const EvalRequest& request);
+
+  /// Single-mask shorthand, equivalent to an EvalRequest of one mask with
+  /// mask_batch = 1 (allocation-free: no outcome vector is built).
   MaskOutcome evaluate_mask(const FaultMask& mask);
 
-  /// Evaluates a batch of masks, riding up to `mask_batch` fault variants
-  /// through one shared widened forward per replay group (DESIGN.md §10).
-  /// Results are bit-identical to calling evaluate_mask on each mask in
-  /// order — the batched kernels never change per-element arithmetic — and
-  /// returned in input order. Masks the batched path cannot carry soundly
-  /// (compute-fault sites, ABFT checking on, range guards, exotic layers)
-  /// transparently fall back to the sequential path. State is golden again
-  /// on return.
+  /// Deprecated: thin wrapper over evaluate(); prefer the EvalRequest form.
   std::vector<MaskOutcome> evaluate_masks(std::span<const FaultMask> masks,
                                           std::size_t mask_batch = 8);
 
@@ -206,6 +229,11 @@ class BayesianFaultNetwork {
 
   void rebuild_space();
 
+  /// Borrowed logits of the corrupted network — the allocation-free core of
+  /// evaluate_mask (a view of the planned-execution arena on the planned
+  /// path). Valid until the next forward on the owned network.
+  const tensor::Tensor& logits_view_under_mask(const FaultMask& mask);
+
   nn::Network net_;
   std::unique_ptr<InjectionSpace> space_;
   bool has_guards_ = false;  // cached: avoids a dynamic_cast scan per eval
@@ -219,6 +247,12 @@ class BayesianFaultNetwork {
   nn::ActivationCache cache_;
   fault::ActivationGeometry geometry_;
   EvalStats eval_stats_;
+  // Reusable staging tensor for masks that corrupt the replay-start
+  // activation or the input batch; its storage amortizes across evaluations.
+  tensor::Tensor start_scratch_;
+  // Persistent batched engine behind evaluate(): lazily created, reused
+  // across calls so its widened panels and weight-copy pools amortize.
+  std::unique_ptr<MultiMaskEvaluator> multi_mask_;
 };
 
 }  // namespace bdlfi::bayes

@@ -10,6 +10,8 @@
 
 #include "bayes/mask_split.h"
 #include "nn/conv.h"
+#include "nn/layers.h"
+#include "nn/plan.h"
 #include "nn/resblock.h"
 #include "obs/metrics.h"
 #include "tensor/backend/backend.h"
@@ -41,24 +43,66 @@ Shape with_batch(const Shape& s, std::int64_t n0) {
   }
 }
 
+// Grow-once storage behind the widened forward: four ping-pong activation
+// slots (two for the main panel, two for the block shortcut) plus per-variant
+// corrupted weight/bias copies, acquired in deterministic order per chunk.
+// Everything amortizes — a steady-state campaign stops allocating panel or
+// weight-copy storage entirely (only small per-call bookkeeping vectors
+// remain). Tensors handed out are borrowed views of the pool.
+struct PanelPool {
+  std::vector<float> act[4];
+  std::vector<std::vector<float>> wcopies;
+  std::size_t wcopy_next = 0;
+  nn::Workspace ws;
+
+  Tensor view(int slot, const Shape& shape) {
+    std::vector<float>& buf = act[slot];
+    const auto n = static_cast<std::size_t>(shape.numel());
+    if (buf.size() < n) buf.resize(n);
+    return Tensor::view(shape, buf.data());
+  }
+  /// Copy of `src` in reusable storage (stable pointer until the pool grows a
+  /// brand-new entry, which only happens the first time an acquisition
+  /// ordinal is reached).
+  Tensor wcopy(const Tensor& src) {
+    if (wcopy_next == wcopies.size()) wcopies.emplace_back();
+    std::vector<float>& buf = wcopies[wcopy_next++];
+    const auto n = static_cast<std::size_t>(src.numel());
+    if (buf.size() < n) buf.resize(n);
+    std::copy_n(src.data(), n, buf.data());
+    return Tensor::view(src.shape(), buf.data());
+  }
+  void begin_chunk() { wcopy_next = 0; }
+};
+
 // The activation panel riding through the widened forward. While every
 // variant's slice is still bit-identical (`uniform`), only one [N, ...] copy
 // is carried; the first variant-dependent step widens it to [K*N, ...] with
-// variant v owning rows [v*N, (v+1)*N).
+// variant v owning rows [v*N, (v+1)*N). The panel ping-pongs between its two
+// pool slots; `cur` tracks which slot `act` occupies (-1: owned storage from
+// a dirty-slice fallback, which never aliases a slot).
 struct Panel {
   Tensor act;
   bool uniform = true;
   std::size_t k = 1;
+  PanelPool* pool = nullptr;
+  int slot0 = 0, slot1 = 1;
+  int cur = -1;
 
   std::int64_t rows() const { return act.shape()[0]; }
   std::int64_t per_variant() const {
     return act.numel() / static_cast<std::int64_t>(k);
   }
+  /// A view of the *other* slot, pre-sized for `shape`; never aliases `act`.
+  Tensor next(const Shape& shape) {
+    cur = (cur == slot0) ? slot1 : slot0;
+    return pool->view(cur, shape);
+  }
   void diverge() {
     if (!uniform) return;
     const std::int64_t per = act.numel();
-    Tensor wide{
-        with_batch(act.shape(), rows() * static_cast<std::int64_t>(k))};
+    Tensor wide =
+        next(with_batch(act.shape(), rows() * static_cast<std::int64_t>(k)));
     for (std::size_t v = 0; v < k; ++v) {
       std::copy_n(act.data(), per,
                   wide.data() + static_cast<std::int64_t>(v) * per);
@@ -111,7 +155,9 @@ void run_conv(nn::Conv2d& conv, Panel& p, const LayerFlips& flips) {
         continue;  // flip on another sub-tensor of the same top-level layer
       }
       if (*copy == nullptr) {
-        store.push_back(*f.t);
+        // Pooled corrupted copy — storage reused across chunks, since copies
+        // are acquired in deterministic (variant, tensor) order.
+        store.push_back(p.pool->wcopy(*f.t));
         *copy = &store.back();
         *slot = (*copy)->data();
       }
@@ -122,7 +168,7 @@ void run_conv(nn::Conv2d& conv, Panel& p, const LayerFlips& flips) {
 
   if (!dirty) {
     // One "variant" spanning every live sample, golden kernel.
-    Tensor out{Shape{p.rows(), o, oh, ow}};
+    Tensor out = p.next(Shape{p.rows(), o, oh, ow});
     const float* ws[1] = {conv.weight().data()};
     const float* bs[1] = {bv[0]};
     tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/false, 1,
@@ -135,7 +181,7 @@ void run_conv(nn::Conv2d& conv, Panel& p, const LayerFlips& flips) {
     // Divergence point: all variants read the same [N, ...] block, so the
     // im2col panel is unfolded once and shared across every variant's GEMM.
     const std::int64_t n = p.rows();
-    Tensor out{Shape{static_cast<std::int64_t>(p.k) * n, o, oh, ow}};
+    Tensor out = p.next(Shape{static_cast<std::int64_t>(p.k) * n, o, oh, ow});
     tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/true, p.k, n,
                                  c, h, w, wv.data(), bv.data(), o, spec,
                                  out.data());
@@ -144,10 +190,44 @@ void run_conv(nn::Conv2d& conv, Panel& p, const LayerFlips& flips) {
     return;
   }
   const std::int64_t n = p.rows() / static_cast<std::int64_t>(p.k);
-  Tensor out{Shape{p.rows(), o, oh, ow}};
+  Tensor out = p.next(Shape{p.rows(), o, oh, ow});
   tensor::conv2d_forward_multi(p.act.data(), /*shared_input=*/false, p.k, n,
                                c, h, w, wv.data(), bv.data(), o, spec,
                                out.data());
+  p.act = std::move(out);
+}
+
+// Output shape of one widened step for the supported per-sample-pure layer
+// kinds; rank-0 means "unknown — use the allocating forward".
+Shape widened_out_shape(nn::Layer& layer, const Shape& in) {
+  const std::string kind = layer.kind();
+  if (kind == "bn" || kind == "relu" || kind == "dropout") return in;
+  if (kind == "flatten") return Shape{in[0], in.numel() / in[0]};
+  if (kind == "avgpool") return Shape{in[0], in[1]};
+  if (kind == "maxpool") {
+    const auto k = static_cast<nn::MaxPool2d&>(layer).kernel();
+    return Shape{in[0], in[1], in[2] / k, in[3] / k};
+  }
+  if (kind == "dense") {
+    return Shape{in[0], static_cast<nn::Dense&>(layer).out_features()};
+  }
+  return Shape{};
+}
+
+// Clean widened forward of one supported layer, pooled via forward_into when
+// the layer is plan-eval-safe. MC-mode Dropout samples even in eval (its
+// forward_into refuses) and unknown shapes have no pooled recipe — both fall
+// back to the allocating forward, and `cur = -1` records that the panel left
+// the pool's slots.
+void run_clean(nn::Layer& layer, Panel& p) {
+  const Shape out_shape = widened_out_shape(layer, p.act.shape());
+  if (out_shape.rank() == 0 || !layer.plan_eval_safe()) {
+    p.act = layer.forward(p.act, /*training=*/false);
+    p.cur = -1;
+    return;
+  }
+  Tensor out = p.next(out_shape);
+  layer.forward_into(p.act, out, p.pool->ws);
   p.act = std::move(out);
 }
 
@@ -176,7 +256,7 @@ void run_generic(nn::Layer& layer, Panel& p, const LayerFlips& flips) {
     }
   }
   if (!dirty) {
-    p.act = layer.forward(p.act, /*training=*/false);
+    run_clean(layer, p);
     return;
   }
   p.diverge();
@@ -198,6 +278,7 @@ void run_generic(nn::Layer& layer, Panel& p, const LayerFlips& flips) {
                 out.data() + static_cast<std::int64_t>(v) * res.numel());
   }
   p.act = std::move(out);
+  p.cur = -1;  // panel left the pool slots; next() must not alias `out`
 }
 
 // BasicBlock, always decomposed so the inner convs ride the fused panels
@@ -206,7 +287,19 @@ void run_generic(nn::Layer& layer, Panel& p, const LayerFlips& flips) {
 // residual add, relu. Flip lists pass through unfiltered — run_conv and
 // run_generic match flips to sub-tensors by pointer.
 void run_block(nn::BasicBlock& block, Panel& p, const LayerFlips& flips) {
-  Panel shortcut{p.act, p.uniform, p.k};  // deep copy of the block input
+  // Shortcut branch rides its own slot pair (2/3) so the main panel can
+  // ping-pong 0/1 freely; it starts from a pooled copy of the block input.
+  Panel shortcut;
+  shortcut.uniform = p.uniform;
+  shortcut.k = p.k;
+  shortcut.pool = p.pool;
+  shortcut.slot0 = 2;
+  shortcut.slot1 = 3;
+  {
+    Tensor copy = shortcut.next(p.act.shape());
+    std::copy_n(p.act.data(), p.act.numel(), copy.data());
+    shortcut.act = std::move(copy);
+  }
   run_conv(block.conv1(), p, flips);
   run_generic(block.bn1(), p, flips);
   tensor::relu_inplace(p.act);
@@ -262,8 +355,14 @@ struct MultiMaskEvaluator::Variant {
   std::map<std::int64_t, std::vector<ParamFlip>> layer_flips;
 };
 
+// Grow-once storage (panel slots, weight copies, layer workspace) persisted
+// for the evaluator's lifetime.
+struct MultiMaskEvaluator::Pool {
+  PanelPool p;
+};
+
 MultiMaskEvaluator::MultiMaskEvaluator(BayesianFaultNetwork& net)
-    : net_(net) {
+    : net_(net), pool_(std::make_unique<Pool>()) {
   kinds_ok_ = true;
   for (std::size_t i = 0; i < net_.net_.num_layers(); ++i) {
     if (!kind_supported(net_.net_.layer_kind(i))) {
@@ -273,19 +372,27 @@ MultiMaskEvaluator::MultiMaskEvaluator(BayesianFaultNetwork& net)
   }
 }
 
+MultiMaskEvaluator::~MultiMaskEvaluator() = default;
+
 bool MultiMaskEvaluator::batchable() const {
-  return kinds_ok_ && !net_.has_guards_ &&
+  // eval_fusion folds BN into block convs on the sequential/planned path;
+  // the widened forward decomposes blocks unfused, so batching under fusion
+  // would break the bit-exact-parity contract — route sequentially instead.
+  return kinds_ok_ && !net_.has_guards_ && !net_.net_.eval_fusion() &&
          net_.net_.abft().mode == tensor::abft::Mode::kOff;
 }
 
-std::vector<MaskOutcome> MultiMaskEvaluator::evaluate(
-    std::span<const FaultMask> masks, std::size_t max_batch) {
-  std::vector<MaskOutcome> out(masks.size());
+EvalOutcome MultiMaskEvaluator::evaluate(std::span<const FaultMask> masks,
+                                         std::size_t max_batch) {
+  EvalOutcome result;
+  result.outcomes.resize(masks.size());
+  std::vector<MaskOutcome>& out = result.outcomes;
   if (!batchable() || max_batch <= 1 || masks.size() <= 1) {
     for (std::size_t i = 0; i < masks.size(); ++i) {
       out[i] = net_.evaluate_mask(masks[i]);
     }
-    return out;
+    result.sequential = masks.size();
+    return result;
   }
 
   const auto cached = static_cast<std::int64_t>(net_.cache_.cached_layers());
@@ -324,7 +431,9 @@ std::vector<MaskOutcome> MultiMaskEvaluator::evaluate(
     }
   }
   for (std::size_t i : sequential) out[i] = net_.evaluate_mask(masks[i]);
-  return out;
+  result.sequential = sequential.size();
+  result.batched = masks.size() - result.sequential;
+  return result;
 }
 
 void MultiMaskEvaluator::evaluate_chunk(std::span<Variant> chunk,
@@ -336,9 +445,19 @@ void MultiMaskEvaluator::evaluate_chunk(std::span<Variant> chunk,
 
   Panel p;
   p.k = k;
-  p.act = begin > 0
-              ? net_.cache_.activation(static_cast<std::size_t>(begin) - 1)
-              : net_.eval_inputs_;
+  p.pool = &pool_->p;
+  p.pool->begin_chunk();
+  {
+    // Pooled copy of the replay-start tensor (the pre-start flips below
+    // mutate it, so the cache/input must never be handed out directly).
+    const Tensor& start =
+        begin > 0
+            ? net_.cache_.activation(static_cast<std::size_t>(begin) - 1)
+            : net_.eval_inputs_;
+    Tensor copy = p.next(start.shape());
+    std::copy_n(start.data(), start.numel(), copy.data());
+    p.act = std::move(copy);
+  }
 
   // Pre-start corruption: input bits (begin == 0) or stored-activation bits
   // of layer begin-1 — both flip the tensor the replay starts from, exactly
@@ -388,7 +507,7 @@ void MultiMaskEvaluator::evaluate_chunk(std::span<Variant> chunk,
     } else if (any) {
       run_generic(layer, p, flips);
     } else {
-      p.act = layer.forward(p.act, /*training=*/false);
+      run_clean(layer, p);
     }
     // Post-layer activation corruption (where the sequential hook fires).
     bool any_act = false;
@@ -478,12 +597,6 @@ void MultiMaskEvaluator::evaluate_chunk(std::span<Variant> chunk,
     m.layers_run.add(k * ran);
     m.layers_total.add(k * depth);
   }
-}
-
-std::vector<MaskOutcome> BayesianFaultNetwork::evaluate_masks(
-    std::span<const FaultMask> masks, std::size_t mask_batch) {
-  MultiMaskEvaluator eval(*this);
-  return eval.evaluate(masks, mask_batch);
 }
 
 }  // namespace bdlfi::bayes

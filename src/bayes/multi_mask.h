@@ -31,8 +31,12 @@ namespace bdlfi::bayes {
 class MultiMaskEvaluator {
  public:
   /// Binds to `net`; the network must outlive the evaluator. Scans the layer
-  /// topology once to decide whether the widened forward applies.
+  /// topology once to decide whether the widened forward applies. The
+  /// evaluator is designed to persist across calls: its widened activation
+  /// panels and per-variant weight copies live in grow-once float pools, so
+  /// steady-state evaluation stops allocating panel storage.
   explicit MultiMaskEvaluator(BayesianFaultNetwork& net);
+  ~MultiMaskEvaluator();
 
   /// True when every layer kind is supported by the widened forward and no
   /// self-checking machinery (ABFT checksums, range guards) requires the
@@ -41,18 +45,21 @@ class MultiMaskEvaluator {
   bool batchable() const;
 
   /// Evaluates all masks, batching up to `max_batch` variants per widened
-  /// forward. Results are in input order and bit-identical to sequential
-  /// evaluate_mask calls; state is golden again on return.
-  std::vector<MaskOutcome> evaluate(std::span<const FaultMask> masks,
-                                    std::size_t max_batch);
+  /// forward. Outcomes are in input order and bit-identical to sequential
+  /// evaluate_mask calls; state is golden again on return. The returned
+  /// counters record how many masks each engine served.
+  EvalOutcome evaluate(std::span<const FaultMask> masks,
+                       std::size_t max_batch);
 
  private:
   struct Variant;
+  struct Pool;
   void evaluate_chunk(std::span<Variant> chunk, std::int64_t begin,
                       std::vector<MaskOutcome>& out);
 
   BayesianFaultNetwork& net_;
   bool kinds_ok_ = false;
+  std::unique_ptr<Pool> pool_;  // grow-once panel + weight-copy storage
 };
 
 }  // namespace bdlfi::bayes

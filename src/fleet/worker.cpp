@@ -174,9 +174,13 @@ int run_worker(const CampaignSpec& spec, const WorkerPaths& paths,
     return 2;
   }
 
-  std::string backend_error;
-  if (!tensor::backend::set_active(spec.backend, &backend_error)) {
-    std::fprintf(stderr, "backend: %s\n", backend_error.c_str());
+  // The spec's backend axis is an explicit request — resolved through the
+  // shared policy, strictly (no env fallback: every worker in a cell must
+  // run the cell's pinned backend).
+  const tensor::backend::Resolution backend =
+      tensor::backend::resolve(spec.backend, /*env=*/nullptr);
+  if (!backend.ok) {
+    std::fprintf(stderr, "backend: %s\n", backend.error.c_str());
     return 2;
   }
 

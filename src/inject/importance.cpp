@@ -59,9 +59,8 @@ ImportanceFiResult run_importance_fi(const bayes::BayesianFaultNetwork& golden,
       }
       log_weights.push_back(lw);
     }
-    const std::vector<bayes::MaskOutcome> outcomes =
-        replica->evaluate_masks(masks, chunk);
-    for (const bayes::MaskOutcome& outcome : outcomes) {
+    const bayes::EvalOutcome batch = replica->evaluate({masks, chunk});
+    for (const bayes::MaskOutcome& outcome : batch.outcomes) {
       errors.push_back(outcome.classification_error);
       deviations.push_back(outcome.deviation);
       if (outcome.deviation > 0.0) ++hits;

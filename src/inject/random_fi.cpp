@@ -49,9 +49,8 @@ RandomFiResult run_random_fi(const bayes::BayesianFaultNetwork& golden,
           for (std::size_t j = i; j < end; ++j) {
             masks.push_back(local_sampler->sample(replica->space(), rng));
           }
-          const std::vector<bayes::MaskOutcome> outcomes =
-              replica->evaluate_masks(masks, chunk);
-          for (const bayes::MaskOutcome& outcome : outcomes) {
+          const bayes::EvalOutcome batch = replica->evaluate({masks, chunk});
+          for (const bayes::MaskOutcome& outcome : batch.outcomes) {
             out[worker].errors.push_back(outcome.classification_error);
             out[worker].deviations.push_back(outcome.deviation);
             out[worker].flips.push_back(

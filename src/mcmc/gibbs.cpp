@@ -95,10 +95,9 @@ ChainResult GibbsSampler::run() {
   pending.reserve(std::min(mask_batch, config_.samples));
   const auto flush = [&]() {
     if (pending.empty()) return;
-    const std::vector<bayes::MaskOutcome> outcomes =
-        net_.evaluate_masks(pending, mask_batch);
+    const bayes::EvalOutcome batch = net_.evaluate({pending, mask_batch});
     network_evals_ += pending.size();
-    for (const bayes::MaskOutcome& outcome : outcomes) {
+    for (const bayes::MaskOutcome& outcome : batch.outcomes) {
       result.error_samples.push_back(outcome.classification_error);
       result.deviation_samples.push_back(outcome.deviation);
       result.flips_samples.push_back(static_cast<double>(outcome.flipped_bits));

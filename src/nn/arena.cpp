@@ -1,0 +1,36 @@
+#include "nn/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bdlfi::nn {
+
+namespace {
+std::atomic<std::size_t> g_arena_allocations{0};
+}  // namespace
+
+Arena::~Arena() { std::free(data_); }
+
+void Arena::reserve(std::size_t floats) {
+  if (floats <= size_) return;
+  std::free(data_);
+  // Round the byte size up to the 64-byte alignment quantum (aligned_alloc
+  // requires it) and zero-fill: GEMM steps overwrite their slots with
+  // beta == 0 semantics, but a deterministic first read beats inheriting
+  // whatever bit patterns the allocator hands back.
+  const std::size_t bytes = ((floats * sizeof(float) + 63) / 64) * 64;
+  data_ = static_cast<float*>(std::aligned_alloc(64, bytes));
+  BDLFI_CHECK_MSG(data_ != nullptr, "arena allocation failed");
+  std::memset(data_, 0, bytes);
+  size_ = floats;
+  g_arena_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Arena::total_allocations() {
+  return g_arena_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace bdlfi::nn

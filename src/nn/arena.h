@@ -1,0 +1,48 @@
+// Planned-allocation arena for eval-mode activations.
+//
+// An ExecutionPlan sizes every intermediate blob of a network once at
+// compile time and carves them out of a single 64-byte-aligned float buffer.
+// The arena is allocated exactly once per plan (grow-once; recompiling for a
+// new shape reallocates), then reused across every subsequent eval — the
+// reset-per-eval semantics are implicit: each plan step overwrites its slot
+// in full, so there is nothing to clear between evals. Cloned networks
+// compile their own plans and therefore own independent arenas.
+//
+// The process-wide allocation counter exists for tests: the steady-state
+// zero-allocation guarantee is checked by asserting the counter (and the
+// instrumented global allocator) stay flat across thousands of evals.
+#pragma once
+
+#include <cstddef>
+
+namespace bdlfi::nn {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Ensures capacity for `floats` elements, 64-byte aligned. Growing frees
+  /// the old buffer (plan compilation re-derives every offset anyway);
+  /// shrinking requests keep the current buffer.
+  void reserve(std::size_t floats);
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  /// Base pointer displaced by a compile-time slot offset (in floats).
+  float* at(std::size_t offset) { return data_ + offset; }
+
+  std::size_t size() const { return size_; }
+
+  /// Process-wide count of arena buffer allocations ever made. Steady-state
+  /// eval loops must leave this unchanged.
+  static std::size_t total_allocations();
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bdlfi::nn

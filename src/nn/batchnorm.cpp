@@ -78,6 +78,26 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
   return y;
 }
 
+void BatchNorm2d::forward_into(const Tensor& in, Tensor& out,
+                               Workspace& /*ws*/) {
+  BDLFI_CHECK(in.shape().rank() == 4 && in.shape()[1] == channels_);
+  BDLFI_CHECK(in.numel() == out.numel());
+  const std::int64_t n = in.shape()[0], c = in.shape()[1], h = in.shape()[2],
+                     w = in.shape()[3];
+  // Identical arithmetic to the eval branch of forward(); out may alias in
+  // (each element is read exactly once before it is written).
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+    const float scale = gamma_[ch] * inv_std;
+    const float shift = beta_[ch] - running_mean_[ch] * scale;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* src = in.data() + (s * c + ch) * h * w;
+      float* dst = out.data() + (s * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) dst[i] = src[i] * scale + shift;
+    }
+  }
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   BDLFI_CHECK_MSG(!cached_xhat_.empty(),
                   "BatchNorm2d::backward without training forward");

@@ -18,6 +18,8 @@ class BatchNorm2d : public Layer {
 
   std::string kind() const override { return "bn"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
+  bool inplace_capable() const override { return true; }
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix,
                       std::vector<ParamRef>& out) override;
@@ -29,6 +31,11 @@ class BatchNorm2d : public Layer {
   std::int64_t channels() const { return channels_; }
   Tensor& running_mean() { return running_mean_; }
   Tensor& running_var() { return running_var_; }
+  // Affine parameters and epsilon, exposed for eval-mode BN folding (the
+  // ExecutionPlan folds scale/shift into the preceding conv's weights).
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+  float eps() const { return eps_; }
 
  private:
   std::int64_t channels_;

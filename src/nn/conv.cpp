@@ -49,6 +49,16 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   return tensor::conv2d_forward(x, weight_, bias_, spec_);
 }
 
+void Conv2d::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  BDLFI_CHECK(in.shape().rank() == 4 && in.shape()[1] == in_channels_);
+  if (compute_ctx_ != nullptr) {
+    tensor::conv2d_forward_into(in, weight_, bias_, spec_, *compute_ctx_, out);
+  } else {
+    tensor::conv2d_forward_into(in, weight_, bias_, spec_,
+                                tensor::abft::OpContext{}, out);
+  }
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   BDLFI_CHECK_MSG(!cached_input_.empty(),
                   "Conv2d::backward without training forward");

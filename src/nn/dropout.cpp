@@ -1,5 +1,6 @@
 #include "nn/dropout.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -27,6 +28,16 @@ Tensor Dropout::forward(const Tensor& x, bool training) {
   for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = x[i] * mask[i];
   if (training) cached_mask_ = std::move(mask);
   return y;
+}
+
+void Dropout::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  // Planned execution is eval-mode and plan_eval_safe() gates out MC mode,
+  // so this is always the identity pass.
+  BDLFI_CHECK(!mc_mode_);
+  BDLFI_CHECK(in.numel() == out.numel());
+  if (out.data() != in.data()) {
+    std::copy_n(in.data(), static_cast<std::size_t>(in.numel()), out.data());
+  }
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.h"
@@ -25,6 +26,17 @@ std::int64_t Layer::num_params() {
   std::int64_t n = 0;
   for (const auto& r : refs) n += r.value->numel();
   return n;
+}
+
+void Layer::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  // Compatibility shim: layers without a slot-aware override still run under
+  // a plan, paying one allocation per step. Shapes may legitimately differ
+  // (flatten-style layers); element counts must not.
+  const Tensor result = forward(in, /*training=*/false);
+  BDLFI_CHECK_MSG(result.numel() == out.numel(),
+                  "forward_into shim: output size mismatch");
+  std::copy_n(result.data(), static_cast<std::size_t>(result.numel()),
+              out.data());
 }
 
 // --- Dense -------------------------------------------------------------------
@@ -64,6 +76,24 @@ Tensor Dense::forward(const Tensor& x, bool training) {
   }
   if (has_bias_) tensor::bias_add_rows(y, bias_);
   return y;
+}
+
+void Dense::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  BDLFI_CHECK(in.shape().rank() == 2 && in.shape()[1] == in_);
+  const std::int64_t n = in.shape()[0];
+  BDLFI_CHECK(out.shape() == Shape({n, out_}));
+  BDLFI_CHECK(out.data() != in.data());
+  // Same GEMM + bias sequence as forward(): beta = 0 overwrites whatever the
+  // arena slot held, so stale activations from the previous eval are inert.
+  if (compute_ctx_ != nullptr) {
+    tensor::abft::gemm_checked(false, true, n, out_, in_, 1.0f, in.data(), in_,
+                               weight_.data(), in_, out.data(), out_,
+                               *compute_ctx_, /*elem_base=*/0);
+  } else {
+    tensor::gemm(false, true, n, out_, in_, 1.0f, in.data(), in_,
+                 weight_.data(), in_, 0.0f, out.data(), out_);
+  }
+  if (has_bias_) tensor::bias_add_rows(out, bias_);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
@@ -117,6 +147,14 @@ Tensor ReLU::forward(const Tensor& x, bool training) {
   return y;
 }
 
+void ReLU::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  BDLFI_CHECK(in.numel() == out.numel());
+  if (out.data() != in.data()) {
+    std::copy_n(in.data(), static_cast<std::size_t>(in.numel()), out.data());
+  }
+  tensor::relu_inplace(out);
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   BDLFI_CHECK_MSG(!cached_pre_.empty(),
                   "ReLU::backward without training forward");
@@ -134,6 +172,15 @@ Tensor Flatten::forward(const Tensor& x, bool training) {
   return x.reshaped(Shape{n, x.numel() / n});
 }
 
+void Flatten::forward_into(const Tensor& in, Tensor& out, Workspace& /*ws*/) {
+  BDLFI_CHECK(in.numel() == out.numel());
+  // Pure reshape: when the plan aliases the slots this is a no-op; a copy
+  // only happens when the input arrives externally (truncated replay).
+  if (out.data() != in.data()) {
+    std::copy_n(in.data(), static_cast<std::size_t>(in.numel()), out.data());
+  }
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
   return grad_output.reshaped(cached_shape_);
 }
@@ -145,6 +192,13 @@ Tensor MaxPool2d::forward(const Tensor& x, bool training) {
   return tensor::maxpool2d_forward(x, kernel_, argmax_);
 }
 
+void MaxPool2d::forward_into(const Tensor& in, Tensor& out,
+                             Workspace& /*ws*/) {
+  // Eval-only path: the argmax record exists for backward, which planned
+  // execution never runs.
+  tensor::maxpool2d_forward_into(in, kernel_, out, nullptr);
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   return tensor::maxpool2d_backward(grad_output, cached_shape_, argmax_);
 }
@@ -154,6 +208,11 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
 Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
   if (training) cached_shape_ = x.shape();
   return tensor::global_avgpool_forward(x);
+}
+
+void GlobalAvgPool::forward_into(const Tensor& in, Tensor& out,
+                                 Workspace& /*ws*/) {
+  tensor::global_avgpool_forward_into(in, out);
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {

@@ -14,6 +14,7 @@ class Dense : public Layer {
 
   std::string kind() const override { return "dense"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix,
                       std::vector<ParamRef>& out) override;
@@ -41,6 +42,8 @@ class ReLU : public Layer {
  public:
   std::string kind() const override { return "relu"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
+  bool inplace_capable() const override { return true; }
   Tensor backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>();
@@ -55,6 +58,8 @@ class Flatten : public Layer {
  public:
   std::string kind() const override { return "flatten"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
+  bool inplace_capable() const override { return true; }
   Tensor backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Flatten>();
@@ -69,7 +74,9 @@ class MaxPool2d : public Layer {
  public:
   explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
   std::string kind() const override { return "maxpool"; }
+  std::int64_t kernel() const { return kernel_; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
   Tensor backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<MaxPool2d>(kernel_);
@@ -86,6 +93,7 @@ class GlobalAvgPool : public Layer {
  public:
   std::string kind() const override { return "avgpool"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
   Tensor backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<GlobalAvgPool>();

@@ -2,11 +2,18 @@
 
 #include <sstream>
 
+#include "nn/plan.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace bdlfi::nn {
+
+// Out-of-line so the unique_ptr<ExecutionPlan> members see a complete type.
+Network::Network() = default;
+Network::~Network() = default;
+Network::Network(Network&&) noexcept = default;
+Network& Network::operator=(Network&&) noexcept = default;
 
 void Network::add(std::string name, std::unique_ptr<Layer> layer) {
   BDLFI_CHECK(layer != nullptr);
@@ -26,6 +33,65 @@ Tensor Network::forward_from(std::size_t first_layer, Tensor act,
                              bool training, const ActivationHook& hook) {
   BDLFI_CHECK_MSG(first_layer <= layers_.size(),
                   "forward_from past the end of the network");
+  if (!training && planned_ && first_layer < layers_.size()) {
+    if (const Tensor* out = planned_forward(first_layer, act, hook)) {
+      return *out;  // deep copy: the arena view materializes to owned storage
+    }
+  }
+  return forward_from_legacy(first_layer, std::move(act), training, hook);
+}
+
+const Tensor& Network::forward_view(std::size_t first_layer, const Tensor& act,
+                                    const ActivationHook& hook) {
+  BDLFI_CHECK_MSG(first_layer <= layers_.size(),
+                  "forward_view past the end of the network");
+  if (planned_ && first_layer < layers_.size()) {
+    if (const Tensor* out = planned_forward(first_layer, act, hook)) {
+      return *out;
+    }
+  }
+  fallback_logits_ =
+      forward_from_legacy(first_layer, act, /*training=*/false, hook);
+  return fallback_logits_;
+}
+
+const Tensor* Network::planned_forward(std::size_t first_layer,
+                                       const Tensor& act,
+                                       const ActivationHook& hook) {
+  // A single unsafe layer (MC-mode dropout, calibrating guard) routes the
+  // whole forward through the legacy path — per-call, so toggling works.
+  for (const auto& e : layers_) {
+    if (!e.entry->plan_eval_safe()) return nullptr;
+  }
+  for (auto& plan : plans_) {
+    if (plan->covers(first_layer, act.shape())) {
+      return &plan->run(*this, first_layer, act, hook, fuse_);
+    }
+  }
+  // Compiling needs a full-network probe, so only a layer-0 call can create
+  // a plan; mid-network entries with an unknown shape fall back.
+  if (first_layer != 0) return nullptr;
+  constexpr std::size_t kMaxPlans = 4;
+  if (plans_.size() >= kMaxPlans) plans_.erase(plans_.begin());
+  plans_.push_back(ExecutionPlan::compile(*this, act));
+  return &plans_.back()->run(*this, first_layer, act, hook, fuse_);
+}
+
+void Network::set_planned(bool on) {
+  planned_ = on;
+  if (!on) plans_.clear();
+}
+
+const ExecutionPlan* Network::plan_for(const Shape& shape) const {
+  for (const auto& plan : plans_) {
+    if (plan->covers(0, shape)) return plan.get();
+  }
+  return nullptr;
+}
+
+Tensor Network::forward_from_legacy(std::size_t first_layer, Tensor act,
+                                    bool training,
+                                    const ActivationHook& hook) {
   // Self-checking forward only when something asks for it (ABFT on, or a
   // compute-fault plan installed); otherwise the loops below are exactly the
   // unchecked forward — the bit-exact-parity guarantee of abft.h.
@@ -77,6 +143,11 @@ tensor::abft::Stats& Network::abft_stats() const {
 }
 
 void Network::set_layer_profiling(bool on) {
+  // Plans snapshot the profiling flag at compile time; invalidate them on any
+  // change so a mid-campaign toggle recompiles instead of mixing timed and
+  // untimed step lists (which previously double-counted fused/replayed
+  // steps). See the header for the full semantics.
+  if (profile_ != on) plans_.clear();
   profile_ = on;
   if (on && layer_seconds_.size() != layers_.size()) {
     layer_seconds_.assign(layers_.size(), 0.0);
@@ -153,8 +224,13 @@ Network Network::clone() const {
   }
   // ABFT is a deployment property of the network, so replicas keep it; the
   // counters and any installed compute-fault plan are per-instance state and
-  // start fresh (stats at zero, no plan).
+  // start fresh (stats at zero, no plan). Planned execution and eval fusion
+  // are deployment properties too, but compiled ExecutionPlans are not
+  // copied: each replica compiles its own and therefore owns an independent
+  // arena.
   copy.abft_ = abft_;
+  copy.planned_ = planned_;
+  copy.fuse_ = fuse_;
   return copy;
 }
 

@@ -18,11 +18,14 @@ namespace bdlfi::nn {
 /// mid-compute. Non-owning; installed per evaluation, never cloned.
 using ComputeFaultPlan = std::map<std::size_t, tensor::abft::FlipList>;
 
+class ExecutionPlan;
+
 class Network {
  public:
-  Network() = default;
-  Network(Network&&) = default;
-  Network& operator=(Network&&) = default;
+  Network();
+  ~Network();
+  Network(Network&&) noexcept;
+  Network& operator=(Network&&) noexcept;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -61,6 +64,37 @@ class Network {
                       bool training = false,
                       const ActivationHook& hook = nullptr);
 
+  /// Zero-copy eval forward: like forward_from(first_layer, act, false, hook)
+  /// but returns a borrowed reference to the logits — on the planned path, a
+  /// view of the plan's arena slot; otherwise a reference to an internal
+  /// fallback tensor. Valid until the next forward on this network; copy to
+  /// keep. This is the hot path for mask-evaluation loops: steady state
+  /// performs zero heap allocations.
+  const Tensor& forward_view(std::size_t first_layer, const Tensor& act,
+                             const ActivationHook& hook = nullptr);
+
+  /// Planned execution toggle (default on). Eval-mode forwards compile an
+  /// ExecutionPlan on first use — pre-sized arena buffers, no per-eval
+  /// allocations — and are bit-exact with the legacy path when fusion is off.
+  /// Training forwards, MC-dropout networks, and calibrating range guards
+  /// always take the legacy path regardless.
+  void set_planned(bool on);
+  bool planned() const { return planned_; }
+
+  /// Eval-mode fusion (default off; the --no-fuse escape hatch maps to
+  /// set_eval_fusion(false)). Folds BN into conv weights inside residual
+  /// blocks and elides dense+relu pairs. BN folding changes rounding relative
+  /// to the unfused path (documented tolerance in DESIGN.md §13); dense+relu
+  /// elision is bit-exact. A deployment property: clone() copies it. Ignored
+  /// for checked (ABFT/compute-fault) and profiled forwards.
+  void set_eval_fusion(bool on) { fuse_ = on; }
+  bool eval_fusion() const { return fuse_; }
+
+  /// The plan that covers an eval forward starting at layer 0 with input
+  /// shape `shape`, or nullptr if none has been compiled yet. Test/telemetry
+  /// introspection (arena high-water mark, buffer count).
+  const ExecutionPlan* plan_for(const Shape& shape) const;
+
   /// Backward from d(loss)/d(logits); returns d(loss)/d(input).
   Tensor backward(const Tensor& grad_logits);
 
@@ -95,6 +129,13 @@ class Network {
   /// Optional per-layer forward timing. Off by default (zero overhead); when
   /// on, every forward/forward_from accumulates wall time per layer. Not
   /// copied by clone(). Not thread-safe: profile a network from one thread.
+  ///
+  /// Interaction with planned execution: the flag is snapshotted when a plan
+  /// is compiled, and toggling it invalidates compiled plans. This makes
+  /// mid-campaign toggles well-defined — a layer is timed exactly once per
+  /// forward from the next forward onward, never double-counted across
+  /// fused/replayed steps. Accumulated seconds/calls survive re-enabling
+  /// (use reset_layer_profile() to zero them).
   void set_layer_profiling(bool on);
   bool layer_profiling() const { return profile_; }
   struct LayerTiming {
@@ -128,10 +169,21 @@ class Network {
   }
 
  private:
+  friend class ExecutionPlan;
+
   struct Entry {
     std::string name;
     std::unique_ptr<Layer> entry;
   };
+
+  /// Runs the planned path if a plan applies (compiling one when starting at
+  /// layer 0); returns nullptr when the planned path cannot serve this call
+  /// and the caller must fall back to the legacy loop.
+  const Tensor* planned_forward(std::size_t first_layer, const Tensor& act,
+                                const ActivationHook& hook);
+  Tensor forward_from_legacy(std::size_t first_layer, Tensor act,
+                             bool training, const ActivationHook& hook);
+
   std::vector<Entry> layers_;
   bool profile_ = false;
   std::vector<double> layer_seconds_;
@@ -139,6 +191,13 @@ class Network {
   tensor::abft::Config abft_;
   mutable std::unique_ptr<tensor::abft::Stats> abft_stats_;
   const ComputeFaultPlan* compute_plan_ = nullptr;
+  // Compiled execution plans, one per distinct probe shape (bounded LRU-ish
+  // cache: oldest evicted). Per-instance — clones compile their own plans and
+  // therefore own independent arenas.
+  std::vector<std::unique_ptr<ExecutionPlan>> plans_;
+  bool planned_ = true;
+  bool fuse_ = false;
+  Tensor fallback_logits_;  // forward_view storage on the legacy path
 };
 
 }  // namespace bdlfi::nn

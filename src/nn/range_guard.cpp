@@ -1,5 +1,6 @@
 #include "nn/range_guard.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -51,6 +52,42 @@ Tensor RangeGuard::forward(const Tensor& x, bool /*training*/) {
   // across parallel chain evaluations.
   if (fired > 0) corrections_.fetch_add(fired, std::memory_order_relaxed);
   return y;
+}
+
+void RangeGuard::forward_into(const Tensor& in, Tensor& out,
+                              Workspace& /*ws*/) {
+  BDLFI_CHECK(!calibrating_);  // plan_eval_safe() keeps calibration legacy
+  BDLFI_CHECK(in.numel() == out.numel());
+  if (!calibrated_) {  // never calibrated: transparent
+    if (out.data() != in.data()) {
+      std::copy_n(in.data(), static_cast<std::size_t>(in.numel()),
+                  out.data());
+    }
+    return;
+  }
+  // Same clamp/squash arithmetic and counter semantics as forward().
+  const float span = hi_ - lo_;
+  const auto widen = static_cast<float>(margin_) * (span > 0.0f ? span : 1.0f);
+  const float lo = lo_ - widen;
+  const float hi = hi_ + widen;
+  const float mid = 0.5f * (lo + hi);
+  std::size_t fired = 0;
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    const float v = in[i];
+    if (std::isnan(v)) {
+      out[i] = mid;
+      ++fired;
+    } else if (v < lo) {
+      out[i] = lo;
+      ++fired;
+    } else if (v > hi) {
+      out[i] = hi;
+      ++fired;
+    } else {
+      out[i] = v;
+    }
+  }
+  if (fired > 0) corrections_.fetch_add(fired, std::memory_order_relaxed);
 }
 
 std::unique_ptr<Layer> RangeGuard::clone() const {

@@ -26,6 +26,11 @@ class RangeGuard : public Layer {
 
   std::string kind() const override { return "guard"; }
   Tensor forward(const Tensor& x, bool training) override;
+  void forward_into(const Tensor& in, Tensor& out, Workspace& ws) override;
+  bool inplace_capable() const override { return true; }
+  /// Calibration records state per forward; route it through the legacy path
+  /// so the plan's shape probe cannot double-record.
+  bool plan_eval_safe() const override { return !calibrating_; }
   /// Straight-through gradient (clamping is inactive on clean training data).
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
   std::unique_ptr<Layer> clone() const override;

@@ -24,7 +24,7 @@ void publish(const KernelBackend& b) {
 }
 
 /// Maps a backend name to its table; nullptr + *error on failure.
-const KernelBackend* resolve(const std::string& name, std::string* error) {
+const KernelBackend* lookup(const std::string& name, std::string* error) {
   if (name == "scalar") return &scalar_backend();
   if (name == "auto") {
 #if defined(__x86_64__) || defined(_M_X64)
@@ -55,7 +55,7 @@ const KernelBackend* resolve_env() {
   const std::string name = env != nullptr ? env : "";
   if (name.empty()) return &scalar_backend();
   std::string error;
-  const KernelBackend* b = resolve(name, &error);
+  const KernelBackend* b = lookup(name, &error);
   if (b == nullptr) {
     std::fprintf(stderr, "[backend] BDLFI_BACKEND: %s; using scalar\n",
                  error.c_str());
@@ -98,11 +98,42 @@ std::vector<std::string> available() {
 }
 
 bool set_active(const std::string& name, std::string* error) {
-  const KernelBackend* b = resolve(name, error);
+  const KernelBackend* b = lookup(name, error);
   if (b == nullptr) return false;
   g_active.store(b, std::memory_order_release);
   publish(*b);
   return true;
+}
+
+Resolution resolve(const std::string& flag, const char* env) {
+  Resolution r;
+  if (!flag.empty()) {
+    r.source = "flag";
+    r.ok = set_active(flag, &r.error);
+    r.name = active_name();
+    return r;
+  }
+  const std::string from_env = env != nullptr ? env : "";
+  if (!from_env.empty()) {
+    r.source = "env";
+    std::string error;
+    if (!set_active(from_env, &error)) {
+      // Env requests degrade gracefully (same policy as the lazy resolution
+      // in active()): note it, run scalar.
+      std::fprintf(stderr, "[backend] BDLFI_BACKEND: %s; using scalar\n",
+                   error.c_str());
+      set_active("scalar");
+    }
+    r.name = active_name();
+    return r;
+  }
+  r.source = "default";
+  r.name = active_name();
+  return r;
+}
+
+Resolution resolve(const std::string& flag) {
+  return resolve(flag, std::getenv("BDLFI_BACKEND"));
 }
 
 }  // namespace bdlfi::tensor::backend

@@ -120,4 +120,30 @@ std::vector<std::string> available();
 /// this CPU — the active backend is left unchanged in that case.
 bool set_active(const std::string& name, std::string* error = nullptr);
 
+/// Result of resolve(): which backend ended up active and why.
+struct Resolution {
+  std::string name;          // active backend name after resolution
+  const char* source = "";   // "flag", "env", or "default"
+  bool ok = true;            // false: the explicit request was unusable;
+                             // `error` says why and the active backend is
+                             // unchanged (callers typically exit 2)
+  std::string error;
+};
+
+/// One-stop backend selection policy shared by the CLI, the benches, and
+/// fleet workers — the single place the "flag beats env beats default"
+/// precedence lives:
+///   1. a non-empty `flag` (from --backend=...) is applied strictly: an
+///      unusable name returns ok = false without touching the active table,
+///      because silently falling back would invalidate a backend comparison;
+///   2. else a non-empty `env` (normally the BDLFI_BACKEND value) is applied
+///      with fallback-to-scalar on error plus a stderr note, matching the
+///      lazy env resolution active() performs on first use;
+///   3. else the current resolution stands (scalar unless something already
+///      switched tables).
+Resolution resolve(const std::string& flag, const char* env);
+
+/// Overload reading BDLFI_BACKEND from the process environment.
+Resolution resolve(const std::string& flag);
+
 }  // namespace bdlfi::tensor::backend

@@ -228,6 +228,17 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec,
                       const abft::OpContext& ctx) {
+  const std::int64_t n = input.shape()[0], h = input.shape()[2],
+                     w = input.shape()[3];
+  const std::int64_t o = weight.shape()[0];
+  Tensor output{Shape{n, o, spec.out_h(h), spec.out_w(w)}};
+  conv2d_forward_into(input, weight, bias, spec, ctx, output);
+  return output;
+}
+
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         const abft::OpContext& ctx, Tensor& output) {
   BDLFI_CHECK(input.shape().rank() == 4 && weight.shape().rank() == 4);
   const std::int64_t n = input.shape()[0], c = input.shape()[1],
                      h = input.shape()[2], w = input.shape()[3];
@@ -237,7 +248,9 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
               weight.shape()[3] == spec.kernel_w);
   const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
   const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
-  Tensor output{Shape{n, o, oh, ow}};
+  BDLFI_CHECK(output.shape() == Shape({n, o, oh, ow}));
+  BDLFI_CHECK_MSG(output.data() != input.data(),
+                  "conv2d_forward_into cannot run in place");
 
   util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t s) {
     float* cols = scratch_floats(0, static_cast<std::size_t>(patch * oh * ow));
@@ -259,7 +272,6 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
       }
     }
   });
-  return output;
 }
 
 void conv2d_forward_multi(const float* input, bool shared_input,
@@ -393,14 +405,26 @@ Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
   BDLFI_CHECK(input.shape().rank() == 4);
   const std::int64_t n = input.shape()[0], c = input.shape()[1],
                      h = input.shape()[2], w = input.shape()[3];
+  Tensor out{Shape{n, c, h / kernel, w / kernel}};
+  maxpool2d_forward_into(input, kernel, out, &argmax);
+  return out;
+}
+
+void maxpool2d_forward_into(const Tensor& input, std::int64_t kernel,
+                            Tensor& out, std::vector<std::int64_t>* argmax) {
+  BDLFI_CHECK(input.shape().rank() == 4);
+  const std::int64_t n = input.shape()[0], c = input.shape()[1],
+                     h = input.shape()[2], w = input.shape()[3];
   // Floor division: a trailing remainder of rows/columns narrower than the
   // window is dropped, matching the common framework default for this
   // stride-=-kernel pooling. Previously non-divisible dims hard-failed.
   BDLFI_CHECK_MSG(kernel > 0 && h >= kernel && w >= kernel,
                   "maxpool2d input smaller than the pooling window");
   const std::int64_t oh = h / kernel, ow = w / kernel;
-  Tensor out{Shape{n, c, oh, ow}};
-  argmax.assign(static_cast<std::size_t>(out.numel()), 0);
+  BDLFI_CHECK(out.shape() == Shape({n, c, oh, ow}));
+  if (argmax != nullptr) {
+    argmax->assign(static_cast<std::size_t>(out.numel()), 0);
+  }
   std::int64_t oi = 0;
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -422,12 +446,13 @@ Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
             }
           }
           out[oi] = best;
-          argmax[static_cast<std::size_t>(oi)] = best_idx;
+          if (argmax != nullptr) {
+            (*argmax)[static_cast<std::size_t>(oi)] = best_idx;
+          }
         }
       }
     }
   }
-  return out;
 }
 
 Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
@@ -443,9 +468,16 @@ Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
 
 Tensor global_avgpool_forward(const Tensor& input) {
   BDLFI_CHECK(input.shape().rank() == 4);
+  Tensor out{Shape{input.shape()[0], input.shape()[1]}};
+  global_avgpool_forward_into(input, out);
+  return out;
+}
+
+void global_avgpool_forward_into(const Tensor& input, Tensor& out) {
+  BDLFI_CHECK(input.shape().rank() == 4);
   const std::int64_t n = input.shape()[0], c = input.shape()[1],
                      h = input.shape()[2], w = input.shape()[3];
-  Tensor out{Shape{n, c}};
+  BDLFI_CHECK(out.shape() == Shape({n, c}));
   const float inv = 1.0f / static_cast<float>(h * w);
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -455,7 +487,6 @@ Tensor global_avgpool_forward(const Tensor& input) {
       out.at(s, ch) = acc * inv;
     }
   }
-  return out;
 }
 
 Tensor global_avgpool_backward(const Tensor& grad_output,

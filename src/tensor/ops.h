@@ -86,6 +86,14 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec,
                       const abft::OpContext& ctx);
 
+/// Allocation-free conv2d: writes the [N,O,OH,OW] result into `output`
+/// (pre-shaped by the caller, must not alias `input`). Bit-exact with the
+/// allocating overloads — they are thin wrappers around this. The only
+/// per-call storage is the thread-local im2col scratch, which is grow-once.
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         const abft::OpContext& ctx, Tensor& output);
+
 /// Batched multi-variant convolution over shared im2col panels — the kernel
 /// bed of MultiMaskEvaluator (DESIGN.md §10). The input holds per-variant
 /// sample blocks: variant v owns samples [v*n, (v+1)*n) of a [variants*n, C,
@@ -123,11 +131,17 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 /// records the linear index of each selected element for the backward pass.
 Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
                          std::vector<std::int64_t>& argmax);
+/// Allocation-free variant writing into a pre-shaped output; `argmax` may be
+/// null for eval-mode forwards that never run backward.
+void maxpool2d_forward_into(const Tensor& input, std::int64_t kernel,
+                            Tensor& output, std::vector<std::int64_t>* argmax);
 Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
                           const std::vector<std::int64_t>& argmax);
 
 /// Global average pooling: [N,C,H,W] → [N,C].
 Tensor global_avgpool_forward(const Tensor& input);
+/// Allocation-free variant writing into a pre-shaped [N,C] output.
+void global_avgpool_forward_into(const Tensor& input, Tensor& output);
 Tensor global_avgpool_backward(const Tensor& grad_output,
                                const Shape& input_shape);
 

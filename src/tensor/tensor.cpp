@@ -45,6 +45,58 @@ Tensor Tensor::arange(Shape shape) {
   return t;
 }
 
+Tensor Tensor::view(Shape shape, float* storage) {
+  BDLFI_CHECK(storage != nullptr || shape.numel() == 0);
+  Tensor t;
+  t.shape_ = shape;
+  t.view_ = storage;
+  t.view_n_ = shape.numel();
+  return t;
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (other.view_ != nullptr) {
+    data_.assign(other.view_, other.view_ + other.view_n_);
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (other.view_ != nullptr) {
+    data_.assign(other.view_, other.view_ + other.view_n_);
+  } else {
+    data_ = other.data_;
+  }
+  view_ = nullptr;
+  view_n_ = 0;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      data_(std::move(other.data_)),
+      view_(other.view_),
+      view_n_(other.view_n_) {
+  other.shape_ = Shape{};
+  other.view_ = nullptr;
+  other.view_n_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  data_ = std::move(other.data_);
+  view_ = other.view_;
+  view_n_ = other.view_n_;
+  other.shape_ = Shape{};
+  other.view_ = nullptr;
+  other.view_n_ = 0;
+  return *this;
+}
+
 Tensor Tensor::reshaped(Shape new_shape) const {
   BDLFI_CHECK_MSG(new_shape.numel() == numel(), "reshape changes numel");
   Tensor t = *this;
@@ -53,11 +105,12 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill_n(data(), static_cast<std::size_t>(numel()), value);
 }
 
 void Tensor::scale(float factor) {
-  for (float& v : data_) v *= factor;
+  float* p = data();
+  for (std::int64_t i = 0; i < numel(); ++i) p[i] *= factor;
 }
 
 std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
@@ -87,7 +140,7 @@ std::string Tensor::to_string(std::int64_t max_elems) const {
   const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
   for (std::int64_t i = 0; i < n; ++i) {
     if (i) out << ", ";
-    out << data_[static_cast<std::size_t>(i)];
+    out << data()[i];
   }
   if (numel() > n) out << ", ...";
   out << '}';

@@ -4,6 +4,12 @@
 // float32 buffers — matching the paper's fault model, which flips bits of the
 // 32-bit IEEE-754 encodings. Copies are deep (a corrupted copy of the golden
 // weights must never alias the original); moves are O(1).
+//
+// A tensor can also be a *borrowed view* over storage it does not own
+// (Tensor::view) — the planned-execution arena hands out activation slots
+// this way so eval forwards allocate nothing. Views keep value semantics at
+// the copy boundary: copying a view materializes an owning deep copy, so a
+// view never escapes the lifetime of its arena by accident.
 #pragma once
 
 #include <cstdint>
@@ -33,22 +39,45 @@ class Tensor {
   /// Row-major iota, handy in tests.
   static Tensor arange(Shape shape);
 
-  const Shape& shape() const { return shape_; }
-  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  /// Borrowed view over external storage holding shape.numel() floats. The
+  /// view does not own or free the memory; the caller guarantees it outlives
+  /// every use. Copy-constructing (or copy-assigning from) a view yields an
+  /// ordinary owning tensor with the same contents.
+  static Tensor view(Shape shape, float* storage);
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> flat() { return {data_.data(), data_.size()}; }
-  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const {
+    return view_ != nullptr ? view_n_
+                            : static_cast<std::int64_t>(data_.size());
+  }
+  bool empty() const { return numel() == 0; }
+  /// True when this tensor borrows storage it does not own.
+  bool is_view() const { return view_ != nullptr; }
+
+  float* data() { return view_ != nullptr ? view_ : data_.data(); }
+  const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+  std::span<float> flat() {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
+  std::span<const float> flat() const {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
 
   float operator[](std::int64_t i) const {
     BDLFI_DCHECK(i >= 0 && i < numel());
-    return data_[static_cast<std::size_t>(i)];
+    return data()[i];
   }
   float& operator[](std::int64_t i) {
     BDLFI_DCHECK(i >= 0 && i < numel());
-    return data_[static_cast<std::size_t>(i)];
+    return data()[i];
   }
 
   /// Multi-index accessors (rank-checked in debug builds).
@@ -87,6 +116,11 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  // Borrowed-view state: when view_ is non-null, data_ is empty and the
+  // element count lives in view_n_ (Shape{} reports numel() == 1, so the
+  // count cannot be derived from shape_ alone).
+  float* view_ = nullptr;
+  std::int64_t view_n_ = 0;
 };
 
 }  // namespace bdlfi::tensor

@@ -133,6 +133,14 @@ bayes::BayesianFaultNetwork make_bfn(Subject& subject, const Flags& args) {
     std::exit(2);
   }
   subject.net.set_abft(abft);
+  // Eval-mode conv+BN fusion (--fuse) folds BatchNorm into the adjacent conv
+  // inside residual blocks for throughput. Fused arithmetic rounds
+  // differently from the unfused plan (within the documented tolerance;
+  // DESIGN.md §13), so it is opt-in and --no-fuse always wins — the default
+  // stays bit-exact with the sequential reference. Set before the
+  // BayesianFaultNetwork clones so every chain replica inherits it.
+  subject.net.set_eval_fusion(args.get("fuse", std::int64_t{0}) != 0 &&
+                              args.get("no-fuse", std::int64_t{0}) == 0);
   bayes::TargetSpec spec = bayes::TargetSpec::all_parameters();
   const std::string target = args.get("target", "params");
   if (target == "compute") {
@@ -375,6 +383,9 @@ void usage() {
       "                 default: BDLFI_BACKEND env, else scalar)\n"
       "               --mask-batch=K (fault variants fused per widened\n"
       "                 forward; bit-identical to K=1, default 8)\n"
+      "               --fuse / --no-fuse (eval-mode conv+BN folding inside\n"
+      "                 residual blocks; off by default — fused rounding\n"
+      "                 differs from the bit-exact unfused plan)\n"
       "observability: --progress (live per-round health on stderr, with\n"
       "                 EWMA evals/sec and wall-clock ETA)\n"
       "               --metrics=<file.jsonl> (machine-readable event stream;\n"
@@ -400,6 +411,17 @@ int main(int argc, char** argv) {
   }
   const Flags args(argc, argv);
   const std::string cmd = argv[1];
+  // One strict resolution up front for every command (flag beats
+  // BDLFI_BACKEND beats scalar): train/random previously ignored --backend
+  // entirely, silently producing scalar artifacts from an avx2 request.
+  // parse_campaign_flags re-resolves for the campaign commands, which is
+  // idempotent. Fleet workers re-resolve strictly from their campaign spec.
+  const tensor::backend::Resolution backend =
+      tensor::backend::resolve(args.get("backend", ""));
+  if (!backend.ok) {
+    std::fprintf(stderr, "--backend: %s\n", backend.error.c_str());
+    return 2;
+  }
   int rc = 2;
   if (cmd == "fleet") {
     // The spec file rides as a positional argument right after the command.
