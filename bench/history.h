@@ -133,6 +133,17 @@ inline std::optional<HistoryEntry> entry_from_bench_doc(
     entry.metric = "overall_speedup";
     entry.value = num_at(*mm_summary, "overall_speedup");
     entry.higher_is_better = true;
+  } else if (bench == "hardening_loop") {
+    // Headline: SDC remaining after hardening as % of the unhardened rate
+    // (the bench floors it at 0.1 so a perfect run still records a positive
+    // value). Lower is better — a regression here means hardening got worse.
+    if (summary == nullptr) {
+      if (error != nullptr) *error = "hardening_loop: missing summary object";
+      return std::nullopt;
+    }
+    entry.metric = "sdc_remaining_pct";
+    entry.value = num_at(*summary, "sdc_remaining_pct");
+    entry.higher_is_better = false;
   } else {
     // Unknown bench: record the generic summary.overall_speedup if present,
     // so new benches join the ledger without touching this switch.

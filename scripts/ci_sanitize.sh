@@ -100,3 +100,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure \
 echo "=== fleet orchestration suite ==="
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'FleetSpec|FleetRunTest|CheckpointDirLock|fleet_'
+
+# Targeted hardening pass: fault-aware fine-tuning XORs live weight tensors
+# around the optimizer step (a leaked mask is a silent weight corruption, a
+# mis-scoped InjectionSpace is a dangling tensor pointer), and apply_plan
+# splices guard layers into a cloned network while remapping ABFT indices —
+# structural surgery worth running under ASan/UBSan end to end, plus the
+# hardening-loop bench smoke that drives campaign → profile → fine-tune →
+# placement → re-assessment in one process.
+echo "=== posterior-guided hardening suite ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'HardenTest|tab_hardening_loop_'

@@ -1,0 +1,258 @@
+#include "bayes/posterior_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "fault/bits.h"
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace bdlfi::bayes {
+
+namespace {
+
+// Layer name of a kParam entry: the prefix before the first '.' of its
+// parameter name ("fc1.weight" -> "fc1"), matching TargetSpec addressing.
+std::string layer_name_of(const std::string& param_name) {
+  const auto dot = param_name.find('.');
+  return dot == std::string::npos ? param_name : param_name.substr(0, dot);
+}
+
+}  // namespace
+
+PosteriorProfile::PosteriorProfile(const fault::InjectionSpace& space) {
+  from_space_ = true;
+  std::int64_t max_layer = -1;
+  for (const auto& e : space.entries()) {
+    if (e.site != fault::InjectionSpace::SiteKind::kParam) continue;
+    max_layer = std::max(max_layer, e.layer);
+  }
+  layers_.resize(static_cast<std::size_t>(max_layer + 1));
+  layer_tally_.assign(layers_.size(), 0.0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].layer = static_cast<std::int64_t>(i);
+  }
+  for (const auto& e : space.entries()) {
+    if (e.site != fault::InjectionSpace::SiteKind::kParam || e.layer < 0) {
+      continue;
+    }
+    auto& layer = layers_[static_cast<std::size_t>(e.layer)];
+    if (layer.name.empty()) layer.name = layer_name_of(e.name);
+    layer.elements += e.numel;
+    spans_.push_back({e.offset, e.offset + e.numel, e.layer});
+  }
+  std::sort(spans_.begin(), spans_.end(),
+            [](const Span& a, const Span& b) { return a.begin < b.begin; });
+}
+
+void PosteriorProfile::add_sample(const fault::FaultMask& mask,
+                                  double deviation) {
+  BDLFI_CHECK_MSG(from_space_,
+                  "add_sample on a profile not built from an InjectionSpace");
+  BDLFI_CHECK(!finalized_);
+  const double weight = 1.0 + std::max(0.0, deviation);
+  for (const std::int64_t flat : mask.bits()) {
+    const std::int64_t element = flat / fault::kBitsPerWord;
+    const int bit = static_cast<int>(flat % fault::kBitsPerWord);
+    // Span containing `element`, if any (non-param sites are skipped —
+    // activation/input flips have no layer to protect persistently).
+    const auto it = std::upper_bound(
+        spans_.begin(), spans_.end(), element,
+        [](std::int64_t e, const Span& s) { return e < s.begin; });
+    if (it == spans_.begin()) continue;
+    const Span& span = *(it - 1);
+    if (element >= span.end || span.layer < 0) continue;
+    layer_tally_[static_cast<std::size_t>(span.layer)] += weight;
+    bit_tally_[static_cast<std::size_t>(bit)] += weight;
+    ++layers_[static_cast<std::size_t>(span.layer)].flips;
+    ++total_flips_;
+  }
+  ++samples_;
+}
+
+void PosteriorProfile::finalize() {
+  if (finalized_) return;
+  double layer_total = 0.0;
+  for (const double t : layer_tally_) layer_total += t;
+  if (layer_total > 0.0) {
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      layers_[i].mass = layer_tally_[i] / layer_total;
+    }
+  } else {
+    // No flips observed: uniform over layers that expose elements.
+    std::size_t populated = 0;
+    for (const auto& l : layers_) populated += l.elements > 0 ? 1 : 0;
+    for (auto& l : layers_) {
+      l.mass = (populated > 0 && l.elements > 0)
+                   ? 1.0 / static_cast<double>(populated)
+                   : 0.0;
+    }
+  }
+  double bit_total = 0.0;
+  for (const double t : bit_tally_) bit_total += t;
+  for (std::size_t b = 0; b < bit_mass_.size(); ++b) {
+    bit_mass_[b] = bit_total > 0.0 ? bit_tally_[b] / bit_total : 1.0 / 32.0;
+  }
+  finalized_ = true;
+}
+
+double PosteriorProfile::layer_mass(std::int64_t layer) const {
+  if (layer < 0 || static_cast<std::size_t>(layer) >= layers_.size()) {
+    return 0.0;
+  }
+  return layers_[static_cast<std::size_t>(layer)].mass;
+}
+
+std::vector<double> PosteriorProfile::layer_weights(double smoothing) const {
+  BDLFI_CHECK(finalized_);
+  BDLFI_CHECK(smoothing >= 0.0 && smoothing <= 1.0);
+  std::size_t populated = 0;
+  for (const auto& l : layers_) populated += l.elements > 0 || l.mass > 0.0;
+  const double floor =
+      populated > 0 ? smoothing / static_cast<double>(populated) : 0.0;
+  std::vector<double> w(layers_.size(), 0.0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].elements > 0 || layers_[i].mass > 0.0) {
+      w[i] = (1.0 - smoothing) * layers_[i].mass + floor;
+    }
+  }
+  return w;
+}
+
+std::array<double, 32> PosteriorProfile::bit_weights(double smoothing) const {
+  BDLFI_CHECK(finalized_);
+  std::array<double, 32> w{};
+  for (std::size_t b = 0; b < w.size(); ++b) {
+    w[b] = (1.0 - smoothing) * bit_mass_[b] + smoothing / 32.0;
+  }
+  return w;
+}
+
+std::unique_ptr<fault::MaskSampler> PosteriorProfile::make_sampler(
+    std::size_t min_flips, std::size_t max_flips, double smoothing) const {
+  return std::make_unique<fault::WeightedSiteSampler>(
+      layer_weights(smoothing), bit_weights(smoothing), min_flips, max_flips);
+}
+
+std::string PosteriorProfile::to_json() const {
+  BDLFI_CHECK(finalized_);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "bdlfi_posterior_profile");
+  w.field("version", std::int64_t{1});
+  w.field("samples", static_cast<std::uint64_t>(samples_));
+  w.field("total_flips", static_cast<std::uint64_t>(total_flips_));
+  w.key("layers").begin_array();
+  for (const auto& l : layers_) {
+    w.begin_object();
+    w.field("layer", l.layer);
+    w.field("name", l.name);
+    w.field("elements", l.elements);
+    w.field_exact("mass", l.mass);
+    w.field("flips", static_cast<std::uint64_t>(l.flips));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("bit_mass").begin_array();
+  for (const double m : bit_mass_) w.number_exact(m);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<PosteriorProfile> PosteriorProfile::from_json(
+    const std::string& text, std::string* error) {
+  const auto doc = obs::json_parse(text, error);
+  if (!doc.has_value()) return std::nullopt;
+  const auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (!doc->is_object()) return fail("profile root is not an object");
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "bdlfi_posterior_profile") {
+    return fail("missing/unknown schema tag");
+  }
+  const obs::JsonValue* version = doc->find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_number() != 1.0) {
+    return fail("unsupported profile version");
+  }
+  const obs::JsonValue* layers = doc->find("layers");
+  const obs::JsonValue* bits = doc->find("bit_mass");
+  if (layers == nullptr || !layers->is_array()) {
+    return fail("missing layers array");
+  }
+  if (bits == nullptr || !bits->is_array() || bits->as_array().size() != 32) {
+    return fail("bit_mass must be an array of 32 numbers");
+  }
+  PosteriorProfile profile;
+  if (const obs::JsonValue* v = doc->find("samples");
+      v != nullptr && v->is_number()) {
+    profile.samples_ = static_cast<std::size_t>(v->as_number());
+  }
+  if (const obs::JsonValue* v = doc->find("total_flips");
+      v != nullptr && v->is_number()) {
+    profile.total_flips_ = static_cast<std::size_t>(v->as_number());
+  }
+  for (const auto& entry : layers->as_array()) {
+    ProfileLayer l;
+    const obs::JsonValue* layer = entry.find("layer");
+    const obs::JsonValue* mass = entry.find("mass");
+    if (layer == nullptr || !layer->is_number() || mass == nullptr ||
+        !mass->is_number()) {
+      return fail("layers[]: bad or missing layer/mass");
+    }
+    l.layer = static_cast<std::int64_t>(layer->as_number());
+    l.mass = mass->as_number();
+    if (const obs::JsonValue* v = entry.find("name");
+        v != nullptr && v->is_string()) {
+      l.name = v->as_string();
+    }
+    if (const obs::JsonValue* v = entry.find("elements");
+        v != nullptr && v->is_number()) {
+      l.elements = static_cast<std::int64_t>(v->as_number());
+    }
+    if (const obs::JsonValue* v = entry.find("flips");
+        v != nullptr && v->is_number()) {
+      l.flips = static_cast<std::size_t>(v->as_number());
+    }
+    if (l.layer < 0 ||
+        static_cast<std::size_t>(l.layer) != profile.layers_.size()) {
+      return fail("layers[] must be dense and in layer order");
+    }
+    profile.layers_.push_back(std::move(l));
+  }
+  std::size_t b = 0;
+  for (const auto& m : bits->as_array()) {
+    if (!m.is_number()) return fail("bit_mass[]: non-numeric entry");
+    profile.bit_mass_[b++] = m.as_number();
+  }
+  profile.layer_tally_.assign(profile.layers_.size(), 0.0);
+  profile.finalized_ = true;
+  return profile;
+}
+
+bool PosteriorProfile::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<PosteriorProfile> PosteriorProfile::load(const std::string& path,
+                                                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_json(ss.str(), error);
+}
+
+}  // namespace bdlfi::bayes

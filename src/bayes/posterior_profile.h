@@ -1,0 +1,101 @@
+// Posterior criticality profile: the campaign-to-hardening bridge.
+//
+// An MCMC campaign over fault masks visits the bit patterns the posterior
+// ranks most damaging. This summarizer tallies the retained masks
+// (MhConfig/GibbsConfig::record_masks) into a per-layer / per-bit-position
+// importance distribution — each flip weighted by the deviation its mask
+// caused — that downstream hardening consumes two ways:
+//   * fault-aware fine-tuning samples training-time bit flips from it
+//     (fault::WeightedSiteSampler via make_sampler()), so the network learns
+//     to tolerate its own most-critical faults;
+//   * budgeted protection placement (harden::place_protection) ranks layers
+//     by its mass when assigning range guards / per-layer ABFT.
+// The profile serializes to JSON (schema "bdlfi_posterior_profile") so a
+// campaign run and a hardening run can live in different processes.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/models.h"
+#include "fault/space.h"
+
+namespace bdlfi::bayes {
+
+struct ProfileLayer {
+  std::int64_t layer = -1;    // InjectionSpace layer index
+  std::string name;           // network layer name
+  std::int64_t elements = 0;  // kParam elements the space exposes for it
+  double mass = 0.0;          // normalized deviation-weighted flip share
+  std::size_t flips = 0;      // raw flip tally
+};
+
+class PosteriorProfile {
+ public:
+  /// A default-constructed profile only makes sense as a from_json target.
+  PosteriorProfile() = default;
+
+  /// Captures the space's layer geometry (element spans, names) so samples
+  /// can be attributed; the space must outlive the add_sample phase only.
+  explicit PosteriorProfile(const fault::InjectionSpace& space);
+
+  /// Tallies one retained sample: every flipped bit's owning layer and bit
+  /// position gain weight 1 + `deviation` (deviation from golden, %), so
+  /// harmless flips still register but critical ones dominate. Only valid on
+  /// a profile built from a space (not one loaded from JSON).
+  void add_sample(const fault::FaultMask& mask, double deviation);
+
+  /// Normalizes the tallies into mass distributions. A profile with no flips
+  /// falls back to uniform mass (over layers with elements, and over bits) —
+  /// hardening then degrades to uninformed but never divides by zero.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t samples() const { return samples_; }
+  std::size_t total_flips() const { return total_flips_; }
+  /// Indexed by space layer index; mass sums to 1 after finalize().
+  const std::vector<ProfileLayer>& layers() const { return layers_; }
+  const std::array<double, 32>& bit_mass() const { return bit_mass_; }
+  double layer_mass(std::int64_t layer) const;
+
+  /// Sampler weights: (1 - smoothing) * mass + smoothing * uniform, so every
+  /// layer/bit keeps a floor probability and hardening never tunnel-visions
+  /// on the (finite) sample the campaign happened to visit.
+  std::vector<double> layer_weights(double smoothing) const;
+  std::array<double, 32> bit_weights(double smoothing) const;
+
+  /// The profile as a fault model: posterior-weighted bit flips with
+  /// uniform[min_flips, max_flips] flips per mask.
+  std::unique_ptr<fault::MaskSampler> make_sampler(
+      std::size_t min_flips = 1, std::size_t max_flips = 2,
+      double smoothing = 0.05) const;
+
+  std::string to_json() const;
+  static std::optional<PosteriorProfile> from_json(const std::string& text,
+                                                   std::string* error);
+  bool save(const std::string& path) const;
+  static std::optional<PosteriorProfile> load(const std::string& path,
+                                              std::string* error);
+
+ private:
+  struct Span {
+    std::int64_t begin = 0;  // flat element range [begin, end)
+    std::int64_t end = 0;
+    std::int64_t layer = -1;
+  };
+
+  std::vector<ProfileLayer> layers_;  // indexed by layer index
+  std::array<double, 32> bit_mass_{};
+  std::vector<double> layer_tally_;        // deviation-weighted, pre-finalize
+  std::array<double, 32> bit_tally_{};
+  std::vector<Span> spans_;  // kParam element spans; empty after from_json
+  std::size_t samples_ = 0;
+  std::size_t total_flips_ = 0;
+  bool finalized_ = false;
+  bool from_space_ = false;
+};
+
+}  // namespace bdlfi::bayes

@@ -110,4 +110,84 @@ FaultMask ZeroWordSampler::sample(const InjectionSpace& space,
   return FaultMask{std::move(flips)};
 }
 
+WeightedSiteSampler::WeightedSiteSampler(std::vector<double> layer_weights,
+                                         std::array<double, 32> bit_weights,
+                                         std::size_t min_flips,
+                                         std::size_t max_flips)
+    : layer_weights_(std::move(layer_weights)),
+      bit_weights_(bit_weights),
+      min_flips_(min_flips),
+      max_flips_(max_flips) {
+  BDLFI_CHECK(min_flips_ >= 1 && max_flips_ >= min_flips_);
+  double bit_total = 0.0;
+  for (const double w : bit_weights_) {
+    BDLFI_CHECK(w >= 0.0);
+    bit_total += w;
+  }
+  BDLFI_CHECK_MSG(bit_total > 0.0,
+                  "WeightedSiteSampler: all bit weights are zero");
+}
+
+FaultMask WeightedSiteSampler::sample(const InjectionSpace& space,
+                                      util::Rng& rng) const {
+  // Cumulative weight over the space's kParam entries; an entry's share is
+  // its layer weight split across the layer's tensors by element count, so
+  // (entry, then uniform element) is uniform over the layer's elements. The
+  // entry list is tens of tensors — rebuilding per sample is noise next to
+  // the network evaluation the mask feeds.
+  std::vector<const InjectionSpace::Entry*> entries;
+  std::vector<double> cum;
+  double total = 0.0;
+  for (const InjectionSpace::Entry& e : space.entries()) {
+    if (e.site != InjectionSpace::SiteKind::kParam || e.numel <= 0) continue;
+    double w = 0.0;
+    if (e.layer >= 0 &&
+        static_cast<std::size_t>(e.layer) < layer_weights_.size()) {
+      w = layer_weights_[static_cast<std::size_t>(e.layer)];
+    }
+    if (w <= 0.0) continue;
+    total += w * static_cast<double>(e.numel);
+    entries.push_back(&e);
+    cum.push_back(total);
+  }
+  FaultMask mask;
+  if (total <= 0.0) return mask;
+
+  std::array<double, 32> bit_cum{};
+  double bit_total = 0.0;
+  for (int b = 0; b < kBitsPerWord; ++b) {
+    bit_total += bit_weights_[static_cast<std::size_t>(b)];
+    bit_cum[static_cast<std::size_t>(b)] = bit_total;
+  }
+
+  const std::size_t flips =
+      min_flips_ + (max_flips_ > min_flips_
+                        ? rng.below(max_flips_ - min_flips_ + 1)
+                        : 0);
+  for (std::size_t f = 0; f < flips; ++f) {
+    // Bounded rejection of protected elements and duplicate bits: a heavily
+    // protected or tiny space yields fewer flips instead of spinning.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double u = rng.uniform() * total;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::upper_bound(cum.begin(), cum.end(), u) - cum.begin());
+      const InjectionSpace::Entry& e = *entries[std::min(idx, cum.size() - 1)];
+      const std::int64_t element =
+          e.offset + static_cast<std::int64_t>(
+                         rng.below(static_cast<std::uint64_t>(e.numel)));
+      if (space.is_protected(element)) continue;
+      const double ub = rng.uniform() * bit_total;
+      const int bit = static_cast<int>(
+          std::upper_bound(bit_cum.begin(), bit_cum.end(), ub) -
+          bit_cum.begin());
+      const std::int64_t flat =
+          element * kBitsPerWord + std::min(bit, kBitsPerWord - 1);
+      if (mask.contains(flat)) continue;
+      mask.insert(flat);
+      break;
+    }
+  }
+  return mask;
+}
+
 }  // namespace bdlfi::fault

@@ -13,8 +13,10 @@
 // independence proposals.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fault/space.h"
 
@@ -126,6 +128,39 @@ class ZeroWordSampler : public MaskSampler {
 
  private:
   double word_rate_;
+};
+
+/// Posterior-weighted flips: each flip picks an owning layer from explicit
+/// per-layer weights, an element uniformly within that layer's persistent
+/// (kParam) span, and a bit position from explicit per-bit-position weights.
+/// This is the sampling form of bayes::PosteriorProfile — the profile supplies
+/// the weights via make_sampler() — kept here so it plugs into every
+/// MaskSampler consumer (random FI, fault-aware fine-tuning) without an
+/// upward dependency on bayes.
+class WeightedSiteSampler : public MaskSampler {
+ public:
+  /// `layer_weights[i]` weights the space's layer index i (see
+  /// InjectionSpace::Entry::layer; the input pseudo-layer -1 is never drawn).
+  /// Weights need not be normalized; layers with no kParam elements in the
+  /// space or non-positive weight are never drawn. Each sampled mask carries
+  /// uniform[min_flips, max_flips] flips; protected elements and duplicate
+  /// bits are resampled (bounded, so a tiny space cannot wedge the sampler).
+  WeightedSiteSampler(std::vector<double> layer_weights,
+                      std::array<double, 32> bit_weights,
+                      std::size_t min_flips, std::size_t max_flips);
+  FaultMask sample(const InjectionSpace& space,
+                   util::Rng& rng) const override;
+  std::string name() const override { return "posterior_weighted"; }
+  std::unique_ptr<MaskSampler> clone() const override {
+    return std::make_unique<WeightedSiteSampler>(layer_weights_, bit_weights_,
+                                                 min_flips_, max_flips_);
+  }
+
+ private:
+  std::vector<double> layer_weights_;
+  std::array<double, 32> bit_weights_;
+  std::size_t min_flips_;
+  std::size_t max_flips_;
 };
 
 /// Transient compute faults: independent Bernoulli(p) flips over the output

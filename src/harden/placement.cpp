@@ -1,0 +1,140 @@
+#include "harden/placement.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nn/range_guard.h"
+#include "util/check.h"
+
+namespace bdlfi::harden {
+
+const char* protection_name(Protection p) {
+  switch (p) {
+    case Protection::kRangeGuard:
+      return "range_guard";
+    case Protection::kAbft:
+      return "abft";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool gemm_bearing(const std::string& kind) {
+  // The layers whose forward runs through the checksum-checkable GEMM path.
+  return kind == "dense" || kind == "conv" || kind == "qdense" ||
+         kind == "qconv";
+}
+
+}  // namespace
+
+std::vector<PlacementCandidate> placement_candidates(
+    const bayes::PosteriorProfile& profile, const nn::Network& net,
+    const PlacementConfig& config) {
+  BDLFI_CHECK_MSG(profile.finalized(),
+                  "placement needs a finalized posterior profile");
+  std::vector<PlacementCandidate> out;
+  for (const auto& layer : profile.layers()) {
+    if (layer.layer < 0 ||
+        static_cast<std::size_t>(layer.layer) >= net.num_layers()) {
+      continue;  // input/activation pseudo-layers have no in-network site
+    }
+    if (layer.mass <= 0.0) continue;
+    const auto index = static_cast<std::size_t>(layer.layer);
+    const std::string kind = net.layer_kind(index);
+    if (config.use_guards) {
+      PlacementCandidate c;
+      c.layer = index;
+      c.name = net.layer_name(index);
+      c.kind = Protection::kRangeGuard;
+      c.benefit = layer.mass;
+      c.overhead = config.guard_overhead;
+      out.push_back(std::move(c));
+    }
+    if (config.use_abft && gemm_bearing(kind)) {
+      PlacementCandidate c;
+      c.layer = index;
+      c.name = net.layer_name(index);
+      c.kind = Protection::kAbft;
+      c.benefit = layer.mass;
+      c.overhead = config.abft_overhead;
+      out.push_back(std::move(c));
+    }
+  }
+  // Benefit-per-overhead, descending; stable tie-break keeps (layer, guard
+  // before abft) order deterministic across platforms.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PlacementCandidate& a, const PlacementCandidate& b) {
+                     const double ra = a.benefit / a.overhead;
+                     const double rb = b.benefit / b.overhead;
+                     if (ra != rb) return ra > rb;
+                     if (a.layer != b.layer) return a.layer < b.layer;
+                     return a.kind == Protection::kRangeGuard &&
+                            b.kind == Protection::kAbft;
+                   });
+  return out;
+}
+
+PlacementPlan place_protection(const bayes::PosteriorProfile& profile,
+                               const nn::Network& net, double budget,
+                               const PlacementConfig& config) {
+  BDLFI_CHECK(budget >= 0.0);
+  const auto candidates = placement_candidates(profile, net, config);
+  PlacementPlan plan;
+  plan.budget = budget;
+  std::set<std::size_t> covered;
+  for (const auto& c : candidates) {
+    // Prefix rule: stop at the first candidate that does not fit. A skip-and-
+    // continue greedy packs tighter but loses the superset property across
+    // budgets, and the frontier's monotonicity is the contract here.
+    if (plan.overhead + c.overhead > budget + 1e-12) break;
+    plan.overhead += c.overhead;
+    if (covered.insert(c.layer).second) plan.coverage += c.benefit;
+    if (c.kind == Protection::kRangeGuard) {
+      plan.guard_layers.push_back(c.layer);
+    } else {
+      plan.abft_layers.push_back(c.layer);
+    }
+    plan.selected.push_back(c);
+  }
+  std::sort(plan.guard_layers.begin(), plan.guard_layers.end());
+  std::sort(plan.abft_layers.begin(), plan.abft_layers.end());
+  return plan;
+}
+
+std::vector<PlacementPlan> coverage_frontier(
+    const bayes::PosteriorProfile& profile, const nn::Network& net,
+    std::span<const double> budgets, const PlacementConfig& config) {
+  std::vector<PlacementPlan> plans;
+  plans.reserve(budgets.size());
+  for (const double budget : budgets) {
+    plans.push_back(place_protection(profile, net, budget, config));
+  }
+  return plans;
+}
+
+nn::Network apply_plan(const nn::Network& net, const PlacementPlan& plan,
+                       const tensor::Tensor& calibration_inputs,
+                       const tensor::abft::Config& abft, double guard_margin) {
+  nn::Network hardened =
+      plan.guard_layers.empty()
+          ? net.clone()
+          : nn::add_range_guards_at(net, plan.guard_layers,
+                                    calibration_inputs, guard_margin);
+  if (!plan.abft_layers.empty() && abft.mode != tensor::abft::Mode::kOff) {
+    std::vector<std::size_t> remapped;
+    remapped.reserve(plan.abft_layers.size());
+    for (const std::size_t orig : plan.abft_layers) {
+      // Each guard inserted after an earlier layer shifts this one up by one.
+      const auto shift = static_cast<std::size_t>(
+          std::count_if(plan.guard_layers.begin(), plan.guard_layers.end(),
+                        [orig](std::size_t g) { return g < orig; }));
+      remapped.push_back(orig + shift);
+    }
+    hardened.set_abft(abft);
+    hardened.set_abft_layers(std::move(remapped));
+  }
+  return hardened;
+}
+
+}  // namespace bdlfi::harden

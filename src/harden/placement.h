@@ -1,0 +1,84 @@
+// Budgeted selective protection: spend a limited overhead budget where the
+// posterior says faults hurt most.
+//
+// Full protection (a guard after every layer, ABFT on every GEMM) costs
+// forward-pass overhead a deployment may not afford. Given the campaign's
+// posterior criticality profile, this module ranks candidate protections by
+// posterior-mass-per-overhead and fills the budget greedily, emitting the
+// coverage-vs-overhead frontier a deployment engineer actually decides on.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bayes/posterior_profile.h"
+#include "nn/network.h"
+#include "tensor/abft.h"
+#include "tensor/tensor.h"
+
+namespace bdlfi::harden {
+
+enum class Protection { kRangeGuard, kAbft };
+const char* protection_name(Protection p);
+
+struct PlacementCandidate {
+  std::size_t layer = 0;  // original (pre-guard-insertion) layer index
+  std::string name;       // network layer name
+  Protection kind = Protection::kRangeGuard;
+  double benefit = 0.0;   // posterior mass of the layer
+  double overhead = 0.0;  // estimated fractional forward-cost increase
+};
+
+struct PlacementConfig {
+  /// Estimated fractional forward overhead per protected layer. ABFT pays a
+  /// checksum pass per checked GEMM; a range guard is one elementwise clamp.
+  double abft_overhead = 0.09;
+  double guard_overhead = 0.02;
+  bool use_abft = true;
+  bool use_guards = true;
+};
+
+struct PlacementPlan {
+  double budget = 0.0;  // the overhead budget this plan was built for
+  std::vector<PlacementCandidate> selected;
+  double coverage = 0.0;  // posterior mass of layers with >= 1 protection
+  double overhead = 0.0;  // sum of selected overhead estimates
+  // The selection split by mechanism, in original layer indices (sorted).
+  std::vector<std::size_t> guard_layers;
+  std::vector<std::size_t> abft_layers;
+};
+
+/// All protections the optimizer may place on `net`: a range guard after any
+/// layer with posterior mass, ABFT on any GEMM-bearing (dense/conv) layer.
+/// Sorted by benefit/overhead descending (stable tie-break by layer, guards
+/// first) — the greedy order.
+std::vector<PlacementCandidate> placement_candidates(
+    const bayes::PosteriorProfile& profile, const nn::Network& net,
+    const PlacementConfig& config = {});
+
+/// Greedy prefix placement: walk the ranked candidates and take the longest
+/// prefix whose total overhead fits `budget`. Prefix construction makes the
+/// frontier monotone by design — a larger budget's selection is a superset
+/// of a smaller one's, so coverage can only grow with budget.
+PlacementPlan place_protection(const bayes::PosteriorProfile& profile,
+                               const nn::Network& net, double budget,
+                               const PlacementConfig& config = {});
+
+/// One plan per budget (any order); the returned plans are in the same order
+/// as `budgets`.
+std::vector<PlacementPlan> coverage_frontier(
+    const bayes::PosteriorProfile& profile, const nn::Network& net,
+    std::span<const double> budgets, const PlacementConfig& config = {});
+
+/// Materializes a plan on a clone of `net`: inserts calibrated range guards
+/// after the selected layers (nn::add_range_guards_at) and restricts ABFT
+/// checking to the selected GEMMs — with indices remapped past the inserted
+/// guards, since each guard shifts every later layer up by one. `abft` is
+/// applied only when the plan selects at least one ABFT layer.
+nn::Network apply_plan(const nn::Network& net, const PlacementPlan& plan,
+                       const tensor::Tensor& calibration_inputs,
+                       const tensor::abft::Config& abft,
+                       double guard_margin = 0.1);
+
+}  // namespace bdlfi::harden

@@ -1,0 +1,26 @@
+#include "harden/profile_export.h"
+
+#include "mcmc/supervisor.h"
+
+namespace bdlfi::harden {
+
+bayes::PosteriorProfile summarize_campaign(const mcmc::CampaignResult& result,
+                                           const fault::InjectionSpace& space) {
+  bayes::PosteriorProfile profile(space);
+  for (std::size_t c = 0; c < result.chains.size(); ++c) {
+    if (c < result.health.size() &&
+        result.health[c].status == mcmc::ChainStatus::quarantined) {
+      continue;
+    }
+    const auto& chain = result.chains[c];
+    for (std::size_t j = 0; j < chain.mask_samples.size(); ++j) {
+      const double deviation =
+          j < chain.deviation_samples.size() ? chain.deviation_samples[j] : 0.0;
+      profile.add_sample(chain.mask_samples[j], deviation);
+    }
+  }
+  profile.finalize();
+  return profile;
+}
+
+}  // namespace bdlfi::harden

@@ -1,0 +1,25 @@
+// Campaign → posterior profile bridge.
+//
+// The MCMC campaign explores the fault posterior; hardening needs that
+// exploration condensed into a per-layer/per-bit importance distribution
+// (bayes::PosteriorProfile). This lives in harden (not bayes) because it
+// depends on mcmc::CampaignResult, which sits above bayes in the layering.
+#pragma once
+
+#include "bayes/posterior_profile.h"
+#include "fault/space.h"
+#include "mcmc/runner.h"
+
+namespace bdlfi::harden {
+
+/// Tallies the retained masks of a campaign into a finalized posterior
+/// profile. Requires the campaign to have run with MhConfig/GibbsConfig::
+/// record_masks = true — chains without recorded masks contribute nothing
+/// (check profile.samples() afterwards). Quarantined chains are skipped:
+/// their sample streams were rejected by the supervisor and are not draws
+/// from the posterior. Each mask is weighted by its paired deviation sample,
+/// so sites that actually corrupt the output dominate the profile.
+bayes::PosteriorProfile summarize_campaign(const mcmc::CampaignResult& result,
+                                           const fault::InjectionSpace& space);
+
+}  // namespace bdlfi::harden

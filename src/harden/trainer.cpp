@@ -1,0 +1,94 @@
+#include "harden/trainer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bdlfi::harden {
+
+bool FaultAwareTrainer::clip_gradients() {
+  double sq = 0.0;
+  auto params = net_.params();
+  for (const auto& p : params) {
+    if (p.grad == nullptr) continue;
+    for (std::int64_t i = 0; i < p.grad->numel(); ++i) {
+      const double g = (*p.grad)[i];
+      sq += g * g;
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (!(norm > config_.clip_norm)) return false;  // also skips NaN norms
+  const auto scale = static_cast<float>(config_.clip_norm / norm);
+  for (const auto& p : params) {
+    if (p.grad == nullptr) continue;
+    for (std::int64_t i = 0; i < p.grad->numel(); ++i) {
+      (*p.grad)[i] *= scale;
+    }
+  }
+  return true;
+}
+
+FaultAwareTrainer::FaultAwareTrainer(nn::Network& net,
+                                     const bayes::PosteriorProfile& profile,
+                                     FaultAwareConfig config)
+    : net_(net),
+      config_(config),
+      space_(net, fault::TargetSpec::all_parameters()),
+      sampler_(profile.make_sampler(config.min_flips, config.max_flips,
+                                    config.smoothing)),
+      rng_(config.inject_seed) {
+  BDLFI_CHECK_MSG(profile.finalized(),
+                  "FaultAwareTrainer needs a finalized profile");
+  BDLFI_CHECK(config.inject_prob >= 0.0 && config.inject_prob <= 1.0);
+}
+
+FaultAwareResult FaultAwareTrainer::run(const data::Dataset& train_set,
+                                        const data::Dataset& test_set) {
+  FaultAwareResult result;
+  fault::FaultMask active;
+  bool applied = false;
+  train::TrainHooks hooks;
+  hooks.before_forward = [&](std::size_t /*step*/) {
+    BDLFI_CHECK_MSG(!applied, "injection mask leaked across a mini-batch");
+    if (config_.inject_prob <= 0.0 || !rng_.bernoulli(config_.inject_prob)) {
+      return;
+    }
+    active = sampler_->sample(space_, rng_);
+    if (active.num_flips() == 0) return;
+    space_.apply(active);
+    applied = true;
+    ++result.batches_injected;
+    result.flips_injected += active.num_flips();
+  };
+  hooks.before_step = [&](std::size_t /*step*/, double loss) {
+    // XOR is self-inverse: re-applying the mask restores the clean weights,
+    // which the optimizer then updates with the faulty-point gradients.
+    const bool was_injected = applied;
+    if (applied) {
+      space_.apply(active);
+      applied = false;
+    }
+    if (config_.skip_nonfinite && !std::isfinite(loss)) {
+      ++result.updates_skipped;
+      return false;
+    }
+    if (config_.max_loss > 0.0 && was_injected && loss > config_.max_loss) {
+      ++result.updates_skipped;
+      return false;
+    }
+    if (config_.clip_norm > 0.0 && was_injected && clip_gradients()) {
+      ++result.updates_clipped;
+    }
+    return true;
+  };
+  result.train = train::fit(net_, train_set, test_set, config_.base, hooks);
+  // An interrupt between the hooks cannot leak a mask (fit breaks only at
+  // batch boundaries), but guard against future loop changes all the same.
+  if (applied) {
+    space_.apply(active);
+    applied = false;
+  }
+  return result;
+}
+
+}  // namespace bdlfi::harden

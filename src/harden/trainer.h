@@ -1,0 +1,92 @@
+// Fault-aware fine-tuning: train under posterior-guided bit flips.
+//
+// The hardening half of the paper's assessment→mitigation loop: given the
+// posterior criticality profile of a campaign, fine-tune the network while
+// injecting bit flips drawn from that profile into each mini-batch's forward
+// pass. The network thereby sees (an importance-weighted sample of) its own
+// most-damaging faults during training and learns weights whose loss surface
+// is flat around them — the same mechanism as adversarial training, with the
+// perturbation set picked by the Bayesian assessment instead of a gradient.
+//
+// Mechanics: flips are applied by persistent XOR (fault::InjectionSpace)
+// *before* the forward and reverted *after* the backward but *before* the
+// optimizer step — gradients are computed at the faulty point, the update is
+// applied to the clean weights. A bit flip in a float32 exponent can make the
+// loss non-finite; those batches skip the update (configurable) so a single
+// unlucky flip cannot destroy the network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bayes/posterior_profile.h"
+#include "data/dataset.h"
+#include "fault/models.h"
+#include "fault/space.h"
+#include "nn/network.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace bdlfi::harden {
+
+struct FaultAwareConfig {
+  /// Underlying fine-tune schedule (epochs, lr, seed for batch shuffling...).
+  train::TrainConfig base;
+  /// Probability a given mini-batch trains under injection (the rest train
+  /// clean, anchoring clean accuracy).
+  double inject_prob = 0.75;
+  /// Flips per injected mask, uniform in [min_flips, max_flips].
+  std::size_t min_flips = 1;
+  std::size_t max_flips = 2;
+  /// Smoothing toward uniform for the posterior sampler (see
+  /// bayes::PosteriorProfile::layer_weights).
+  double smoothing = 0.05;
+  /// Seed of the *dedicated* injection RNG stream. Deliberately decoupled
+  /// from base.seed and from every campaign RNG: hardening consumes no
+  /// randomness from streams that campaign checkpoints depend on, so a
+  /// campaign resumed after a harden run is bit-exact (tested).
+  std::uint64_t inject_seed = 0x51CE5EEDULL;
+  /// Skip the optimizer update when injection made the loss non-finite.
+  bool skip_nonfinite = true;
+  /// Skip the update when the (injected) loss exceeds this — an exponent
+  /// flip can leave the loss finite but astronomically large, and one such
+  /// gradient through SGD momentum destroys the network. 0 disables.
+  double max_loss = 20.0;
+  /// Global-norm gradient clip applied to updates taken at a faulty point
+  /// (injected batches only — clean batches step unclipped, like plain
+  /// training). 0 disables.
+  double clip_norm = 1.0;
+};
+
+struct FaultAwareResult {
+  train::TrainResult train;
+  std::size_t batches_injected = 0;  // mini-batches that ran under a mask
+  std::size_t flips_injected = 0;    // total bits flipped across them
+  std::size_t updates_skipped = 0;   // non-finite/exploded-loss updates dropped
+  std::size_t updates_clipped = 0;   // faulty-point gradients norm-clipped
+};
+
+class FaultAwareTrainer {
+ public:
+  /// `net` is fine-tuned in place. The trainer builds an InjectionSpace over
+  /// net's parameters, so net must outlive the trainer and must not be
+  /// structurally modified while it lives. `profile` must be finalized.
+  FaultAwareTrainer(nn::Network& net, const bayes::PosteriorProfile& profile,
+                    FaultAwareConfig config);
+
+  FaultAwareResult run(const data::Dataset& train_set,
+                       const data::Dataset& test_set);
+
+ private:
+  /// Scales all parameter gradients to global norm clip_norm when exceeded;
+  /// returns whether clipping fired.
+  bool clip_gradients();
+
+  nn::Network& net_;
+  FaultAwareConfig config_;
+  fault::InjectionSpace space_;
+  std::unique_ptr<fault::MaskSampler> sampler_;
+  util::Rng rng_;
+};
+
+}  // namespace bdlfi::harden

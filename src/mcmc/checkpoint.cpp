@@ -154,8 +154,21 @@ std::uint64_t campaign_fingerprint(const bayes::BayesianFaultNetwork& golden,
       hex64(std::bit_cast<std::uint64_t>(golden.golden_error())).c_str(),
       tensor::backend::active_name(),
       static_cast<int>(golden.network().abft().mode));
+  std::string canonical(buf);
+  // |abft_layers=... appended only when a selective-placement restriction is
+  // active (Network::set_abft_layers): restricted and unrestricted deployments
+  // produce different retained streams, but every pre-existing fingerprint
+  // stays byte-identical.
+  if (const auto& restricted = golden.network().abft_layers();
+      !restricted.empty()) {
+    canonical += "|abft_layers=";
+    for (std::size_t i = 0; i < restricted.size(); ++i) {
+      if (i > 0) canonical += ',';
+      canonical += std::to_string(restricted[i]);
+    }
+  }
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
-  fnv1a_mix(h, buf);
+  fnv1a_mix(h, canonical);
   return h;
 }
 

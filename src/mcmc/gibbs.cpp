@@ -123,6 +123,7 @@ ChainResult GibbsSampler::run() {
     sweep(current, current_logd, rng);
     if (timed_out_) break;
     pending.push_back(current);
+    if (config_.record_masks) result.mask_samples.push_back(current);
     if (pending.size() >= mask_batch) flush();
   }
   flush();  // drain the tail (normal end, timeout, or interrupt)

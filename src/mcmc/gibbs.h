@@ -27,6 +27,7 @@ struct GibbsConfig {
   bool resume = false;
   std::vector<std::uint64_t> resume_rng;
   FaultMask resume_mask;
+  bool record_masks = false;
 };
 
 class GibbsSampler {

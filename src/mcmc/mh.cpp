@@ -184,6 +184,7 @@ ChainResult MhSampler::run() {
     }
     if (aborted) break;
     pending.push_back(current);
+    if (config_.record_masks) result.mask_samples.push_back(current);
     if (pending.size() >= mask_batch) flush();
   }
   flush();  // drain the tail (normal end, timeout, or interrupt)

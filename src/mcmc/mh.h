@@ -43,6 +43,12 @@ struct MhConfig {
   bool resume = false;
   std::vector<std::uint64_t> resume_rng;
   FaultMask resume_mask;
+  /// Record every retained mask into ChainResult::mask_samples (same order as
+  /// the sample vectors) — the input of bayes::PosteriorProfile. Off by
+  /// default: masks are heavier than the scalar samples, and checkpoints do
+  /// not persist them (a profile-bound campaign runs within one process;
+  /// cross-round accumulation in-process works normally).
+  bool record_masks = false;
 };
 
 struct ChainResult {
@@ -73,6 +79,9 @@ struct ChainResult {
   // retained sample, so the next round resumes the same stream.
   std::vector<std::uint64_t> rng_state;
   FaultMask final_mask;
+  /// Retained masks, parallel to the sample vectors; populated only when
+  /// MhConfig/GibbsConfig::record_masks is set. Not checkpointed.
+  std::vector<FaultMask> mask_samples;
 };
 
 class MhSampler {

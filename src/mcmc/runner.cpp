@@ -409,6 +409,9 @@ CompletenessResult run_until_complete_impl(
       dst.flips_samples.insert(dst.flips_samples.end(),
                                src.flips_samples.begin(),
                                src.flips_samples.end());
+      dst.mask_samples.insert(dst.mask_samples.end(),
+                              src.mask_samples.begin(),
+                              src.mask_samples.end());
       dst.network_evals += src.network_evals;
       dst.outcome_masked += src.outcome_masked;
       dst.outcome_sdc += src.outcome_sdc;

@@ -1,5 +1,6 @@
 #include "nn/network.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "nn/plan.h"
@@ -101,6 +102,9 @@ Tensor Network::forward_from_legacy(std::size_t first_layer, Tensor act,
   const auto run_checked = [&](std::size_t i) {
     tensor::abft::OpContext ctx;
     ctx.config = abft_;
+    // Layers outside a selective-placement restriction run unchecked (mode
+    // off) but keep their flips: the fault still strikes, nothing notices.
+    if (!abft_layer_checked(i)) ctx.config.mode = tensor::abft::Mode::kOff;
     ctx.stats = &abft_stats();
     if (compute_plan_ != nullptr) {
       const auto it = compute_plan_->find(i);
@@ -133,6 +137,17 @@ Tensor Network::forward_from_legacy(std::size_t first_layer, Tensor act,
     if (hook) hook(i, act);
   }
   return act;
+}
+
+void Network::set_abft_layers(std::vector<std::size_t> layers) {
+  std::sort(layers.begin(), layers.end());
+  layers.erase(std::unique(layers.begin(), layers.end()), layers.end());
+  abft_layers_ = std::move(layers);
+}
+
+bool Network::abft_layer_checked(std::size_t i) const {
+  return abft_layers_.empty() ||
+         std::binary_search(abft_layers_.begin(), abft_layers_.end(), i);
 }
 
 tensor::abft::Stats& Network::abft_stats() const {
@@ -229,6 +244,7 @@ Network Network::clone() const {
   // copied: each replica compiles its own and therefore owns an independent
   // arena.
   copy.abft_ = abft_;
+  copy.abft_layers_ = abft_layers_;
   copy.planned_ = planned_;
   copy.fuse_ = fuse_;
   return copy;

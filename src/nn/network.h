@@ -156,6 +156,16 @@ class Network {
   void set_abft(tensor::abft::Config config) { abft_ = config; }
   const tensor::abft::Config& abft() const { return abft_; }
 
+  /// Restricts ABFT checking to a subset of layer indices — selective
+  /// protection placement (DESIGN.md §14). Empty (the default) checks every
+  /// GEMM-bearing layer, today's behavior. Unselected layers still *suffer*
+  /// installed compute faults; they are simply unchecked, like an unprotected
+  /// deployment. A deployment property: clone() copies it, and a non-empty
+  /// restriction is appended to the campaign checkpoint fingerprint.
+  void set_abft_layers(std::vector<std::size_t> layers);
+  const std::vector<std::size_t>& abft_layers() const { return abft_layers_; }
+  bool abft_layer_checked(std::size_t i) const;
+
   /// Cumulative ABFT/compute-fault counters for this network instance.
   /// Lazily created (atomics are not copyable; the network stays movable);
   /// clone() starts the copy at zero.
@@ -189,6 +199,7 @@ class Network {
   std::vector<double> layer_seconds_;
   std::vector<std::size_t> layer_calls_;
   tensor::abft::Config abft_;
+  std::vector<std::size_t> abft_layers_;  // sorted; empty = all layers
   mutable std::unique_ptr<tensor::abft::Stats> abft_stats_;
   const ComputeFaultPlan* compute_plan_ = nullptr;
   // Compiled execution plans, one per distinct probe shape (bounded LRU-ish

@@ -330,6 +330,11 @@ const Tensor& ExecutionPlan::run(Network& net, std::size_t first_layer,
     const tensor::abft::OpContext* inner_ptr = nullptr;
     if (checked) {
       ctx.config = net.abft_;
+      // Same selective-placement semantics as the legacy path: unselected
+      // layers run mode-off (still receiving their flips).
+      if (!net.abft_layer_checked(grp.layer)) {
+        ctx.config.mode = tensor::abft::Mode::kOff;
+      }
       ctx.stats = &net.abft_stats();
       if (net.compute_plan_ != nullptr) {
         const auto it = net.compute_plan_->find(grp.layer);

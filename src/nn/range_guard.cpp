@@ -104,21 +104,35 @@ std::unique_ptr<Layer> RangeGuard::clone() const {
 
 Network add_range_guards(const Network& net, const Tensor& calibration_inputs,
                          double margin) {
+  std::vector<std::size_t> all(net.num_layers());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return add_range_guards_at(net, all, calibration_inputs, margin);
+}
+
+Network add_range_guards_at(const Network& net,
+                            const std::vector<std::size_t>& layers,
+                            const Tensor& calibration_inputs, double margin) {
   // Fail loudly, before any forward: an empty calibration batch would leave
   // every guard's range frozen at the empty (+inf, -inf) state, tripping the
   // per-guard check below with a far less actionable message.
   BDLFI_CHECK_MSG(
       calibration_inputs.numel() > 0 && calibration_inputs.shape()[0] > 0,
       "add_range_guards: calibration input batch is empty");
+  const auto guarded_layer = [&layers](std::size_t i) {
+    return std::find(layers.begin(), layers.end(), i) != layers.end();
+  };
   Network guarded;
   {
     Network scratch = net.clone();
     for (std::size_t i = 0; i < scratch.num_layers(); ++i) {
       guarded.add(scratch.layer_name(i), scratch.layer(i).clone());
-      guarded.add(scratch.layer_name(i) + "_guard",
-                  std::make_unique<RangeGuard>(margin));
+      if (guarded_layer(i)) {
+        guarded.add(scratch.layer_name(i) + "_guard",
+                    std::make_unique<RangeGuard>(margin));
+      }
     }
   }
+  if (layers.empty()) return guarded;
   // Calibration pass: guards record, everything else runs eval-mode.
   for (std::size_t i = 0; i < guarded.num_layers(); ++i) {
     if (auto* guard = dynamic_cast<RangeGuard*>(&guarded.layer(i))) {

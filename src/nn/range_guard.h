@@ -68,6 +68,16 @@ class RangeGuard : public Layer {
 Network add_range_guards(const Network& net, const Tensor& calibration_inputs,
                          double margin = 0.1);
 
+/// Selective variant (budgeted protection placement, DESIGN.md §14): guards
+/// only the listed layer indices of `net` (pre-insertion numbering; each
+/// guard lands immediately after its layer). An empty list returns an
+/// unguarded clone. Layers after an inserted guard shift up by one per guard
+/// before them — harden::apply_plan remaps ABFT indices accordingly.
+Network add_range_guards_at(const Network& net,
+                            const std::vector<std::size_t>& layers,
+                            const Tensor& calibration_inputs,
+                            double margin = 0.1);
+
 /// Sum of corrections() over all guards — total detector firings.
 std::size_t total_guard_corrections(Network& net);
 

@@ -7,6 +7,7 @@
 #include "tensor/ops.h"
 #include "train/loss.h"
 #include "util/check.h"
+#include "util/interrupt.h"
 #include "util/log.h"
 
 namespace bdlfi::train {
@@ -28,6 +29,12 @@ double evaluate_accuracy(nn::Network& net, const data::Dataset& dataset,
 
 TrainResult fit(nn::Network& net, const data::Dataset& train,
                 const data::Dataset& test, const TrainConfig& config) {
+  return fit(net, train, test, config, TrainHooks{});
+}
+
+TrainResult fit(nn::Network& net, const data::Dataset& train,
+                const data::Dataset& test, const TrainConfig& config,
+                const TrainHooks& hooks) {
   BDLFI_CHECK(train.size() > 0);
   util::Rng rng{config.seed};
 
@@ -63,13 +70,21 @@ TrainResult fit(nn::Network& net, const data::Dataset& train,
     std::size_t hits = 0, seen = 0;
     data::Dataset batch;
     while (batches.next(batch)) {
+      if (util::interrupt_requested()) {
+        result.interrupted = true;
+        break;
+      }
       opt->set_lr(schedule->lr_at(step, total_steps, config.lr));
       net.zero_grad();
+      if (hooks.before_forward) hooks.before_forward(static_cast<std::size_t>(step));
       Tensor logits = net.forward(batch.inputs, /*training=*/true);
       LossResult loss = cross_entropy(
           logits, std::span<const std::int64_t>(batch.labels));
       net.backward(loss.grad_logits);
-      opt->step(params);
+      const bool take_step =
+          !hooks.before_step ||
+          hooks.before_step(static_cast<std::size_t>(step), loss.loss);
+      if (take_step) opt->step(params);
 
       loss_sum += loss.loss;
       ++loss_batches;
@@ -102,6 +117,7 @@ TrainResult fit(nn::Network& net, const data::Dataset& train,
           stats.train_loss, stats.train_accuracy, stats.test_accuracy,
           stats.lr);
     }
+    if (result.interrupted) break;
     if (config.target_accuracy > 0.0 &&
         stats.test_accuracy >= config.target_accuracy) {
       break;

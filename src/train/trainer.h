@@ -36,11 +36,38 @@ struct EpochStats {
 struct TrainResult {
   std::vector<EpochStats> history;
   double final_test_accuracy = 0.0;
+  /// SIGINT/SIGTERM (util::interrupt) observed mid-training: the loop stopped
+  /// at a mini-batch boundary, the partial epoch's stats are the last history
+  /// entry, and the network holds the weights of the last completed update.
+  bool interrupted = false;
+};
+
+/// Optional per-mini-batch callbacks threaded through the fit loop — the
+/// attachment point for fault-aware fine-tuning (harden::FaultAwareTrainer),
+/// which corrupts the forward pass and vetoes updates the corruption ruined.
+struct TrainHooks {
+  /// Runs after the batch is drawn, before the forward pass. Network state
+  /// mutated here (e.g. an applied fault mask) is seen by forward + backward.
+  std::function<void(std::size_t step)> before_forward;
+  /// Runs after backward, before the optimizer step, with the batch loss.
+  /// Restore any state mutated in before_forward here — the optimizer must
+  /// step clean weights, or an XOR revert after the update would corrupt
+  /// them. Return false to skip this update entirely (e.g. a non-finite loss
+  /// from an injected exponent flip).
+  std::function<bool(std::size_t step, double loss)> before_step;
 };
 
 /// Trains `net` in place on `train`, evaluating on `test` each epoch.
+/// Cooperatively interruptible: when util::interrupt_requested() is observed
+/// the loop stops at the next mini-batch boundary and returns the partial
+/// result with `interrupted` set (matching campaign behavior).
 TrainResult fit(nn::Network& net, const data::Dataset& train,
                 const data::Dataset& test, const TrainConfig& config);
+
+/// Hooked variant; `hooks` callbacks may be empty.
+TrainResult fit(nn::Network& net, const data::Dataset& train,
+                const data::Dataset& test, const TrainConfig& config,
+                const TrainHooks& hooks);
 
 /// Convenience: accuracy of `net` on a dataset, evaluated in mini-batches so
 /// large datasets do not blow up activation memory.

@@ -116,6 +116,35 @@ TEST_F(CriticalTest, ProtectionRaisesFlipsNeeded) {
   }
 }
 
+TEST_F(CriticalTest, PropertyMonotoneAndRestoredOverRandomSeeds) {
+  // Property test: for any search seed, (a) the greedy deviation trajectory
+  // never decreases — each accepted flip must improve or hold the objective —
+  // and (b) the search leaves the network bit-exactly golden, so the empty
+  // mask still evaluates to zero deviation afterwards.
+  util::Rng seed_gen{0xC217ul};
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint64_t seed = seed_gen();
+    auto bfn = make_bfn();
+    const double golden = bfn.golden_error();
+    CriticalBitConfig config;
+    config.target_deviation = 30.0;
+    config.candidates_per_round = 64;
+    config.max_flips = 12;
+    config.seed = seed;
+    const auto result = find_critical_bits(bfn, config);
+    ASSERT_FALSE(result.deviation_trajectory.empty())
+        << "seed " << seed << " produced an empty trajectory";
+    for (std::size_t i = 1; i < result.deviation_trajectory.size(); ++i) {
+      EXPECT_GE(result.deviation_trajectory[i],
+                result.deviation_trajectory[i - 1] - 1e-9)
+          << "seed " << seed << " step " << i;
+    }
+    const auto clean = bfn.evaluate_mask(fault::FaultMask{});
+    EXPECT_DOUBLE_EQ(clean.classification_error, golden) << "seed " << seed;
+    EXPECT_EQ(clean.deviation, 0.0) << "seed " << seed;
+  }
+}
+
 TEST_F(CriticalTest, DeterministicForSeed) {
   auto a = make_bfn();
   auto b = make_bfn();

@@ -1,0 +1,479 @@
+// Posterior-guided hardening loop: profile summarization/serialization,
+// posterior-weighted fine-tune injection (clean-weight restoration, interrupt
+// behavior, RNG-stream isolation from campaigns), and budgeted selective
+// protection (frontier monotonicity, guard/ABFT index remapping).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "bayes/posterior_profile.h"
+#include "bayes/targets.h"
+#include "data/toy2d.h"
+#include "harden/placement.h"
+#include "harden/profile_export.h"
+#include "harden/trainer.h"
+#include "mcmc/checkpoint.h"
+#include "mcmc/runner.h"
+#include "nn/builders.h"
+#include "nn/range_guard.h"
+#include "train/trainer.h"
+#include "util/interrupt.h"
+#include "util/rng.h"
+
+namespace bdlfi::harden {
+namespace {
+
+class HardenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng{1};
+    data_ = new data::Dataset(data::make_two_moons(200, 0.08, rng));
+    util::Rng init{2};
+    net_ = new nn::Network(nn::make_mlp({2, 12, 2}, init));
+    train::TrainConfig config;
+    config.epochs = 25;
+    config.lr = 0.05;
+    config.seed = 3;
+    train::fit(*net_, *data_, *data_, config);
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    delete data_;
+  }
+  void SetUp() override { util::set_interrupt_requested(false); }
+  void TearDown() override { util::set_interrupt_requested(false); }
+
+  /// A finalized profile whose mass is concentrated by hand: one flip in
+  /// every layer, with layer 0 seeing the most damaging mask.
+  static bayes::PosteriorProfile seeded_profile(nn::Network& net) {
+    fault::InjectionSpace space(net, fault::TargetSpec::all_parameters());
+    bayes::PosteriorProfile profile(space);
+    for (const auto& entry : space.entries()) {
+      fault::FaultMask mask;
+      mask.insert(entry.offset * 32 + 30);  // exponent bit of first element
+      profile.add_sample(mask, entry.layer == 0 ? 40.0 : 2.0);
+    }
+    profile.finalize();
+    return profile;
+  }
+
+  static std::vector<float> snapshot_weights(nn::Network& net) {
+    std::vector<float> out;
+    for (const auto& p : net.params()) {
+      for (std::int64_t i = 0; i < p.value->numel(); ++i) {
+        out.push_back((*p.value)[i]);
+      }
+    }
+    return out;
+  }
+
+  static nn::Network* net_;
+  static data::Dataset* data_;
+};
+
+nn::Network* HardenTest::net_ = nullptr;
+data::Dataset* HardenTest::data_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// PosteriorProfile: accumulation, normalization, serialization.
+
+TEST_F(HardenTest, ProfileAttributesFlipsToOwningLayer) {
+  fault::InjectionSpace space(*net_, fault::TargetSpec::all_parameters());
+  bayes::PosteriorProfile profile(space);
+  // All flips land in the tensor owned by the first entry (layer 0).
+  const auto& e0 = space.entries().front();
+  fault::FaultMask mask;
+  mask.insert(e0.offset * 32 + 0);
+  mask.insert(e0.offset * 32 + 63);  // second element, bit 31
+  profile.add_sample(mask, 10.0);
+  profile.finalize();
+
+  EXPECT_EQ(profile.samples(), 1u);
+  EXPECT_EQ(profile.total_flips(), 2u);
+  double total_mass = 0.0;
+  for (const auto& layer : profile.layers()) {
+    total_mass += layer.mass;
+    if (layer.layer == e0.layer) {
+      EXPECT_EQ(layer.flips, 2u);
+      EXPECT_NEAR(layer.mass, 1.0, 1e-12);
+    } else {
+      EXPECT_EQ(layer.flips, 0u);
+    }
+  }
+  EXPECT_NEAR(total_mass, 1.0, 1e-9);
+  // Bit mass: one flip at bit 0, one at bit 31, equal deviation weight.
+  EXPECT_NEAR(profile.bit_mass()[0], 0.5, 1e-12);
+  EXPECT_NEAR(profile.bit_mass()[31], 0.5, 1e-12);
+}
+
+TEST_F(HardenTest, ProfileWeightsFlipsByDeviation) {
+  fault::InjectionSpace space(*net_, fault::TargetSpec::all_parameters());
+  // Two single-flip samples in different layers; the second is 9x more
+  // damaging (weight 1 + deviation), so it should hold 10x the mass.
+  const auto& entries = space.entries();
+  ASSERT_GE(entries.size(), 2u);
+  std::size_t a = 0, b = 0;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].layer != entries[0].layer) {
+      b = i;
+      break;
+    }
+  }
+  ASSERT_NE(a, b) << "need two distinct layers";
+  bayes::PosteriorProfile profile(space);
+  profile.add_sample(fault::FaultMask({entries[a].offset * 32}), 0.0);
+  profile.add_sample(fault::FaultMask({entries[b].offset * 32}), 19.0);
+  profile.finalize();
+  EXPECT_NEAR(profile.layer_mass(entries[a].layer), 1.0 / 21.0, 1e-12);
+  EXPECT_NEAR(profile.layer_mass(entries[b].layer), 20.0 / 21.0, 1e-12);
+}
+
+TEST_F(HardenTest, EmptyProfileFallsBackToUniform) {
+  fault::InjectionSpace space(*net_, fault::TargetSpec::all_parameters());
+  bayes::PosteriorProfile profile(space);
+  profile.finalize();
+  std::size_t populated = 0;
+  for (const auto& layer : profile.layers()) {
+    if (layer.elements > 0) ++populated;
+  }
+  ASSERT_GT(populated, 0u);
+  for (const auto& layer : profile.layers()) {
+    if (layer.elements > 0) {
+      EXPECT_NEAR(layer.mass, 1.0 / static_cast<double>(populated), 1e-12);
+    } else {
+      EXPECT_EQ(layer.mass, 0.0);
+    }
+  }
+  for (double m : profile.bit_mass()) EXPECT_NEAR(m, 1.0 / 32.0, 1e-12);
+}
+
+TEST_F(HardenTest, ProfileJsonRoundTrip) {
+  const auto profile = seeded_profile(*net_);
+  std::string error;
+  const auto loaded =
+      bayes::PosteriorProfile::from_json(profile.to_json(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->finalized());
+  EXPECT_EQ(loaded->samples(), profile.samples());
+  EXPECT_EQ(loaded->total_flips(), profile.total_flips());
+  ASSERT_EQ(loaded->layers().size(), profile.layers().size());
+  for (std::size_t i = 0; i < profile.layers().size(); ++i) {
+    EXPECT_EQ(loaded->layers()[i].name, profile.layers()[i].name);
+    EXPECT_EQ(loaded->layers()[i].elements, profile.layers()[i].elements);
+    EXPECT_NEAR(loaded->layers()[i].mass, profile.layers()[i].mass, 1e-12);
+  }
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_NEAR(loaded->bit_mass()[b], profile.bit_mass()[b], 1e-12);
+  }
+}
+
+TEST_F(HardenTest, ProfileSaveLoadFile) {
+  const std::string path = ::testing::TempDir() + "bdlfi_harden_profile.json";
+  const auto profile = seeded_profile(*net_);
+  ASSERT_TRUE(profile.save(path));
+  std::string error;
+  const auto loaded = bayes::PosteriorProfile::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->samples(), profile.samples());
+  std::filesystem::remove(path);
+}
+
+TEST_F(HardenTest, SamplerRespectsFlipBoundsAndProtection) {
+  const auto profile = seeded_profile(*net_);
+  fault::InjectionSpace space(*net_, fault::TargetSpec::all_parameters());
+  // Protect the first 10 elements: the sampler must never flip a bit there.
+  std::vector<std::int64_t> protect;
+  for (std::int64_t e = 0; e < 10; ++e) protect.push_back(e);
+  space.protect_elements(protect);
+
+  const auto sampler = profile.make_sampler(/*min_flips=*/1, /*max_flips=*/3,
+                                            /*smoothing=*/0.1);
+  util::Rng rng{77};
+  for (int i = 0; i < 300; ++i) {
+    const auto mask = sampler->sample(space, rng);
+    EXPECT_GE(mask.num_flips(), 1u);
+    EXPECT_LE(mask.num_flips(), 3u);
+    for (std::int64_t flat : mask.bits()) {
+      EXPECT_FALSE(space.is_protected(flat / 32));
+      EXPECT_LT(flat, space.total_bits());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultAwareTrainer: clean-weight restoration, skip accounting, interrupt.
+
+TEST_F(HardenTest, TrainerRestoresCleanWeightsGolden) {
+  // With lr = 0 the optimizer is a no-op, so any weight drift after a run
+  // could only come from a leaked (un-reverted) injection mask. Bit-exact
+  // equality is therefore the golden-state-restoration property.
+  nn::Network net = net_->clone();
+  const auto before = snapshot_weights(net);
+
+  FaultAwareConfig config;
+  config.base.epochs = 2;
+  config.base.lr = 0.0;
+  config.base.momentum = 0.0;
+  config.base.seed = 5;
+  config.inject_prob = 1.0;  // every batch runs under a mask
+  const auto profile = seeded_profile(net);
+  FaultAwareTrainer trainer(net, profile, config);
+  const auto result = trainer.run(*data_, *data_);
+
+  EXPECT_GT(result.batches_injected, 0u);
+  EXPECT_GE(result.flips_injected, result.batches_injected);
+  const auto after = snapshot_weights(net);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&before[i], &after[i], sizeof(float)), 0)
+        << "weight " << i << " drifted: " << before[i] << " -> " << after[i];
+  }
+}
+
+TEST_F(HardenTest, TrainerImprovesOrKeepsAccuracyUnderInjection) {
+  nn::Network net = net_->clone();
+  FaultAwareConfig config;
+  config.base.epochs = 5;
+  config.base.lr = 0.02;
+  config.base.seed = 6;
+  config.inject_prob = 0.5;
+  const auto profile = seeded_profile(net);
+  FaultAwareTrainer trainer(net, profile, config);
+  const auto result = trainer.run(*data_, *data_);
+  EXPECT_FALSE(result.train.interrupted);
+  // Fine-tuning must not destroy the network: weights finite, accuracy sane.
+  for (float w : snapshot_weights(net)) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GE(result.train.final_test_accuracy, 0.9);
+}
+
+TEST_F(HardenTest, TrainerHonorsInterruptBeforeFirstBatch) {
+  nn::Network net = net_->clone();
+  const auto before = snapshot_weights(net);
+  FaultAwareConfig config;
+  config.base.epochs = 50;
+  config.base.lr = 0.05;
+  config.base.seed = 7;
+  const auto profile = seeded_profile(net);
+  FaultAwareTrainer trainer(net, profile, config);
+  util::set_interrupt_requested(true);
+  const auto result = trainer.run(*data_, *data_);
+  EXPECT_TRUE(result.train.interrupted);
+  // Stopped at the first batch boundary: no update ran, no mask leaked.
+  EXPECT_EQ(result.batches_injected, 0u);
+  EXPECT_EQ(snapshot_weights(net), before);
+}
+
+TEST_F(HardenTest, TrainerDeterministicForSeed) {
+  const auto profile = seeded_profile(*net_);
+  FaultAwareConfig config;
+  config.base.epochs = 3;
+  config.base.lr = 0.02;
+  config.base.seed = 8;
+  config.inject_seed = 0xABCDEF;
+  nn::Network a = net_->clone();
+  nn::Network b = net_->clone();
+  FaultAwareTrainer ta(a, profile, config);
+  FaultAwareTrainer tb(b, profile, config);
+  const auto ra = ta.run(*data_, *data_);
+  const auto rb = tb.run(*data_, *data_);
+  EXPECT_EQ(ra.batches_injected, rb.batches_injected);
+  EXPECT_EQ(ra.flips_injected, rb.flips_injected);
+  EXPECT_EQ(snapshot_weights(a), snapshot_weights(b));
+}
+
+// ---------------------------------------------------------------------------
+// RNG-stream isolation: a checkpointed campaign resumed after a harden run
+// is bit-exact with one resumed without it. The fine-tune injection stream
+// (FaultAwareConfig::inject_seed) shares no state with campaign RNGs.
+
+TEST_F(HardenTest, CampaignResumeAfterHardenIsBitExact) {
+  bayes::BayesianFaultNetwork bfn(
+      *net_, bayes::TargetSpec::all_parameters(), bayes::AvfProfile::uniform(),
+      data_->inputs, data_->labels);
+  const double p = 1e-3;
+  mcmc::TargetFactory factory = [p](bayes::BayesianFaultNetwork& net) {
+    return std::make_unique<bayes::PriorTarget>(net, p);
+  };
+  mcmc::RunnerConfig config;
+  config.num_chains = 2;
+  config.mh.samples = 20;
+  config.mh.burn_in = 8;
+  config.mh.thin = 2;
+  config.mh.record_masks = true;
+  config.seed = 21;
+  mcmc::CompletenessCriterion criterion;
+  criterion.rhat_threshold = 0.0;  // unattainable: run every round
+  criterion.mean_rel_tol = 0.0;
+  criterion.max_rounds = 3;
+
+  // Reference: the uninterrupted campaign.
+  const auto reference =
+      mcmc::run_until_complete(bfn, factory, p, config, criterion);
+  ASSERT_EQ(reference.rounds, 3u);
+
+  // Checkpointed campaign "killed" after round 2.
+  const std::string dir = ::testing::TempDir() + "bdlfi_harden_resume";
+  std::filesystem::remove_all(dir);
+  mcmc::RunnerConfig interrupted = config;
+  interrupted.checkpoint_dir = dir;
+  interrupted.round_hook = [](const obs::RoundEvent& e) {
+    if (e.round == 2) util::set_interrupt_requested(true);
+  };
+  const auto partial =
+      mcmc::run_until_complete(bfn, factory, p, interrupted, criterion);
+  ASSERT_TRUE(partial.interrupted);
+  util::set_interrupt_requested(false);
+
+  // A full harden run between kill and resume: profile from the partial
+  // campaign, fault-aware fine-tune of a clone. Must consume no randomness
+  // any campaign stream depends on.
+  auto profile = summarize_campaign(partial.final_result, bfn.space());
+  nn::Network tuned = net_->clone();
+  FaultAwareConfig hcfg;
+  hcfg.base.epochs = 2;
+  hcfg.base.lr = 0.02;
+  hcfg.base.seed = 31;
+  FaultAwareTrainer trainer(tuned, profile, hcfg);
+  const auto tune = trainer.run(*data_, *data_);
+  EXPECT_FALSE(tune.train.interrupted);
+
+  // Resume: bit-exact with the uninterrupted reference.
+  mcmc::RunnerConfig resumed_config = config;
+  resumed_config.checkpoint_dir = dir;
+  resumed_config.resume = true;
+  const auto resumed =
+      mcmc::run_until_complete(bfn, factory, p, resumed_config, criterion);
+  EXPECT_FALSE(resumed.resume_rejected);
+  EXPECT_EQ(resumed.resumed_from_round, 2u);
+  ASSERT_EQ(resumed.rounds, 3u);
+
+  const auto& a = resumed.final_result;
+  const auto& b = reference.final_result;
+  ASSERT_EQ(a.chains.size(), b.chains.size());
+  for (std::size_t c = 0; c < a.chains.size(); ++c) {
+    ASSERT_EQ(a.chains[c].error_samples.size(),
+              b.chains[c].error_samples.size());
+    for (std::size_t i = 0; i < a.chains[c].error_samples.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&a.chains[c].error_samples[i],
+                            &b.chains[c].error_samples[i], sizeof(double)),
+                0);
+    }
+    // Retained masks are not part of the checkpoint (they exist for profile
+    // export, not for the estimate): a resumed run re-accumulates from the
+    // resume point, so its masks match the reference's trailing round(s).
+    ASSERT_LE(a.chains[c].mask_samples.size(), b.chains[c].mask_samples.size());
+    const std::size_t tail =
+        b.chains[c].mask_samples.size() - a.chains[c].mask_samples.size();
+    for (std::size_t i = 0; i < a.chains[c].mask_samples.size(); ++i) {
+      EXPECT_EQ(a.chains[c].mask_samples[i],
+                b.chains[c].mask_samples[tail + i]);
+    }
+  }
+  EXPECT_EQ(std::memcmp(&a.mean_error, &b.mean_error, sizeof(double)), 0);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted selective protection.
+
+TEST_F(HardenTest, PlacementRanksByMassPerOverhead) {
+  const auto profile = seeded_profile(*net_);
+  const auto candidates = placement_candidates(profile, *net_);
+  ASSERT_FALSE(candidates.empty());
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].benefit / candidates[i - 1].overhead,
+              candidates[i].benefit / candidates[i].overhead - 1e-12);
+  }
+  // Layer 0 carries the dominant mass, so its (cheap) guard ranks first.
+  EXPECT_EQ(candidates.front().layer, 0u);
+  EXPECT_EQ(candidates.front().kind, Protection::kRangeGuard);
+}
+
+TEST_F(HardenTest, PlacementRespectsBudget) {
+  const auto profile = seeded_profile(*net_);
+  for (double budget : {0.0, 0.02, 0.05, 0.1, 0.5}) {
+    const auto plan = place_protection(profile, *net_, budget);
+    EXPECT_LE(plan.overhead, budget + 1e-9);
+    EXPECT_GE(plan.coverage, 0.0);
+    EXPECT_LE(plan.coverage, 1.0 + 1e-9);
+  }
+  const auto empty = place_protection(profile, *net_, 0.0);
+  EXPECT_TRUE(empty.selected.empty());
+}
+
+TEST_F(HardenTest, FrontierIsMonotoneAndNested) {
+  const auto profile = seeded_profile(*net_);
+  const std::vector<double> budgets = {0.0, 0.02, 0.04, 0.1, 0.3, 1.0};
+  const auto frontier = coverage_frontier(profile, *net_, budgets);
+  ASSERT_EQ(frontier.size(), budgets.size());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].coverage, frontier[i - 1].coverage - 1e-12);
+    // Prefix construction: a larger budget's selection contains the smaller's.
+    ASSERT_GE(frontier[i].selected.size(), frontier[i - 1].selected.size());
+    for (std::size_t j = 0; j < frontier[i - 1].selected.size(); ++j) {
+      EXPECT_EQ(frontier[i].selected[j].layer, frontier[i - 1].selected[j].layer);
+      EXPECT_EQ(frontier[i].selected[j].kind, frontier[i - 1].selected[j].kind);
+    }
+  }
+  // A big enough budget covers all posterior mass.
+  EXPECT_NEAR(frontier.back().coverage, 1.0, 1e-9);
+}
+
+TEST_F(HardenTest, ApplyPlanInsertsGuardsAndRemapsAbft) {
+  const auto profile = seeded_profile(*net_);
+  const auto plan = place_protection(profile, *net_, /*budget=*/1.0);
+  ASSERT_FALSE(plan.guard_layers.empty());
+  ASSERT_FALSE(plan.abft_layers.empty());
+
+  tensor::abft::Config abft;
+  abft.mode = tensor::abft::Mode::kDetect;
+  const nn::Network hardened =
+      apply_plan(*net_, plan, data_->inputs, abft);
+
+  EXPECT_EQ(hardened.num_layers(),
+            net_->num_layers() + plan.guard_layers.size());
+  // Each selected guard sits immediately after its (shifted) layer.
+  std::size_t guards_seen = 0;
+  for (std::size_t g : plan.guard_layers) {
+    const std::size_t shifted = g + guards_seen;
+    ASSERT_LT(shifted + 1, hardened.num_layers());
+    EXPECT_EQ(hardened.layer_kind(shifted + 1), "guard")
+        << "no guard after original layer " << g;
+    ++guards_seen;
+  }
+  // ABFT restriction was remapped past the inserted guards: every checked
+  // layer is GEMM-bearing, and exactly the planned ones are checked.
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < hardened.num_layers(); ++i) {
+    if (hardened.abft_layer_checked(i)) {
+      ++checked;
+      EXPECT_NE(hardened.layer_kind(i), "guard");
+    }
+  }
+  EXPECT_EQ(checked, plan.abft_layers.size());
+  // Hardened network still classifies: guards calibrated on clean data are
+  // transparent to the clean forward.
+  nn::Network mutable_hardened = hardened.clone();
+  const double acc =
+      train::evaluate_accuracy(mutable_hardened, *data_);
+  EXPECT_GE(acc, 0.9);
+}
+
+TEST_F(HardenTest, ApplyPlanWithoutSelectionsIsPlainClone) {
+  const auto profile = seeded_profile(*net_);
+  const auto plan = place_protection(profile, *net_, 0.0);
+  tensor::abft::Config abft;
+  abft.mode = tensor::abft::Mode::kDetect;
+  const nn::Network hardened = apply_plan(*net_, plan, data_->inputs, abft);
+  EXPECT_EQ(hardened.num_layers(), net_->num_layers());
+  // No ABFT layers selected -> ABFT left off entirely.
+  EXPECT_EQ(hardened.abft().mode, tensor::abft::Mode::kOff);
+}
+
+}  // namespace
+}  // namespace bdlfi::harden

@@ -31,8 +31,12 @@
 #include <memory>
 #include <string>
 
+#include "bayes/posterior_profile.h"
 #include "bayes/targets.h"
 #include "bench/common.h"
+#include "harden/placement.h"
+#include "harden/profile_export.h"
+#include "harden/trainer.h"
 #include "fleet/runner.h"
 #include "fleet/spec.h"
 #include "data/cifar_like.h"
@@ -329,6 +333,106 @@ int cmd_complete(const Flags& args, bench::ObsSession& session) {
                                result.converged ? 0 : 3);
 }
 
+int cmd_harden(const Flags& args, bench::ObsSession& session) {
+  Subject subject = load_subject(args);
+  const double p = args.get("p", 1e-4);
+
+  // Profile acquisition: reuse a saved one (--profile) or run a fresh
+  // deviation-tempered campaign with retained-mask recording and summarize it.
+  bayes::PosteriorProfile profile;
+  const std::string profile_in = args.get("profile", "");
+  if (!profile_in.empty()) {
+    std::string error;
+    auto loaded = bayes::PosteriorProfile::load(profile_in, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "--profile: %s\n", error.c_str());
+      return 1;
+    }
+    profile = std::move(*loaded);
+    std::printf("posterior profile loaded from %s (%zu samples, %zu flips)\n",
+                profile_in.c_str(), profile.samples(), profile.total_flips());
+  } else {
+    auto bfn = make_bfn(subject, args);
+    mcmc::RunnerConfig runner = runner_from(args, session);
+    runner.mh.record_masks = true;
+    runner.gibbs.record_masks = true;
+    const double lambda = args.get("lambda", 0.05);
+    mcmc::TargetFactory factory =
+        [p, lambda](bayes::BayesianFaultNetwork& net) {
+          return std::make_unique<bayes::DeviationTemperedTarget>(net, p,
+                                                                  lambda);
+        };
+    mcmc::CompletenessCriterion criterion;
+    criterion.rhat_threshold = args.get("rhat", 1.05);
+    criterion.mean_rel_tol = args.get("tol", 0.05);
+    criterion.max_rounds = args.get("max-rounds", std::size_t{4});
+    const auto result =
+        mcmc::run_until_complete(bfn, factory, p, runner, criterion);
+    if (result.final_result.failed) {
+      std::fprintf(stderr, "campaign FAILED: %s\n",
+                   result.final_result.fail_reason.c_str());
+      return 4;
+    }
+    profile = harden::summarize_campaign(result.final_result, bfn.space());
+    std::printf("posterior profile: %zu retained masks, %zu flips "
+                "attributed\n",
+                profile.samples(), profile.total_flips());
+  }
+  const std::string profile_out = args.get("profile-out", "");
+  if (!profile_out.empty()) {
+    if (!profile.save(profile_out)) {
+      std::fprintf(stderr, "cannot write %s\n", profile_out.c_str());
+      return 1;
+    }
+    std::printf("posterior profile written to %s\n", profile_out.c_str());
+  }
+
+  // Fault-aware fine-tuning in place; Ctrl-C stops at a batch boundary and
+  // the partial result is still saved (exit 5, like interrupted campaigns).
+  util::install_interrupt_handlers();
+  harden::FaultAwareConfig hcfg;
+  hcfg.base.epochs = args.get("tune-epochs", std::size_t{30});
+  hcfg.base.batch_size = args.get("batch", std::size_t{32});
+  hcfg.base.lr = args.get("tune-lr", 0.02);
+  hcfg.base.seed =
+      static_cast<std::uint64_t>(args.get("tune-seed", std::int64_t{183}));
+  hcfg.inject_prob = args.get("inject-prob", 0.7);
+  hcfg.max_flips = args.get("max-flips", std::size_t{2});
+  harden::FaultAwareTrainer trainer(subject.net, profile, hcfg);
+  const auto tune = trainer.run(subject.train, subject.test);
+  std::printf("fault-aware fine-tune: %zu epochs, %zu batches injected "
+              "(%zu flips), %zu updates skipped, %zu clipped, test acc "
+              "%.2f%%\n",
+              tune.train.history.size(), tune.batches_injected,
+              tune.flips_injected, tune.updates_skipped, tune.updates_clipped,
+              100.0 * tune.train.final_test_accuracy);
+
+  // Budgeted protection placement: report the plan and the frontier. The
+  // checkpoint stores the fine-tuned weights only — guards/ABFT are a
+  // deployment-time transform (harden::apply_plan), not weight state.
+  const double budget = args.get("budget", 0.0);
+  if (budget > 0.0) {
+    const auto plan = harden::place_protection(profile, subject.net, budget);
+    std::printf("protection plan @ budget %.2f: coverage %.1f%% of posterior "
+                "mass, est. overhead %.1f%%\n",
+                budget, 100.0 * plan.coverage, 100.0 * plan.overhead);
+    for (const auto& c : plan.selected) {
+      std::printf("  %-12s layer %zu (%s): mass %.3f, overhead %.2f\n",
+                  harden::protection_name(c.kind), c.layer, c.name.c_str(),
+                  c.benefit, c.overhead);
+    }
+  }
+
+  const std::string out = args.get("out", "hardened.ckpt");
+  if (!nn::save_checkpoint(subject.net, out)) return 1;
+  std::printf("hardened weights written to %s\n", out.c_str());
+  if (tune.train.interrupted) {
+    std::fprintf(stderr, "fine-tune interrupted: partial result saved\n");
+    return 5;
+  }
+  return 0;
+}
+
 int cmd_fleet(const Flags& args, const std::string& spec_path) {
   if (spec_path.empty()) {
     std::fprintf(stderr,
@@ -371,6 +475,11 @@ void usage() {
       "  layers    per-layer campaign        (--ckpt=F --p [--dose])\n"
       "  random    traditional random FI     (--ckpt=F --p --injections)\n"
       "  complete  run until MCMC-mixing completeness (--ckpt=F --p)\n"
+      "  harden    posterior-guided hardening loop: campaign -> profile ->\n"
+      "            fault-aware fine-tune -> budgeted protection plan\n"
+      "            (--ckpt=F --p [--out=hardened.ckpt --budget=0.15\n"
+      "            --tune-epochs --inject-prob --profile=F.json\n"
+      "            --profile-out=F.json])\n"
       "  fleet     run a JSON campaign spec across crash-supervised worker\n"
       "            processes (bdlfi fleet campaigns.json --out=DIR\n"
       "            [--resume --workers=N --quiet])\n"
@@ -430,13 +539,14 @@ int main(int argc, char** argv) {
     return cmd_fleet(args, spec_path);
   }
   if (cmd == "train" || cmd == "sweep" || cmd == "layers" || cmd == "random" ||
-      cmd == "complete") {
+      cmd == "complete" || cmd == "harden") {
     bench::ObsSession session(args, "bdlfi " + cmd);
     if (cmd == "train") rc = cmd_train(args);
     if (cmd == "sweep") rc = cmd_sweep(args, session);
     if (cmd == "layers") rc = cmd_layers(args, session);
     if (cmd == "random") rc = cmd_random(args);
     if (cmd == "complete") rc = cmd_complete(args, session);
+    if (cmd == "harden") rc = cmd_harden(args, session);
     session.finish();
     return rc;
   }

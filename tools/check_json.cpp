@@ -17,6 +17,10 @@
 //                                   expanded with the same strict loader the
 //                                   fleet runner uses, so "spec validates"
 //                                   means "spec runs"
+//   check_json --hardening f.json   BENCH_hardening_loop.json: baseline and
+//                                   hardened assessment blocks, tuning tally,
+//                                   protection-budget frontier (checked to be
+//                                   monotone), and the gated summary
 //
 // Exit 0 on valid input, 1 on malformed input or unreadable file. Used by the
 // ctest smoke chain to check that `bdlfi --trace/--metrics` emit what
@@ -344,6 +348,120 @@ bool check_mask_eval(const obs::JsonValue& doc, std::string* error) {
   return true;
 }
 
+/// Validates the tab_hardening_loop bench document (DESIGN.md §6/§14):
+/// baseline/hardened assessment blocks, the tuning tally, the protection-
+/// budget frontier (structurally monotone in both budget and coverage), and
+/// the gated summary.
+bool check_hardening(const obs::JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "hardening root is not an object";
+    return false;
+  }
+  const obs::JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object() ||
+      !require_numbers(*config,
+                       {"p", "injections", "chains", "round_samples",
+                        "tune_epochs", "inject_prob", "budget"},
+                       "config", error)) {
+    if (error->empty()) *error = "missing config object";
+    return false;
+  }
+  const obs::JsonValue* baseline = doc.find("baseline");
+  if (baseline == nullptr || !baseline->is_object() ||
+      !require_numbers(*baseline,
+                       {"sdc_rate_pct", "detection_coverage_pct",
+                        "mean_deviation_pct", "clean_accuracy_pct"},
+                       "baseline", error)) {
+    if (error->empty()) *error = "missing baseline object";
+    return false;
+  }
+  const obs::JsonValue* campaign = doc.find("campaign");
+  if (campaign == nullptr || !campaign->is_object() ||
+      !require_numbers(*campaign,
+                       {"profile_samples", "profile_flips",
+                        "mean_deviation_before_pct",
+                        "mean_deviation_after_pct"},
+                       "campaign", error)) {
+    if (error->empty()) *error = "missing campaign object";
+    return false;
+  }
+  const obs::JsonValue* tuning = doc.find("tuning");
+  if (tuning == nullptr || !tuning->is_object() ||
+      !require_numbers(*tuning,
+                       {"batches_injected", "flips_injected",
+                        "updates_skipped", "final_test_accuracy_pct"},
+                       "tuning", error)) {
+    if (error->empty()) *error = "missing tuning object";
+    return false;
+  }
+  const obs::JsonValue* hardened = doc.find("hardened");
+  const obs::JsonValue* deployed =
+      hardened != nullptr && hardened->is_object() ? hardened->find("deployed")
+                                                   : nullptr;
+  if (deployed == nullptr || !deployed->is_object() ||
+      !require_numbers(*deployed,
+                       {"sdc_rate_pct", "clean_accuracy_pct", "guard_layers",
+                        "abft_layers"},
+                       "hardened.deployed", error)) {
+    if (error->empty()) *error = "missing hardened.deployed object";
+    return false;
+  }
+  const obs::JsonValue* frontier = doc.find("frontier");
+  if (frontier == nullptr || !frontier->is_array() ||
+      frontier->as_array().empty()) {
+    *error = "missing/empty frontier array";
+    return false;
+  }
+  double prev_budget = -1.0, prev_coverage = -1.0;
+  std::size_t index = 0;
+  for (const auto& point : frontier->as_array()) {
+    const std::string at = "frontier[" + std::to_string(index) + "]";
+    if (!require_numbers(point, {"budget", "coverage", "overhead", "guards"},
+                         at, error)) {
+      return false;
+    }
+    const double budget = point.find("budget")->as_number();
+    const double coverage = point.find("coverage")->as_number();
+    if (budget < prev_budget) {
+      *error = at + ": budgets must be non-decreasing";
+      return false;
+    }
+    // The budget frontier's contract (and the bench's non-smoke gate): more
+    // budget never buys less posterior-mass coverage.
+    if (coverage < prev_coverage - 1e-9) {
+      *error = at + ": coverage decreased with budget (frontier not monotone)";
+      return false;
+    }
+    prev_budget = budget;
+    prev_coverage = coverage;
+    ++index;
+  }
+  const obs::JsonValue* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object() ||
+      !require_numbers(*summary,
+                       {"sdc_before_pct", "sdc_after_pct",
+                        "sdc_reduction_pct", "sdc_remaining_pct",
+                        "clean_acc_delta_pct", "clean_acc_drop_pct"},
+                       "summary", error)) {
+    if (error->empty()) *error = "missing summary object";
+    return false;
+  }
+  const obs::JsonValue* remaining = summary->find("sdc_remaining_pct");
+  if (!(remaining->as_number() > 0.0)) {
+    *error = "summary.sdc_remaining_pct must be positive (bench_track "
+             "headline)";
+    return false;
+  }
+  for (const char* key : {"frontier_monotone", "gate_enforced"}) {
+    const obs::JsonValue* v = summary->find(key);
+    if (v == nullptr || !v->is_bool()) {
+      *error = std::string("summary: bad or missing \"") + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Second pass over an already-jsonl_valid stream: every campaign event must
 /// carry the flight-recorder envelope (16-hex campaign_id plus a strictly
 /// increasing per-file seq), round events the numeric fault-outcome taxonomy
@@ -454,7 +572,7 @@ bool check_round_events(const std::string& text, std::string* error) {
 
 int main(int argc, char** argv) {
   bool jsonl = false, trace = false, checkpoint = false, mask_eval = false;
-  bool fleet_spec = false;
+  bool fleet_spec = false, hardening = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jsonl") == 0) {
@@ -467,6 +585,8 @@ int main(int argc, char** argv) {
       mask_eval = true;
     } else if (std::strcmp(argv[i], "--fleet-spec") == 0) {
       fleet_spec = true;
+    } else if (std::strcmp(argv[i], "--hardening") == 0) {
+      hardening = true;
     } else {
       path = argv[i];
     }
@@ -474,12 +594,12 @@ int main(int argc, char** argv) {
   if (path == nullptr ||
       (static_cast<int>(jsonl) + static_cast<int>(trace) +
            static_cast<int>(checkpoint) + static_cast<int>(mask_eval) +
-           static_cast<int>(fleet_spec) >
+           static_cast<int>(fleet_spec) + static_cast<int>(hardening) >
        1)) {
     std::fprintf(
         stderr,
         "usage: check_json [--jsonl|--trace|--checkpoint|--mask-eval|"
-        "--fleet-spec] <file>\n");
+        "--fleet-spec|--hardening] <file>\n");
     return 2;
   }
 
@@ -523,6 +643,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (mask_eval && !check_mask_eval(*doc, &error)) {
+      std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    if (hardening && !check_hardening(*doc, &error)) {
       std::fprintf(stderr, "check_json: %s: %s\n", path, error.c_str());
       return 1;
     }
